@@ -1,0 +1,91 @@
+// Ablation: codeword translation "regardless of the data transmitted" —
+// and regardless of the excitation's bit rate. The tag's raw rate is
+// fixed by the OFDM symbol clock (1 bit / N·4 µs), but the excitation
+// rate changes how much airtime a given traffic volume occupies, and
+// therefore how many tag bits ride along.
+//
+// Sweep: same 1500-byte frames sent at every 802.11a/g rate; measure
+// (a) tag BER (must be rate-independent at a healthy SNR — the
+// translation is valid on BPSK through 64-QAM), and (b) tag bits per
+// frame (drops with rate: less airtime per frame).
+#include <cstdio>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/translator.h"
+#include "core/xor_decoder.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+int main() {
+  Rng rng(58);
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = phy80211::kSampleRateHz;
+  fe.noise_figure_db = 5.0;
+  const double rx_dbm = -72.0;  // 20 dB SNR: even 64-QAM is comfortable
+
+  std::printf("=== Ablation: tag performance vs excitation bit rate ===\n");
+  std::printf("1500-byte frames at %.0f dBm; tag N = 4, 12 frames per rate\n\n",
+              rx_dbm);
+
+  sim::TablePrinter table({"excitation rate", "modulation", "frame airtime (us)",
+                           "tag bits/frame", "tag rate while riding (kbps)",
+                           "tag BER"});
+  for (const auto& params : phy80211::kRateTable) {
+    std::size_t bits_total = 0;
+    std::size_t errors = 0;
+    double airtime = 0.0;
+    std::size_t capacity = 0;
+    for (int t = 0; t < 12; ++t) {
+      phy80211::TxConfig txcfg;
+      txcfg.rate = params.rate;
+      const phy80211::TxFrame frame =
+          phy80211::BuildFrame(RandomBytes(rng, 1500), txcfg);
+      airtime = phy80211::FrameDurationS(frame);
+      core::TranslateConfig tcfg;
+      capacity = core::TagBitCapacity(frame.waveform.size(), tcfg);
+      const BitVector tag_bits = RandomBits(rng, capacity);
+      const IqBuffer bs = core::Translate(
+          channel::ToAbsolutePower(frame.waveform, rx_dbm), tag_bits, tcfg);
+      IqBuffer padded(120, Cplx{0.0, 0.0});
+      padded.insert(padded.end(), bs.begin(), bs.end());
+      const phy80211::RxResult rx =
+          phy80211::ReceiveFrame(channel::AddThermalNoise(padded, fe, rng));
+      if (!rx.signal_ok) continue;
+      const core::TagDecodeResult decoded = core::DecodeWifi(
+          frame.data_bits, rx.data_bits, params.data_bits_per_symbol,
+          tcfg.redundancy);
+      bits_total += std::min(tag_bits.size(), decoded.bits.size());
+      errors += HammingDistance(tag_bits, decoded.bits);
+    }
+    const char* mod = "";
+    switch (params.modulation) {
+      case phy80211::Modulation::kBpsk: mod = "BPSK"; break;
+      case phy80211::Modulation::kQpsk: mod = "QPSK"; break;
+      case phy80211::Modulation::kQam16: mod = "16-QAM"; break;
+      case phy80211::Modulation::kQam64: mod = "64-QAM"; break;
+    }
+    table.AddRow(
+        {sim::TablePrinter::Num(params.mbps, 0) + " Mbps", mod,
+         sim::TablePrinter::Num(airtime * 1e6, 0), std::to_string(capacity),
+         sim::TablePrinter::Num(static_cast<double>(capacity) / airtime / 1e3, 1),
+         bits_total ? sim::TablePrinter::Sci(
+                          static_cast<double>(errors) /
+                          static_cast<double>(bits_total))
+                    : "no frames"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The while-riding tag rate is ~62.5 kbps at every excitation rate\n"
+      "(the OFDM symbol clock, not the bit rate, sets it) and BER stays\n"
+      "near zero from BPSK to 64-QAM — codeword translation really is\n"
+      "agnostic to the data and rate of the excitation, the property that\n"
+      "lets FreeRider ride arbitrary productive traffic. What changes is\n"
+      "capacity per frame: fast rates finish frames sooner, so a tag on a\n"
+      "lightly-loaded fast network sees fewer rideable symbols per second.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Ablation: flat (AWGN-only) vs frequency-selective multipath channel.
+//
+// The paper's hallway has real multipath; our calibrated evaluation is
+// AWGN + shadowing (EXPERIMENTS.md notes this as the main deviation).
+// This bench quantifies the gap: the OFDM receiver's per-subcarrier
+// equalizer absorbs delay spreads inside the cyclic prefix with a
+// modest SNR penalty, while the same channel applied to ZigBee's
+// single-carrier O-QPSK (no equalizer) costs real chips.
+#include <cstdio>
+
+#include "channel/awgn.h"
+#include "channel/multipath.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/translator.h"
+#include "core/xor_decoder.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "phy802154/frame.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+struct Stats {
+  double prr = 0.0;
+  double tag_ber = 1.0;
+};
+
+Stats RunWifi(double rx_dbm, std::size_t num_taps, Rng& rng) {
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = phy80211::kSampleRateHz;
+  fe.noise_figure_db = 5.0;
+  const int trials = 25;
+  int ok = 0;
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  for (int t = 0; t < trials; ++t) {
+    const phy80211::TxFrame frame =
+        phy80211::BuildFrame(RandomBytes(rng, 400), {});
+    core::TranslateConfig tcfg;
+    const BitVector tag_bits =
+        RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+    IqBuffer bs = core::Translate(
+        channel::ToAbsolutePower(frame.waveform, rx_dbm), tag_bits, tcfg);
+    if (num_taps > 1) {
+      const auto mp = channel::MultipathChannel::Rayleigh(num_taps, 3.0, rng);
+      bs = mp.Apply(bs);
+    }
+    IqBuffer padded(120, Cplx{0.0, 0.0});
+    padded.insert(padded.end(), bs.begin(), bs.end());
+    const phy80211::RxResult rx =
+        phy80211::ReceiveFrame(channel::AddThermalNoise(padded, fe, rng));
+    if (!rx.signal_ok) continue;
+    ++ok;
+    const core::TagDecodeResult decoded = core::DecodeWifi(
+        frame.data_bits, rx.data_bits,
+        phy80211::ParamsFor(frame.rate).data_bits_per_symbol, tcfg.redundancy);
+    bits += std::min(tag_bits.size(), decoded.bits.size());
+    errors += HammingDistance(tag_bits, decoded.bits);
+  }
+  Stats s;
+  s.prr = static_cast<double>(ok) / trials;
+  if (bits > 0) s.tag_ber = static_cast<double>(errors) / bits;
+  return s;
+}
+
+Stats RunZigbee(double rx_dbm, std::size_t num_taps, Rng& rng) {
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = phy802154::kSampleRateHz;
+  fe.noise_figure_db = 13.0;
+  const int trials = 25;
+  int ok = 0;
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  for (int t = 0; t < trials; ++t) {
+    const phy802154::TxFrame frame =
+        phy802154::BuildFrame(RandomBytes(rng, 60));
+    core::TranslateConfig tcfg;
+    tcfg.radio = core::RadioType::kZigbee;
+    const BitVector tag_bits =
+        RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+    IqBuffer bs = core::Translate(
+        channel::ToAbsolutePower(frame.waveform, rx_dbm), tag_bits, tcfg);
+    if (num_taps > 1) {
+      const auto mp = channel::MultipathChannel::Rayleigh(num_taps, 3.0, rng);
+      bs = mp.Apply(bs);
+    }
+    IqBuffer padded(150, Cplx{0.0, 0.0});
+    padded.insert(padded.end(), bs.begin(), bs.end());
+    const phy802154::RxResult rx =
+        phy802154::ReceiveFrame(channel::AddThermalNoise(padded, fe, rng));
+    if (!rx.detected || rx.data_symbols.empty()) continue;
+    ++ok;
+    const core::TagDecodeResult decoded = core::DecodeZigbee(
+        frame.data_symbols, rx.data_symbols, tcfg.redundancy);
+    bits += std::min(tag_bits.size(), decoded.bits.size());
+    errors += HammingDistance(tag_bits, decoded.bits);
+  }
+  Stats s;
+  s.prr = static_cast<double>(ok) / trials;
+  if (bits > 0) s.tag_ber = static_cast<double>(errors) / bits;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(92);
+  std::printf("=== Ablation: flat vs frequency-selective multipath ===\n");
+  std::printf("Rayleigh taps, 3 dB/tap decay, Rician LOS tap (K = 6 dB)\n\n");
+
+  sim::TablePrinter table({"radio", "channel", "PRR", "tag BER"});
+  struct Case {
+    const char* label;
+    std::size_t taps;
+  };
+  const Case cases[] = {{"flat (AWGN only)", 1},
+                        {"3-tap (150 ns spread)", 3},
+                        {"8-tap (400 ns spread)", 8}};
+  for (const Case& c : cases) {
+    Rng local = rng.Split();
+    const Stats s = RunWifi(-85.0, c.taps, local);
+    table.AddRow({"WiFi OFDM @ -85 dBm", c.label,
+                  sim::TablePrinter::Num(s.prr, 2),
+                  sim::TablePrinter::Sci(s.tag_ber)});
+  }
+  for (const Case& c : cases) {
+    Rng local = rng.Split();
+    const Stats s = RunZigbee(-85.0, c.taps, local);
+    table.AddRow({"ZigBee O-QPSK @ -85 dBm", c.label,
+                  sim::TablePrinter::Num(s.prr, 2),
+                  sim::TablePrinter::Sci(s.tag_ber)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "OFDM + per-subcarrier equalization rides out delay spread inside\n"
+      "the 0.8 us cyclic prefix; the unequalized single-carrier ZigBee\n"
+      "chain loses chips to ISI — consistent with the paper's shorter and\n"
+      "noisier ZigBee links in a real building.\n");
+  return 0;
+}

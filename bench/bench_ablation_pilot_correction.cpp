@@ -1,0 +1,75 @@
+// Ablation (paper §3.2.1, pilot tones): a receiver that corrects the
+// common phase error from pilot tones erases the tag's phase
+// modulation. The paper relies on chipsets (BCM43xx) that do not.
+#include <cstdio>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/translator.h"
+#include "core/xor_decoder.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+double TagBerWithRx(const phy80211::RxConfig& rxcfg, Rng& rng) {
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = phy80211::kSampleRateHz;
+  fe.noise_figure_db = 5.0;
+  std::size_t bits_total = 0;
+  std::size_t errors = 0;
+  for (int p = 0; p < 20; ++p) {
+    const phy80211::TxFrame frame =
+        phy80211::BuildFrame(RandomBytes(rng, 300), {});
+    core::TranslateConfig tcfg;  // N = 4, binary phase
+    const BitVector tag_bits =
+        RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+    const IqBuffer scaled = channel::ToAbsolutePower(frame.waveform, -70.0);
+    IqBuffer bs = core::Translate(scaled, tag_bits, tcfg);
+    IqBuffer padded(100, Cplx{0.0, 0.0});
+    padded.insert(padded.end(), bs.begin(), bs.end());
+    padded.insert(padded.end(), 100, Cplx{0.0, 0.0});
+    const phy80211::RxResult rx = phy80211::ReceiveFrame(
+        channel::AddThermalNoise(padded, fe, rng), rxcfg);
+    if (!rx.signal_ok) continue;
+    const core::TagDecodeResult decoded = core::DecodeWifi(
+        frame.data_bits, rx.data_bits,
+        phy80211::ParamsFor(frame.rate).data_bits_per_symbol, 4);
+    bits_total += std::min(tag_bits.size(), decoded.bits.size());
+    errors += HammingDistance(tag_bits, decoded.bits);
+  }
+  return bits_total ? static_cast<double>(errors) / bits_total : 1.0;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(44);
+  std::printf("=== Ablation: pilot-tone phase correction (paper 3.2.1) ===\n");
+  std::printf("high-SNR link (-70 dBm), N = 4, 20 packets per case\n\n");
+
+  phy80211::RxConfig off;
+  off.pilot_phase_correction = false;
+  phy80211::RxConfig on;
+  on.pilot_phase_correction = true;
+
+  Rng rng_off = rng.Split();
+  Rng rng_on = rng.Split();
+  const double ber_off = TagBerWithRx(off, rng_off);
+  const double ber_on = TagBerWithRx(on, rng_on);
+
+  sim::TablePrinter table({"receiver", "tag BER"});
+  table.AddRow({"pilot correction OFF (BCM43xx-like)",
+                sim::TablePrinter::Sci(ber_off)});
+  table.AddRow({"pilot correction ON", sim::TablePrinter::Sci(ber_on)});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper: pilot-based phase-error correction removes the tag's phase\n"
+      "offset and destroys tag decoding; chips like BCM43xx skip it, which\n"
+      "is why decoding works. Expect BER ~0 OFF and ~0.5 (coin-flip) ON.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation (paper §3.2.1): how many OFDM symbols must carry one tag bit?
+//
+// The paper's Matlab study found 1 tag bit per 4 OFDM symbols (96 data
+// bits at 6 Mbps) yields ~1e-3 tag BER; fewer symbols per bit break the
+// scrambler/coder window structure. This bench sweeps N at a mid-range
+// SNR on the full PHY chain.
+#include <cstdio>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/translator.h"
+#include "core/xor_decoder.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+int main() {
+  Rng rng(33);
+  const double rx_dbm = -88.0;  // ~9 dB SNR: the interesting regime
+  const std::size_t packets = 30;
+
+  std::printf("=== Ablation: tag bits per N OFDM symbols (paper 3.2.1) ===\n");
+  std::printf("802.11g 6 Mbps excitation at %.0f dBm (SNR ~9 dB), %zu packets/N\n\n",
+              rx_dbm, packets);
+
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = phy80211::kSampleRateHz;
+  fe.noise_figure_db = 5.0;
+
+  sim::TablePrinter table({"N (symbols/bit)", "tag rate (kbps)", "tag BER",
+                           "tag bits tested"});
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    core::TranslateConfig tcfg;
+    tcfg.redundancy = n;
+    std::size_t bits_total = 0;
+    std::size_t errors = 0;
+    for (std::size_t p = 0; p < packets; ++p) {
+      const phy80211::TxFrame frame =
+          phy80211::BuildFrame(RandomBytes(rng, 400), {});
+      const BitVector tag_bits =
+          RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+      const IqBuffer scaled =
+          channel::ToAbsolutePower(frame.waveform, rx_dbm);
+      IqBuffer bs = core::Translate(scaled, tag_bits, tcfg);
+      IqBuffer padded(120, Cplx{0.0, 0.0});
+      padded.insert(padded.end(), bs.begin(), bs.end());
+      padded.insert(padded.end(), 120, Cplx{0.0, 0.0});
+      const phy80211::RxResult rx =
+          phy80211::ReceiveFrame(channel::AddThermalNoise(padded, fe, rng));
+      if (!rx.signal_ok) continue;
+      const core::TagDecodeResult decoded = core::DecodeWifi(
+          frame.data_bits, rx.data_bits,
+          phy80211::ParamsFor(frame.rate).data_bits_per_symbol, n);
+      const std::size_t m = std::min(tag_bits.size(), decoded.bits.size());
+      bits_total += m;
+      errors += HammingDistance(tag_bits, decoded.bits);
+    }
+    const double ber =
+        bits_total ? static_cast<double>(errors) / bits_total : 1.0;
+    core::TranslateConfig rate_cfg;
+    rate_cfg.redundancy = n;
+    table.AddRow({std::to_string(n),
+                  sim::TablePrinter::Num(core::TagBitRateBps(rate_cfg) / 1e3, 1),
+                  sim::TablePrinter::Sci(ber), std::to_string(bits_total)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper: N=4 (96 data bits at 6 Mbps) reaches ~1e-3 tag BER; smaller N\n"
+      "breaks the scrambler/encoder bit-flip windows and BER rises sharply.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation (paper §3.2.3, Fig. 8, Eq. 10): the tag's square-wave toggle
+// makes a double-sideband backscatter signal. The Δf choice must put
+// the unwanted sideband outside the Bluetooth channel so the receiver's
+// channel filter removes it; Δf that leaves the image inside the
+// (1 - i) · w/2 region corrupts decoding.
+#include <cstdio>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "dsp/signal_ops.h"
+#include "phyble/frame.h"
+#include "phyble/gfsk.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+/// Fraction of steady-run codewords that decode as the *flipped*
+/// codeword after a square-wave toggle at delta_f.
+double FlipRate(double delta_f_hz, Rng& rng) {
+  std::size_t flips = 0;
+  std::size_t total = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Bit excitation = rng.NextBit();
+    BitVector bits(30, excitation);
+    IqBuffer wave = phyble::ModulateBits(bits);
+    wave = dsp::SquareWaveMix(wave, delta_f_hz, phyble::kSampleRateHz,
+                              rng.NextDouble() * kTwoPi);
+    const auto freq = phyble::Discriminate(phyble::ChannelFilter(wave));
+    for (std::size_t k = 8; k + 8 < bits.size(); ++k) {
+      const Bit decoded =
+          static_cast<Bit>(phyble::BitFrequency(freq, 0, k) >= 0.0);
+      ++total;
+      flips += (decoded != excitation);
+    }
+  }
+  return static_cast<double>(flips) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(55);
+  std::printf("=== Ablation: Bluetooth delta-f choice (Eq. 10 / Fig. 8) ===\n");
+  std::printf("modulation index %.2f, deviation %.0f kHz, channel %.0f MHz\n\n",
+              phyble::kModulationIndex, phyble::kFreqDeviationHz / 1e3,
+              phyble::kChannelBandwidthHz / 1e6);
+
+  sim::TablePrinter table({"delta f (kHz)", "image position", "codeword flip rate",
+                           "Eq. 10 satisfied"});
+  struct Case {
+    double delta_f;
+    const char* image;
+    bool eq10;
+  };
+  const Case cases[] = {
+      {125e3, "inside channel (375 kHz)", false},
+      {250e3, "at codeword frequency (500 kHz edge)", false},
+      {500e3, "outside channel (750 kHz)", true},
+      // 700 kHz still flips the discriminator sign, but the product
+      // lands at -450 kHz — off the codeword frequencies, where a real
+      // receiver's tighter frequency decision margins would suffer.
+      {700e3, "far outside (950 kHz)", false},
+  };
+  for (const Case& c : cases) {
+    const double rate = FlipRate(c.delta_f, rng);
+    table.AddRow({sim::TablePrinter::Num(c.delta_f / 1e3, 0), c.image,
+                  sim::TablePrinter::Num(rate, 2), c.eq10 ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper: delta f = |f1 - f0| = 500 kHz flips every codeword cleanly —\n"
+      "the in-band product lands exactly on the other FSK codeword while\n"
+      "the unwanted image falls outside (1-i)w/2 and is filtered (Eq. 10).\n"
+      "Smaller delta f leaves the image in-band (corrupting the\n"
+      "discriminator); larger delta f moves the product off both codewords.\n");
+  return 0;
+}

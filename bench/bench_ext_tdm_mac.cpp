@@ -1,0 +1,49 @@
+// Extension (paper §4.5): the time-division MAC FreeRider could run
+// instead of Framed Slotted Aloha. Quantifies the trade the paper
+// describes: TDM approaches the collision-free bound (~40 kb/s) once
+// tags are associated, but pays an association transient and loses
+// Aloha's zero-state churn tolerance.
+#include <cstdio>
+
+#include "mac/slotted_aloha.h"
+#include "mac/tdm.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+int main() {
+  Rng rng(45);
+  std::printf("=== Extension: TDM vs Framed Slotted Aloha ===\n\n");
+
+  const std::size_t rounds = 1500;
+  sim::TablePrinter table({"tags", "Aloha (kbps)", "TDM (kbps)",
+                           "TDM steady-state (kbps)", "assoc. rounds",
+                           "TDM fairness"});
+  for (std::size_t tags : {4u, 8u, 12u, 16u, 20u, 40u}) {
+    mac::CampaignConfig aloha_config;
+    mac::FramedSlottedAlohaSimulator aloha(aloha_config);
+    Rng ra = rng.Split();
+    const mac::CampaignStats al = aloha.RunCampaign(tags, rounds, ra);
+
+    mac::TdmConfig tdm_config;
+    mac::TdmSimulator tdm(tdm_config);
+    Rng rt = rng.Split();
+    const mac::TdmCampaignStats td = tdm.RunCampaign(tags, rounds, rt);
+
+    table.AddRow(
+        {std::to_string(tags),
+         sim::TablePrinter::Num(al.aggregate_throughput_bps / 1e3, 1),
+         sim::TablePrinter::Num(td.aggregate_throughput_bps / 1e3, 1),
+         sim::TablePrinter::Num(
+             mac::SteadyStateTdmThroughputBps(tags, tdm_config) / 1e3, 1),
+         std::to_string(td.rounds_to_full_association),
+         sim::TablePrinter::Num(td.jain_fairness, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper: \"more data-intensive applications would benefit from a time\n"
+      "division scheme\" with the no-collision simulation asymptoting near\n"
+      "40 kbps, while Framed Slotted Aloha suits inventory-class workloads\n"
+      "where the tag set changes without warning.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 11: WiFi backscatter in the NLOS deployment (Fig. 9b): TX and
+// tag in a room, receiver in the hallway; one wall up to 22 m, a second
+// wall beyond — which is what terminates the link there.
+#include "distance_figure.h"
+
+int main() {
+  using namespace freerider;
+  const std::vector<double> distances = {1, 2, 4, 6, 8, 10, 12, 14,
+                                         16, 18, 20, 22, 24, 26};
+  return bench::RunDistanceFigure(
+      "Fig. 11: 802.11g/n WiFi backscatter, NLOS deployment",
+      core::RadioType::kWifi, channel::NlosDeployment(1.0), distances,
+      /*packets=*/24, /*seed=*/111,
+      "Paper: ~60 kbps up to 14 m, ~20 kbps beyond, link stops at 22 m\n"
+      "(second wall); RSSI ~ -84 dBm at 22 m.");
+}

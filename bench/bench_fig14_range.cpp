@@ -1,0 +1,51 @@
+// Fig. 14: operational regime — maximum receiver-to-tag distance as a
+// function of transmitter-to-tag distance for the three exciters.
+//
+// Paper: with the TX 1 m from the tag, WiFi sustains ~42 m, ZigBee
+// ~22 m, Bluetooth ~12 m; at a 4 m TX-to-tag distance WiFi drops to
+// ~8 m. The regimes nest: WiFi ⊃ ZigBee ⊃ Bluetooth, driven by the
+// exciters' transmit powers (11 vs 5 vs 0 dBm).
+#include <cstdio>
+
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+int main() {
+  const std::vector<double> tx_tag = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+  std::printf("=== Fig. 14: communication range (operational regime) ===\n");
+  std::printf("max tag-to-RX distance sustaining PRR >= 0.5\n\n");
+
+  struct RadioRow {
+    const char* name;
+    core::RadioType radio;
+    double max_search;
+  };
+  const RadioRow radios[] = {
+      {"802.11g/n WiFi", core::RadioType::kWifi, 60.0},
+      {"ZigBee", core::RadioType::kZigbee, 40.0},
+      {"Bluetooth", core::RadioType::kBluetooth, 25.0},
+  };
+
+  sim::TablePrinter table({"TX-to-tag (m)", "WiFi max RX (m)",
+                           "ZigBee max RX (m)", "Bluetooth max RX (m)"});
+  std::vector<std::vector<sim::RangePoint>> results;
+  for (const RadioRow& r : radios) {
+    results.push_back(
+        sim::RangeSweep(r.radio, tx_tag, r.max_search, /*packets=*/10,
+                        /*seed=*/141));
+  }
+  for (std::size_t i = 0; i < tx_tag.size(); ++i) {
+    table.AddRow({sim::TablePrinter::Num(tx_tag[i], 1),
+                  sim::TablePrinter::Num(results[0][i].max_tag_to_rx_m, 1),
+                  sim::TablePrinter::Num(results[1][i].max_tag_to_rx_m, 1),
+                  sim::TablePrinter::Num(results[2][i].max_tag_to_rx_m, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper: at 1 m TX-to-tag, max ranges ~42 / ~22 / ~12 m (WiFi /\n"
+      "ZigBee / Bluetooth); ranges shrink steeply with TX-to-tag distance\n"
+      "(WiFi ~8 m at a 4 m TX-to-tag separation); regimes nest\n"
+      "WiFi > ZigBee > Bluetooth.\n");
+  return 0;
+}

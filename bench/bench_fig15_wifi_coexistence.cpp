@@ -1,0 +1,77 @@
+// Fig. 15: does backscatter hurt the productive WiFi link?
+//
+// Paper: a laptop file transfer on channel 6 runs at a 37.4 Mbps
+// median; with a tag 1 m from the WiFi receiver backscattering WiFi,
+// ZigBee or Bluetooth excitations, the medians are 37.0 / 37.9 /
+// 36.8 Mbps — i.e., indistinguishable.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "mac/coexistence.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+void PrintCdf(const char* label, const std::vector<double>& samples) {
+  std::printf("  %-28s median %5.1f Mbps | p10 %5.1f | p90 %5.1f\n", label,
+              Median(samples), Percentile(samples, 10),
+              Percentile(samples, 90));
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(15);
+  const mac::CoexistenceConfig config;
+  const std::size_t windows = 5000;
+
+  std::printf("=== Fig. 15: WiFi throughput with backscatter present/absent ===\n");
+  std::printf("%zu measurement windows per curve\n\n", windows);
+
+  const auto baseline =
+      mac::SimulateWifiThroughput(config, nullptr, windows, rng);
+
+  struct Case {
+    const char* label;
+    mac::ExciterKind exciter;
+  };
+  const Case cases[] = {
+      {"backscattering WiFi", mac::ExciterKind::kWifi},
+      {"backscattering ZigBee", mac::ExciterKind::kZigbee},
+      {"backscattering Bluetooth", mac::ExciterKind::kBluetooth},
+  };
+
+  PrintCdf("no backscatter", baseline);
+  std::vector<std::vector<double>> tagged;
+  for (const Case& c : cases) {
+    Rng local = rng.Split();
+    tagged.push_back(
+        mac::SimulateWifiThroughput(config, &c.exciter, windows, local));
+    PrintCdf(c.label, tagged.back());
+  }
+
+  // CDF table across the Fig. 15 x-range (26-42 Mbps).
+  std::printf("\nCDF (fraction of windows <= x):\n");
+  sim::TablePrinter table({"throughput (Mbps)", "no backscatter", "WiFi tag",
+                           "ZigBee tag", "Bluetooth tag"});
+  auto frac_below = [](const std::vector<double>& v, double x) {
+    std::size_t c = 0;
+    for (double s : v) c += (s <= x);
+    return static_cast<double>(c) / static_cast<double>(v.size());
+  };
+  for (double x = 30.0; x <= 42.0; x += 2.0) {
+    table.AddRow({sim::TablePrinter::Num(x, 0),
+                  sim::TablePrinter::Num(frac_below(baseline, x), 3),
+                  sim::TablePrinter::Num(frac_below(tagged[0], x), 3),
+                  sim::TablePrinter::Num(frac_below(tagged[1], x), 3),
+                  sim::TablePrinter::Num(frac_below(tagged[2], x), 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper medians: 37.4 (none) vs 37.0 / 37.9 / 36.8 Mbps — a tag does\n"
+      "not interfere with productive WiFi (its sidebands land on other\n"
+      "channels and its power is tens of dB below the WiFi noise floor).\n");
+  return 0;
+}

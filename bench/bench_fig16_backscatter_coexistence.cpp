@@ -1,0 +1,60 @@
+// Fig. 16: does concurrent WiFi traffic hurt backscatter?
+//
+// Paper: with the tag's channel adjacent to (but not overlapping) busy
+// channel-6 WiFi: the WiFi-excited backscatter median stays 61.8 kbps
+// but a ~10 % tail drops toward 35 kbps (Fig. 16a); ZigBee- and
+// Bluetooth-excited backscatter at 2.48 GHz move by only 1-2 kbps
+// (Fig. 16b,c) thanks to narrowband receive filtering.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "mac/coexistence.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+void RunCase(const char* title, mac::ExciterKind exciter,
+             const mac::CoexistenceConfig& config, Rng& rng) {
+  const std::size_t windows = 5000;
+  Rng absent_rng = rng.Split();
+  Rng present_rng = rng.Split();
+  const auto absent = mac::SimulateBackscatterThroughput(
+      config, exciter, /*wifi_traffic_present=*/false, windows, absent_rng);
+  const auto present = mac::SimulateBackscatterThroughput(
+      config, exciter, /*wifi_traffic_present=*/true, windows, present_rng);
+
+  std::printf("%s\n", title);
+  std::printf("  WiFi absent : median %5.1f kbps | p10 %5.1f | p90 %5.1f\n",
+              Median(absent), Percentile(absent, 10), Percentile(absent, 90));
+  std::printf("  WiFi present: median %5.1f kbps | p10 %5.1f | p90 %5.1f\n",
+              Median(present), Percentile(present, 10),
+              Percentile(present, 90));
+  std::printf("  leakage into backscatter channel: %.1f dBm (signal %.1f dBm)\n\n",
+              mac::WifiLeakageIntoBackscatterChannelDbm(config, exciter),
+              config.backscatter_rx_dbm);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(16);
+  const mac::CoexistenceConfig config;
+
+  std::printf(
+      "=== Fig. 16: backscatter throughput with WiFi present/absent ===\n\n");
+  RunCase("Fig. 16a: backscattering 802.11g/n WiFi (tag on channel 13)",
+          mac::ExciterKind::kWifi, config, rng);
+  RunCase("Fig. 16b: backscattering ZigBee (tag near 2.48 GHz)",
+          mac::ExciterKind::kZigbee, config, rng);
+  RunCase("Fig. 16c: backscattering Bluetooth (tag near 2.48 GHz)",
+          mac::ExciterKind::kBluetooth, config, rng);
+
+  std::printf(
+      "Paper: Fig. 16a median 61.8 kbps with or without WiFi, but the low\n"
+      "tail degrades toward 35 kbps when WiFi is present; Fig. 16b,c move\n"
+      "by only 1-2 kbps (narrowband receivers filter the out-of-band WiFi\n"
+      "leakage).\n");
+  return 0;
+}

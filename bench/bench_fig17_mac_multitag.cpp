@@ -1,0 +1,69 @@
+// Fig. 17: multi-tag MAC performance.
+//
+//  (a) Aggregate throughput for 4-20 tags, measured (event simulation
+//      with PLM losses and collisions) vs simulated (analytic
+//      expectation); extended beyond 20 tags to show the ~18 kbps
+//      Framed-Slotted-Aloha asymptote and the ~40 kbps TDM bound.
+//  (b) Jain's fairness index vs tag count (~0.85 at 20 tags).
+#include <cstdio>
+
+#include "common/stats.h"
+#include "mac/slotted_aloha.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+int main() {
+  Rng rng(17);
+  const mac::CampaignConfig config;
+  const std::size_t rounds = 2000;
+
+  std::printf("=== Fig. 17a: aggregate throughput vs number of tags ===\n");
+  std::printf("%zu rounds per point; slot %.1f ms carrying %zu bits; "
+              "PLM control %.1f ms per round\n\n",
+              rounds, config.timing.slot_s * 1e3,
+              config.timing.slot_payload_bits,
+              config.timing.ControlDurationS() * 1e3);
+
+  sim::TablePrinter table({"tags", "measured (kbps)", "simulated (kbps)",
+                           "TDM bound (kbps)", "mean slots"});
+  for (std::size_t tags : {4u, 8u, 12u, 16u, 20u, 40u, 80u, 160u}) {
+    mac::FramedSlottedAlohaSimulator sim(config);
+    Rng campaign_rng = rng.Split();
+    const mac::CampaignStats stats = sim.RunCampaign(tags, rounds, campaign_rng);
+    table.AddRow(
+        {std::to_string(tags),
+         sim::TablePrinter::Num(stats.aggregate_throughput_bps / 1e3, 1),
+         sim::TablePrinter::Num(
+             mac::ExpectedAlohaThroughputBps(tags, config.timing) / 1e3, 1),
+         sim::TablePrinter::Num(
+             mac::TdmThroughputBps(tags, config.timing) / 1e3, 1),
+         sim::TablePrinter::Num(stats.mean_slots, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Fairness over a deployment-length campaign (the paper measures a
+  // finite experiment: with ~15 rounds each tag lands only a handful of
+  // successes, which is what puts Jain's index near 0.85 rather than
+  // the asymptotic 1.0 of an infinitely long run).
+  std::printf("=== Fig. 17b: Jain's fairness index (15-round campaigns) ===\n");
+  sim::TablePrinter fair({"tags", "fairness index"});
+  for (std::size_t tags : {4u, 8u, 12u, 16u, 20u}) {
+    RunningStats fairness;
+    for (int rep = 0; rep < 20; ++rep) {
+      mac::FramedSlottedAlohaSimulator sim(config);
+      Rng campaign_rng = rng.Split();
+      fairness.Add(sim.RunCampaign(tags, 15, campaign_rng).jain_fairness);
+    }
+    fair.AddRow({std::to_string(tags),
+                 sim::TablePrinter::Num(fairness.mean(), 2)});
+  }
+  std::printf("%s\n", fair.ToString().c_str());
+
+  std::printf(
+      "Paper: throughput rises with tag count (control overhead amortizes),\n"
+      "asymptoting near 18 kbps for Framed Slotted Aloha vs ~40 kbps for a\n"
+      "collision-free TDM; fairness stays ~0.85 at 20 tags because the\n"
+      "scheduler grows the frame with the population.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 4: rate of successfully received PLM scheduling messages vs
+// transmitter-to-tag distance (15 dBm transmitter).
+//
+// Paper: >70 % within 4 m, decaying to ~50 % at 50 m. The loss has two
+// components reproduced here: ambient packets merging with PLM pulses
+// at the envelope detector (distance independent), and the comparator's
+// soft detection edge as the pulse power approaches the threshold.
+#include <cstdio>
+
+#include "channel/link_budget.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "mac/ambient_traffic.h"
+#include "mac/plm.h"
+#include "sim/sweep.h"
+#include "tag/envelope_detector.h"
+
+using namespace freerider;
+
+namespace {
+
+/// One scheduling message: PLM preamble + 16-bit payload.
+bool SendOneMessage(double power_dbm, const mac::AmbientTrafficConfig& ambient,
+                    const tag::EnvelopeDetector& detector, Rng& rng) {
+  const mac::PlmConfig plm;
+  const BitVector payload = RandomBits(rng, 16);
+  const BitVector message = mac::BuildPlmMessage(payload);
+
+  std::vector<tag::AirPulse> pulses =
+      mac::EncodePlm(message, 1e-3, power_dbm, plm);
+  const double total_time =
+      pulses.back().start_s + pulses.back().duration_s + 1e-3;
+  const auto background = mac::GenerateAmbientTraffic(ambient, total_time, rng);
+  pulses.insert(pulses.end(), background.begin(), background.end());
+  pulses = mac::MergePulses(std::move(pulses));
+
+  const auto measured = detector.DetectAll(pulses, rng);
+  const BitVector bits = mac::DecodePlm(measured, plm);
+
+  mac::PlmMessageReceiver receiver(payload.size());
+  for (Bit b : bits) {
+    if (auto got = receiver.PushBit(b); got.has_value() && *got == payload) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  const channel::PathLossModel path = channel::LosModel();
+  const double tx_dbm = 15.0;  // paper Fig. 4 setting
+
+  mac::AmbientTrafficConfig ambient;
+  // Hallway load: the PLM transmitter carrier-senses, so only
+  // hidden-terminal traffic merges with its pulses.
+  ambient.mean_gap_s = 30e-3;
+
+  const tag::EnvelopeDetector detector;
+  const std::size_t messages_per_point = 300;
+
+  std::printf("=== Fig. 4: PLM scheduling-message accuracy vs distance ===\n");
+  std::printf("transmit power %.0f dBm, %zu messages per point\n\n", tx_dbm,
+              messages_per_point);
+
+  sim::TablePrinter table(
+      {"distance (m)", "power at tag (dBm)", "accuracy (%)"});
+  for (double d : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 25.0, 30.0, 35.0,
+                   40.0, 45.0, 50.0}) {
+    const double power = tx_dbm + 6.0 /*antennas*/ - path.LossDb(d);
+    std::size_t ok = 0;
+    for (std::size_t m = 0; m < messages_per_point; ++m) {
+      ok += SendOneMessage(power, ambient, detector, rng);
+    }
+    table.AddRow({sim::TablePrinter::Num(d, 0),
+                  sim::TablePrinter::Num(power, 1),
+                  sim::TablePrinter::Num(
+                      100.0 * static_cast<double>(ok) / messages_per_point, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Paper: >70 %% at <=4 m, ~50 %% at 50 m.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks of the PHY substrate kernels (google-benchmark):
+// FFT, Viterbi, full TX/RX chains for all three radios. These bound how
+// fast the figure benches can sweep.
+#include <benchmark/benchmark.h>
+
+#include "channel/awgn.h"
+#include "common/rng.h"
+#include "dsp/fft.h"
+#include "phy80211/convolutional.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "phy802154/frame.h"
+#include "phyble/frame.h"
+
+namespace {
+
+using namespace freerider;
+
+void BM_Fft64(benchmark::State& state) {
+  Rng rng(1);
+  IqBuffer data(64);
+  for (auto& x : data) x = rng.NextComplexGaussian();
+  for (auto _ : state) {
+    IqBuffer copy = data;
+    dsp::Fft(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_ViterbiDecode1k(benchmark::State& state) {
+  Rng rng(2);
+  BitVector data = RandomBits(rng, 1000);
+  for (int i = 0; i < 6; ++i) data.push_back(0);
+  const BitVector coded = phy80211::ConvolutionalEncode(data);
+  for (auto _ : state) {
+    BitVector decoded = phy80211::ViterbiDecode(coded);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ViterbiDecode1k);
+
+void BM_WifiTx400B(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes payload = RandomBytes(rng, 400);
+  for (auto _ : state) {
+    phy80211::TxFrame frame = phy80211::BuildFrame(payload, {});
+    benchmark::DoNotOptimize(frame.waveform.data());
+  }
+}
+BENCHMARK(BM_WifiTx400B);
+
+void BM_WifiRx400B(benchmark::State& state) {
+  Rng rng(4);
+  const phy80211::TxFrame frame =
+      phy80211::BuildFrame(RandomBytes(rng, 400), {});
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = phy80211::kSampleRateHz;
+  fe.noise_figure_db = 5.0;
+  IqBuffer padded(100, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), frame.waveform.begin(), frame.waveform.end());
+  const IqBuffer rx = channel::ApplyLink(padded, -60.0, fe, rng);
+  for (auto _ : state) {
+    phy80211::RxResult result = phy80211::ReceiveFrame(rx);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_WifiRx400B);
+
+void BM_ZigbeeTxRx60B(benchmark::State& state) {
+  Rng rng(5);
+  const Bytes payload = RandomBytes(rng, 60);
+  for (auto _ : state) {
+    phy802154::TxFrame frame = phy802154::BuildFrame(payload);
+    phy802154::RxResult result = phy802154::ReceiveFrame(frame.waveform);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_ZigbeeTxRx60B);
+
+void BM_BleTxRx36B(benchmark::State& state) {
+  Rng rng(6);
+  const Bytes payload = RandomBytes(rng, 36);
+  for (auto _ : state) {
+    phyble::TxFrame frame = phyble::BuildFrame(payload);
+    phyble::RxResult result = phyble::ReceiveFrame(frame.waveform);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_BleTxRx36B);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Substrate characterization: packet error rate vs receive power for
+// each PHY receiver in the repository. These curves are what the link
+// calibration in sim/link.cpp rests on (DESIGN.md §4.5,
+// docs/architecture.md §3): the -94 dBm-class sensitivity gates and
+// per-radio noise figures were chosen so these receivers die where the
+// paper's chipsets do.
+#include <cstdio>
+
+#include "channel/awgn.h"
+#include "common/rng.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "phy80211b/frame11b.h"
+#include "phy802154/frame.h"
+#include "phyble/frame.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+template <typename TxFn, typename RxOkFn>
+double MeasurePer(double rx_dbm, double nf_db, double fs, TxFn tx, RxOkFn ok,
+                  Rng& rng, int trials = 20) {
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = fs;
+  fe.noise_figure_db = nf_db;
+  int good = 0;
+  for (int t = 0; t < trials; ++t) {
+    const IqBuffer wave = tx(rng);
+    IqBuffer padded(128, Cplx{0.0, 0.0});
+    padded.insert(padded.end(), wave.begin(), wave.end());
+    padded.insert(padded.end(), 128, Cplx{0.0, 0.0});
+    good += ok(channel::ApplyLink(padded, rx_dbm, fe, rng));
+  }
+  return 1.0 - static_cast<double>(good) / trials;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(61);
+  std::printf("=== Substrate characterization: PER vs RX power ===\n");
+  std::printf("100-byte-class frames, 20 per point, AWGN only\n\n");
+
+  sim::TablePrinter table({"RX power (dBm)", "802.11g 6M", "802.11g 54M",
+                           "802.11b 1M", "802.15.4", "BLE 1M"});
+  for (double p : {-70.0, -80.0, -85.0, -88.0, -91.0, -94.0, -97.0, -100.0}) {
+    Rng r1 = rng.Split(), r2 = rng.Split(), r3 = rng.Split(), r4 = rng.Split(),
+        r5 = rng.Split();
+    const double wifi6 = MeasurePer(
+        p, 5.0, phy80211::kSampleRateHz,
+        [](Rng& g) { return phy80211::BuildFrame(RandomBytes(g, 100), {}).waveform; },
+        [](const IqBuffer& rx) { return phy80211::ReceiveFrame(rx).fcs_ok; }, r1);
+    const double wifi54 = MeasurePer(
+        p, 5.0, phy80211::kSampleRateHz,
+        [](Rng& g) {
+          phy80211::TxConfig cfg;
+          cfg.rate = phy80211::Rate::k54Mbps;
+          return phy80211::BuildFrame(RandomBytes(g, 100), cfg).waveform;
+        },
+        [](const IqBuffer& rx) { return phy80211::ReceiveFrame(rx).fcs_ok; }, r2);
+    const double dsss = MeasurePer(
+        p, 6.0, phy80211b::kSampleRateHz,
+        [](Rng& g) { return phy80211b::BuildFrame(RandomBytes(g, 100)).waveform; },
+        [](const IqBuffer& rx) { return phy80211b::ReceiveFrame(rx).fcs_ok; }, r3);
+    const double zigbee = MeasurePer(
+        p, 5.0, phy802154::kSampleRateHz,
+        [](Rng& g) { return phy802154::BuildFrame(RandomBytes(g, 60)).waveform; },
+        [](const IqBuffer& rx) { return phy802154::ReceiveFrame(rx).fcs_ok; }, r4);
+    const double ble = MeasurePer(
+        p, 6.0, phyble::kSampleRateHz,
+        [](Rng& g) { return phyble::BuildFrame(RandomBytes(g, 30)).waveform; },
+        [](const IqBuffer& rx) { return phyble::ReceiveFrame(rx).crc_ok; }, r5);
+    table.AddRow({sim::TablePrinter::Num(p, 0), sim::TablePrinter::Num(wifi6, 2),
+                  sim::TablePrinter::Num(wifi54, 2),
+                  sim::TablePrinter::Num(dsss, 2),
+                  sim::TablePrinter::Num(zigbee, 2),
+                  sim::TablePrinter::Num(ble, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected ordering: DSSS (Barker gain) and 802.15.4 (32-chip\n"
+      "spreading) survive deepest; 6 Mbps OFDM follows; 54 Mbps 64-QAM\n"
+      "needs ~17 dB more; the BLE discriminator sits between. The paper's\n"
+      "range ordering (WiFi > ZigBee > BT) comes from transmit power, not\n"
+      "receiver sensitivity.\n");
+  return 0;
+}

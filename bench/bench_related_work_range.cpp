@@ -1,0 +1,55 @@
+// Related-work range comparison (paper §4.2.1): FreeRider's WiFi LOS
+// range vs the numbers it cites — "1.4x longer than the maximum
+// distance reported by Passive WiFi and Inter-Technology Backscatter,
+// and 8.4x longer than FS-Backscatter".
+//
+// Our FreeRider range is *measured* from the calibrated sample-level
+// simulator (same procedure as Fig. 14); the comparison systems' ranges
+// are the published figures the paper cites (their testbeds are not
+// reproduced here — different excitation architectures entirely).
+#include <cstdio>
+
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+int main() {
+  std::printf("=== Related work: backscatter range comparison ===\n\n");
+
+  // Measure FreeRider's WiFi LOS range (TX 1 m from tag, PRR >= 0.5).
+  const auto points =
+      sim::RangeSweep(core::RadioType::kWifi, {1.0}, 60.0, /*packets=*/12,
+                      /*seed=*/51);
+  const double freerider_range = points[0].max_tag_to_rx_m;
+
+  struct Row {
+    const char* system;
+    const char* excitation;
+    double range_m;
+    const char* source;
+  };
+  const Row rows[] = {
+      {"FreeRider (this repo)", "productive 802.11g/n traffic",
+       freerider_range, "measured (calibrated simulator)"},
+      {"Passive WiFi [16]", "dedicated single-tone emitter", 30.0,
+       "paper-cited"},
+      {"Interscatter [13]", "non-productive Bluetooth tone", 30.0,
+       "paper-cited"},
+      {"FS-Backscatter [27]", "WiFi/BT with frequency shift", 5.0,
+       "paper-cited"},
+      {"HitchHike [25]", "productive 802.11b only", 34.0, "paper-cited"},
+  };
+  sim::TablePrinter table({"system", "excitation", "max range (m)",
+                           "vs FreeRider", "source"});
+  for (const Row& r : rows) {
+    table.AddRow({r.system, r.excitation, sim::TablePrinter::Num(r.range_m, 1),
+                  sim::TablePrinter::Num(freerider_range / r.range_m, 1) + "x",
+                  r.source});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper: decoding at 42 m is 1.4x Passive WiFi / Interscatter and\n"
+      "8.4x FS-Backscatter — with the added property that, unlike all of\n"
+      "them, the excitation is ordinary productive traffic.\n");
+  return 0;
+}

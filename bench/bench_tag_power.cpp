@@ -1,0 +1,38 @@
+// Paper §3.3: tag power budget — ~30 µW total on TSMC 65 nm, of which
+// 19 µW is the 20 MHz frequency-shift clock, 12 µW the RF switch, and
+// 1-3 µW the codeword-translation control logic.
+#include <cstdio>
+
+#include "sim/sweep.h"
+#include "tag/power_model.h"
+
+using namespace freerider;
+
+int main() {
+  std::printf("=== Tag power budget (paper 3.3) ===\n\n");
+  sim::TablePrinter table({"translator", "shift clock (uW)", "RF switch (uW)",
+                           "control logic (uW)", "total (uW)"});
+  struct Row {
+    const char* name;
+    tag::TranslatorKind kind;
+    double shift_hz;
+  };
+  const Row rows[] = {
+      {"802.11g/n (20 MHz shift)", tag::TranslatorKind::kWifiPhase, 20e6},
+      {"ZigBee (to 2.48 GHz)", tag::TranslatorKind::kZigbeePhase, 16e6},
+      {"Bluetooth (to 2.48 GHz)", tag::TranslatorKind::kBluetoothFsk, 12e6},
+  };
+  for (const Row& r : rows) {
+    const tag::PowerBreakdownUw p = tag::EstimatePower(r.kind, r.shift_hz);
+    table.AddRow({r.name, sim::TablePrinter::Num(p.clock, 1),
+                  sim::TablePrinter::Num(p.rf_switch, 1),
+                  sim::TablePrinter::Num(p.control_logic, 1),
+                  sim::TablePrinter::Num(p.total(), 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper: ~30 uW overall depending on the excitation type; 19 uW for\n"
+      "the 20 MHz clock, 12 uW for the RF switch, 1-3 uW control logic —\n"
+      "roughly 3 orders of magnitude below an active WiFi radio.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared runner for the throughput/BER/RSSI-vs-distance figures
+// (Figs. 10-13): sweeps the tag→receiver distance with rate adaptation
+// and prints the three series the paper plots.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.h"
+
+namespace freerider::bench {
+
+inline int RunDistanceFigure(const std::string& title, core::RadioType radio,
+                             const channel::Deployment& deployment,
+                             const std::vector<double>& distances,
+                             std::size_t packets, std::uint64_t seed,
+                             const std::string& paper_summary) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("TX-to-tag %.1f m, %zu excitation frames per point, "
+              "rate adaptation on\n\n",
+              deployment.tx_to_tag_m, packets);
+
+  const auto points =
+      sim::DistanceSweep(radio, deployment, distances, packets, seed);
+
+  sim::TablePrinter table({"distance (m)", "throughput (kbps)", "BER", "RSSI (dBm)",
+                           "PRR", "N (redundancy)"});
+  for (const auto& p : points) {
+    const bool dead = p.stats.packets_decoded == 0;
+    table.AddRow(
+        {sim::TablePrinter::Num(p.tag_to_rx_m, 0),
+         sim::TablePrinter::Num(p.stats.tag_throughput_bps / 1e3, 1),
+         dead ? "-" : sim::TablePrinter::Sci(p.stats.tag_ber),
+         dead ? "-" : sim::TablePrinter::Num(p.stats.rssi_dbm, 1),
+         sim::TablePrinter::Num(p.stats.packet_reception_rate, 2),
+         std::to_string(p.stats.redundancy_used)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", paper_summary.c_str());
+  return 0;
+}
+
+}  // namespace freerider::bench

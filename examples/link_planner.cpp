@@ -1,0 +1,74 @@
+// Link planner: a deployment-design tool built on the public API.
+//
+// Given a proposed tag placement (TX-to-tag and tag-to-RX distances,
+// LOS or through-wall), it reports the backscatter link budget, SNR,
+// the expected tag data rate for each commodity radio, and whether the
+// paper's operational envelope (Fig. 14) covers the placement — the
+// questions an integrator actually asks before deploying FreeRider.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/link.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+int main(int argc, char** argv) {
+  const double tx_to_tag = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const double tag_to_rx = argc > 2 ? std::atof(argv[2]) : 10.0;
+  const bool nlos = argc > 3 && argv[3][0] == 'n';
+
+  std::printf("FreeRider link planner\n");
+  std::printf("  TX-to-tag: %.1f m, tag-to-RX: %.1f m, %s\n\n", tx_to_tag,
+              tag_to_rx, nlos ? "through-wall (NLOS)" : "line of sight");
+
+  sim::TablePrinter table({"radio", "RX power (dBm)", "SNR (dB)", "verdict",
+                           "expected tag rate"});
+  struct RadioCase {
+    const char* name;
+    core::RadioType radio;
+  };
+  const RadioCase radios[] = {
+      {"802.11g/n WiFi", core::RadioType::kWifi},
+      {"ZigBee", core::RadioType::kZigbee},
+      {"Bluetooth", core::RadioType::kBluetooth},
+  };
+
+  Rng rng(31);
+  for (const RadioCase& rc : radios) {
+    sim::LinkConfig config;
+    config.radio = rc.radio;
+    config.deployment = nlos ? channel::NlosDeployment(tx_to_tag)
+                             : channel::LosDeployment(tx_to_tag);
+    config.tag_to_rx_m = tag_to_rx;
+    config.num_packets = 12;
+    config.profile = sim::DefaultProfile(rc.radio);
+
+    const double rx_dbm = sim::BackscatterRxPowerDbm(config);
+    const double snr = sim::BackscatterSnrDb(config);
+    const double margin = rx_dbm - config.profile.sensitivity_dbm;
+
+    std::string verdict;
+    std::string rate;
+    if (margin > 3.0) {
+      const sim::LinkStats stats = sim::SimulateTagLinkAdaptive(config, rng);
+      verdict = "good";
+      rate = sim::TablePrinter::Num(stats.tag_throughput_bps / 1e3, 1) +
+             " kbps (N=" + std::to_string(stats.redundancy_used) + ")";
+    } else if (margin > -2.0) {
+      const sim::LinkStats stats = sim::SimulateTagLinkAdaptive(config, rng);
+      verdict = "marginal";
+      rate = sim::TablePrinter::Num(stats.tag_throughput_bps / 1e3, 1) +
+             " kbps (lossy)";
+    } else {
+      verdict = "out of range";
+      rate = "-";
+    }
+    table.AddRow({rc.name, sim::TablePrinter::Num(rx_dbm, 1),
+                  sim::TablePrinter::Num(snr, 1), verdict, rate});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "usage: link_planner [tx_to_tag_m] [tag_to_rx_m] [n for through-wall]\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Spectrum explorer: *see* codeword translation.
+//
+// Renders ASCII power spectra of (1) a Bluetooth FSK excitation, (2) the
+// same signal after the tag's Δf square-wave toggle — the flipped
+// codeword plus the out-of-band image of paper Fig. 8 — and (3) the tag's
+// square-wave channel shift with its mirror image and odd harmonics.
+//
+//   ./build/examples/spectrum_explorer
+#include <cstdio>
+
+#include "common/rng.h"
+#include "dsp/signal_ops.h"
+#include "dsp/spectrum.h"
+#include "phyble/gfsk.h"
+#include "phyble/params.h"
+
+using namespace freerider;
+
+int main() {
+  // 1. A steady run of Bluetooth "1" codewords: a tone at +250 kHz.
+  BitVector ones(512, 1);
+  const IqBuffer fsk = phyble::ModulateBits(ones);
+  std::printf("=== 1. Bluetooth excitation: data-one codeword (f1 = +250 kHz) ===\n");
+  std::printf("%s\n",
+              dsp::RenderSpectrum(
+                  dsp::EstimateSpectrum(fsk, phyble::kSampleRateHz), 16, 40)
+                  .c_str());
+
+  // 2. The tag toggles at delta f = |f1 - f0| = 500 kHz: the in-band
+  // product lands exactly on the data-zero codeword (-250 kHz) and the
+  // unwanted image at +750 kHz falls outside the channel (Eq. 10).
+  const IqBuffer toggled = dsp::SquareWaveMix(
+      fsk, phyble::kTagDeltaFHz, phyble::kSampleRateHz, 0.4);
+  std::printf("=== 2. After the tag's 500 kHz toggle: codeword FLIPPED ===\n");
+  std::printf("    (energy at -250 kHz = f0; image at +750 kHz is outside\n");
+  std::printf("     the channel and removed by the receiver filter)\n");
+  std::printf("%s\n",
+              dsp::RenderSpectrum(
+                  dsp::EstimateSpectrum(toggled, phyble::kSampleRateHz), 16, 40)
+                  .c_str());
+
+  // 3. The receiver's channel filter view.
+  const IqBuffer filtered = phyble::ChannelFilter(toggled);
+  std::printf("=== 3. Through the receiver's channel-select filter ===\n");
+  std::printf("%s\n",
+              dsp::RenderSpectrum(
+                  dsp::EstimateSpectrum(filtered, phyble::kSampleRateHz), 16, 40)
+                  .c_str());
+
+  // 4. The channel-shift mechanism itself: a square wave mixing a tone
+  // produces symmetric images and odd harmonics (paper §2.3.4, §3.2.3).
+  IqBuffer dc(8192, Cplx{1.0, 0.0});
+  const IqBuffer shifted =
+      dsp::SquareWaveMix(dc, 1e6, phyble::kSampleRateHz, 0.3);
+  std::printf("=== 4. Square-wave channel shift of a carrier (1 MHz toggle) ===\n");
+  std::printf("    (±1 MHz fundamentals at -3.9 dB, odd harmonics at ±3 MHz)\n");
+  std::printf("%s",
+              dsp::RenderSpectrum(
+                  dsp::EstimateSpectrum(shifted, phyble::kSampleRateHz), 16, 40)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Warehouse inventory: twenty FreeRider tags share one WiFi excitation
+// using the Framed-Slotted-Aloha MAC — the paper's motivating multi-tag
+// scenario ("applications that have low data needs and where the number
+// of active tags can increase or decrease without warning, such as
+// inventory tracking").
+//
+// The coordinator announces rounds over packet-length modulation; each
+// tag that hears the announcement picks a random slot and backscatters
+// its 12-byte inventory record there. The demo runs rounds until every
+// item has been heard at least once, then prints the inventory and the
+// MAC statistics.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "mac/slotted_aloha.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+int main() {
+  Rng rng(99);
+  const std::size_t num_tags = 20;
+
+  mac::CampaignConfig config;
+  config.plm_delivery_probability = 0.92;  // tags at 2-4 m from the AP
+  mac::FramedSlottedAlohaSimulator sim(config);
+
+  std::printf("Inventory round-up: %zu tags, Framed Slotted Aloha, "
+              "%.1f ms slots, %.1f ms PLM control per round\n\n",
+              num_tags, config.timing.slot_s * 1e3,
+              config.timing.ControlDurationS() * 1e3);
+
+  std::set<std::size_t> seen;
+  std::vector<std::size_t> reads(num_tags, 0);
+  double elapsed_s = 0.0;
+  std::size_t rounds = 0;
+  std::size_t collisions = 0;
+  while (seen.size() < num_tags && rounds < 200) {
+    const mac::RoundResult round = sim.RunRound(num_tags, rng);
+    ++rounds;
+    elapsed_s += round.duration_s;
+    collisions += round.collisions;
+    for (std::size_t t = 0; t < num_tags; ++t) {
+      if (round.tag_succeeded[t]) {
+        seen.insert(t);
+        ++reads[t];
+      }
+    }
+    if (rounds <= 5 || seen.size() == num_tags) {
+      std::printf("round %2zu: slots=%2zu singles=%2zu collisions=%2zu "
+                  "inventory %2zu/%zu\n",
+                  rounds, round.slots, round.singles, round.collisions,
+                  seen.size(), num_tags);
+    }
+  }
+
+  std::printf("\nAll %zu items inventoried in %zu rounds (%.2f s of airtime, "
+              "%zu collisions)\n",
+              seen.size(), rounds, elapsed_s, collisions);
+
+  std::vector<double> per_tag(reads.begin(), reads.end());
+  std::printf("reads per tag: min %.0f, max %.0f, Jain fairness %.2f\n",
+              *std::min_element(per_tag.begin(), per_tag.end()),
+              *std::max_element(per_tag.begin(), per_tag.end()),
+              JainFairnessIndex(per_tag));
+
+  sim::TablePrinter table({"item", "tag id", "reads"});
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    char item[32];
+    std::snprintf(item, sizeof(item), "pallet-%02zu", t + 1);
+    table.AddRow({item, "0x" + std::to_string(1000 + t),
+                  std::to_string(reads[t])});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  return seen.size() == num_tags ? 0 : 1;
+}

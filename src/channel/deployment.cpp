@@ -1,0 +1,30 @@
+#include "channel/deployment.h"
+
+namespace freerider::channel {
+
+PathLossModel Deployment::path_model() const {
+  return kind == DeploymentKind::kLos ? LosModel() : NlosModel();
+}
+
+int Deployment::WallsTxToTag() const {
+  // TX and tag are co-located (same hallway or same room) in both
+  // deployments of Fig. 9.
+  return 0;
+}
+
+int Deployment::WallsTagToRx(double tag_to_rx_m) const {
+  if (kind == DeploymentKind::kLos) return 0;
+  // Fig. 9b: one wall between room and hallway; past 22 m the hallway
+  // bends and a second wall enters the path.
+  return tag_to_rx_m <= 22.0 ? 1 : 2;
+}
+
+Deployment LosDeployment(double tx_to_tag_m) {
+  return Deployment{DeploymentKind::kLos, tx_to_tag_m};
+}
+
+Deployment NlosDeployment(double tx_to_tag_m) {
+  return Deployment{DeploymentKind::kNlos, tx_to_tag_m};
+}
+
+}  // namespace freerider::channel

@@ -1,0 +1,34 @@
+// Deployment geometries of Fig. 9.
+//
+// LOS (Fig. 9a): transmitter, tag and receiver in one hallway; the tag
+// sits `tx_to_tag_m` from the transmitter and the receiver is swept
+// along the hallway.
+//
+// NLOS (Fig. 9b): transmitter and tag in a room; the receiver is in the
+// hallway. The backscattered signal crosses one wall up to 22 m and a
+// second wall beyond (which is why the paper's NLOS link dies at 22 m).
+#pragma once
+
+#include "channel/link_budget.h"
+
+namespace freerider::channel {
+
+enum class DeploymentKind { kLos, kNlos };
+
+struct Deployment {
+  DeploymentKind kind = DeploymentKind::kLos;
+  double tx_to_tag_m = 1.0;
+
+  PathLossModel path_model() const;
+
+  /// Walls crossed on the TX→tag segment.
+  int WallsTxToTag() const;
+
+  /// Walls crossed on the tag→RX segment at receiver distance d.
+  int WallsTagToRx(double tag_to_rx_m) const;
+};
+
+Deployment LosDeployment(double tx_to_tag_m = 1.0);
+Deployment NlosDeployment(double tx_to_tag_m = 1.0);
+
+}  // namespace freerider::channel

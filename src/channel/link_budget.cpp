@@ -1,0 +1,56 @@
+#include "channel/link_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace freerider::channel {
+
+double PathLossModel::LossDb(double distance_m, int walls) const {
+  const double d = std::max(distance_m, 0.1);
+  return reference_loss_db + 10.0 * exponent * std::log10(d) +
+         wall_loss_db * static_cast<double>(walls);
+}
+
+PathLossModel LosModel() {
+  PathLossModel m;
+  m.reference_loss_db = 40.0;
+  m.exponent = 1.9;
+  m.wall_loss_db = 5.0;
+  return m;
+}
+
+PathLossModel NlosModel() {
+  PathLossModel m;
+  m.reference_loss_db = 40.0;
+  // Room-to-hallway: slightly steeper than the hallway-waveguide LOS
+  // exponent, with most of the extra loss carried by the wall terms.
+  m.exponent = 2.0;
+  m.wall_loss_db = 4.0;
+  return m;
+}
+
+double BackscatterBudget::ReceivedDbm(double d1_m, double d2_m, int walls1,
+                                      int walls2,
+                                      bool include_sideband_loss) const {
+  double p = tx_power_dbm + tx_antenna_gain_db + 2.0 * tag_antenna_gain_db +
+             rx_antenna_gain_db;
+  p -= path.LossDb(d1_m, walls1);
+  p -= tag_reflection_loss_db;
+  if (include_sideband_loss) p -= sideband_conversion_loss_db;
+  p -= path.LossDb(d2_m, walls2);
+  return p;
+}
+
+double BackscatterBudget::DirectDbm(double distance_m, int walls) const {
+  return tx_power_dbm + tx_antenna_gain_db + rx_antenna_gain_db -
+         path.LossDb(distance_m, walls);
+}
+
+double NoiseFloorDbm(double bandwidth_hz, double noise_figure_db) {
+  // kT at 290 K = -174 dBm/Hz.
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+}  // namespace freerider::channel

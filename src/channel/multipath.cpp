@@ -1,0 +1,68 @@
+#include "channel/multipath.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace freerider::channel {
+
+MultipathChannel::MultipathChannel(std::vector<Cplx> taps)
+    : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("MultipathChannel: no taps");
+}
+
+MultipathChannel MultipathChannel::Rayleigh(std::size_t num_taps,
+                                            double decay_db_per_tap, Rng& rng,
+                                            double k_factor_db) {
+  if (num_taps == 0) throw std::invalid_argument("Rayleigh: zero taps");
+  std::vector<Cplx> taps(num_taps);
+  double total = 0.0;
+  for (std::size_t k = 0; k < num_taps; ++k) {
+    const double mean_power =
+        DbToLinear(-decay_db_per_tap * static_cast<double>(k));
+    Cplx tap = std::sqrt(mean_power) * rng.NextComplexGaussian();
+    if (k == 0) {
+      // Rician direct path: a deterministic LOS component K dB above
+      // the diffuse part.
+      const double k_lin = DbToLinear(k_factor_db);
+      tap = std::sqrt(mean_power) *
+            (std::sqrt(k_lin / (k_lin + 1.0)) +
+             rng.NextComplexGaussian() * std::sqrt(1.0 / (k_lin + 1.0)));
+    }
+    taps[k] = tap;
+    total += std::norm(tap);
+  }
+  const double scale = 1.0 / std::sqrt(total);
+  for (auto& t : taps) t *= scale;
+  return MultipathChannel(std::move(taps));
+}
+
+IqBuffer MultipathChannel::Apply(std::span<const Cplx> input) const {
+  IqBuffer out(input.size(), Cplx{0.0, 0.0});
+  for (std::size_t n = 0; n < input.size(); ++n) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < taps_.size() && k <= n; ++k) {
+      acc += taps_[k] * input[n - k];
+    }
+    out[n] = acc;
+  }
+  return out;
+}
+
+double MultipathChannel::RmsDelaySpreadSamples() const {
+  double p = 0.0;
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    const double pk = std::norm(taps_[k]);
+    p += pk;
+    m1 += pk * static_cast<double>(k);
+    m2 += pk * static_cast<double>(k) * static_cast<double>(k);
+  }
+  if (p <= 0.0) return 0.0;
+  const double mean = m1 / p;
+  return std::sqrt(std::max(0.0, m2 / p - mean * mean));
+}
+
+}  // namespace freerider::channel

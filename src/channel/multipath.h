@@ -1,0 +1,45 @@
+// Frequency-selective multipath: an exponentially-decaying power-delay
+// profile with Rayleigh taps — the hallway clutter our AWGN-only
+// evaluation lacks (see EXPERIMENTS.md "known deviations").
+//
+// The OFDM receiver equalizes anything shorter than its cyclic prefix
+// (0.8 µs = 16 samples at 20 MS/s); the single-carrier PHYs have no
+// equalizer, which is why the paper's ZigBee/Bluetooth ranges are more
+// fragile in cluttered space.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace freerider::channel {
+
+class MultipathChannel {
+ public:
+  /// Explicit taps (tap 0 = direct path).
+  explicit MultipathChannel(std::vector<Cplx> taps);
+
+  /// Draw a random channel: `num_taps` Rayleigh taps with an
+  /// exponentially decaying profile (`decay_db_per_tap` each), tap 0
+  /// Rician-dominant (LOS). The taps are normalized to unit total
+  /// power so the link budget is untouched.
+  static MultipathChannel Rayleigh(std::size_t num_taps,
+                                   double decay_db_per_tap, Rng& rng,
+                                   double k_factor_db = 6.0);
+
+  /// Convolve the waveform with the channel (output same length; the
+  /// tail beyond the buffer is dropped, as a real capture would).
+  IqBuffer Apply(std::span<const Cplx> input) const;
+
+  const std::vector<Cplx>& taps() const { return taps_; }
+
+  /// RMS delay spread in samples.
+  double RmsDelaySpreadSamples() const;
+
+ private:
+  std::vector<Cplx> taps_;
+};
+
+}  // namespace freerider::channel

@@ -1,0 +1,70 @@
+#include "common/bits.h"
+
+#include <algorithm>
+
+namespace freerider {
+
+BitVector BytesToBits(std::span<const std::uint8_t> bytes) {
+  BitVector bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t byte : bytes) {
+    for (int i = 0; i < 8; ++i) {
+      bits.push_back(static_cast<Bit>((byte >> i) & 1u));
+    }
+  }
+  return bits;
+}
+
+Bytes BitsToBytes(std::span<const Bit> bits) {
+  Bytes bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return bytes;
+}
+
+BitVector BitsFromString(std::string_view s) {
+  BitVector bits;
+  bits.reserve(s.size());
+  for (char c : s) {
+    if (c == '0') bits.push_back(0);
+    else if (c == '1') bits.push_back(1);
+  }
+  return bits;
+}
+
+std::string BitsToString(std::span<const Bit> bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (Bit b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+std::size_t HammingDistance(std::span<const Bit> a, std::span<const Bit> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < n; ++i) d += (a[i] != b[i]) ? 1 : 0;
+  return d;
+}
+
+BitVector XorBits(std::span<const Bit> a, std::span<const Bit> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  BitVector out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+BitVector RepeatBits(std::span<const Bit> bits, std::size_t n) {
+  BitVector out;
+  out.reserve(bits.size() * n);
+  for (Bit b : bits) out.insert(out.end(), n, b);
+  return out;
+}
+
+double BitErrorRate(std::span<const Bit> a, std::span<const Bit> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 1.0;
+  return static_cast<double>(HammingDistance(a, b)) / static_cast<double>(n);
+}
+
+}  // namespace freerider

@@ -1,0 +1,71 @@
+// Fixed-capacity circular buffer.
+//
+// The FreeRider tag keeps "a circular buffer of received bits" and
+// matches its head against the PLM preamble (paper §2.4.1); this is that
+// structure, also reused by the envelope-detector pulse history.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace freerider {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity), capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity 0");
+  }
+
+  /// Append, evicting the oldest element when full.
+  void Push(const T& value) {
+    storage_[(head_ + size_) % capacity_] = value;
+    if (size_ < capacity_) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  /// Element i positions from the oldest (0 = oldest).
+  const T& At(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::At");
+    return storage_[(head_ + i) % capacity_];
+  }
+
+  /// Element i positions back from the newest (0 = newest).
+  const T& FromNewest(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::FromNewest");
+    return storage_[(head_ + size_ - 1 - i) % capacity_];
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// True if the newest `pattern.size()` elements equal `pattern`
+  /// (oldest-of-the-window first). Used for preamble matching.
+  bool EndsWith(const std::vector<T>& pattern) const {
+    if (pattern.size() > size_) return false;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      if (FromNewest(pattern.size() - 1 - i) != pattern[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace freerider

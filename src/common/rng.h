@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic component (noise, traffic, slot choice) takes an
+// explicit `Rng&` so experiments are reproducible from a single seed and
+// independent streams can be split per component.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace freerider {
+
+/// xoshiro256** — fast, high-quality, and trivially seedable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t NextBelow(std::uint64_t n) { return NextU64() % n; }
+
+  /// Fair coin.
+  Bit NextBit() { return static_cast<Bit>(NextU64() & 1u); }
+
+  /// Standard normal via Box–Muller (no state caching: simple and
+  /// branch-predictable; the simulator is not gated on this).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    while (u1 <= 1e-12) u1 = NextDouble();
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Circularly-symmetric complex Gaussian with E[|z|^2] = 1.
+  Cplx NextComplexGaussian() {
+    return {NextGaussian() * 0.7071067811865476,
+            NextGaussian() * 0.7071067811865476};
+  }
+
+  /// Derive an independent child stream (for per-component seeding).
+  Rng Split() { return Rng(NextU64()); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Random payload helper used by tests, benches and traffic generators.
+inline Bytes RandomBytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.NextU64() & 0xFFu);
+  return out;
+}
+
+inline BitVector RandomBits(Rng& rng, std::size_t n) {
+  BitVector out(n);
+  for (auto& b : out) b = rng.NextBit();
+  return out;
+}
+
+}  // namespace freerider

@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freerider {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      (std::clamp(p, 0.0, 100.0) / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i],
+                   static_cast<double>(i + 1) / static_cast<double>(sorted.size())});
+  }
+  return cdf;
+}
+
+double JainFairnessIndex(std::span<const double> throughputs) {
+  if (throughputs.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : throughputs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return (sum * sum) / (static_cast<double>(throughputs.size()) * sum_sq);
+}
+
+std::vector<double> HistogramPdf(std::span<const double> values, double lo,
+                                 double hi, std::size_t bins) {
+  std::vector<double> pdf(bins, 0.0);
+  if (values.empty() || bins == 0 || hi <= lo) return pdf;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    auto idx = static_cast<std::ptrdiff_t>((v - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    pdf[static_cast<std::size_t>(idx)] += 1.0;
+  }
+  for (auto& p : pdf) p /= static_cast<double>(values.size());
+  return pdf;
+}
+
+}  // namespace freerider

@@ -1,0 +1,60 @@
+// Statistics helpers for the evaluation harness: summary statistics,
+// empirical CDFs (Figs. 15/16), histograms (Fig. 3) and Jain's fairness
+// index (Fig. 17b).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace freerider {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (p in [0,100]) by linear interpolation on a copy of
+/// the data. Empty input yields 0.
+double Percentile(std::span<const double> values, double p);
+
+/// Median shorthand.
+inline double Median(std::span<const double> values) {
+  return Percentile(values, 50.0);
+}
+
+/// One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double cumulative_probability;
+};
+
+/// Empirical CDF: sorted values with P[X <= value].
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> values);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 = perfectly
+/// fair; 1/n = one flow hogs everything. Empty input yields 0.
+double JainFairnessIndex(std::span<const double> throughputs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values
+/// outside the range are clamped into the edge buckets. Returns
+/// normalized bucket probabilities (a PDF, as in Fig. 3).
+std::vector<double> HistogramPdf(std::span<const double> values, double lo,
+                                 double hi, std::size_t bins);
+
+}  // namespace freerider

@@ -1,0 +1,34 @@
+// Core value types shared across the FreeRider library.
+//
+// All signal processing is done on complex baseband samples. A `Cplx` is
+// one I/Q sample; an `IqBuffer` is a contiguous stream of them at some
+// sample rate that is carried alongside (see dsp/ and phy*/ for the
+// per-radio rates).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace freerider {
+
+using Cplx = std::complex<double>;
+using IqBuffer = std::vector<Cplx>;
+
+/// One bit. Stored unpacked (one byte per bit) throughout the PHY
+/// chains: clarity and testability beat packing for simulation code.
+using Bit = std::uint8_t;
+using BitVector = std::vector<Bit>;
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Speed of light, m/s. Used by the channel for free-space reference loss.
+inline constexpr double kSpeedOfLight = 2.99792458e8;
+
+/// Boltzmann constant, J/K. Thermal noise floor = kTB.
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+}  // namespace freerider

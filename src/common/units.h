@@ -1,0 +1,28 @@
+// dB / linear / dBm conversions and RF unit helpers.
+#pragma once
+
+#include <cmath>
+
+namespace freerider {
+
+/// Power ratio -> dB.
+inline double LinearToDb(double linear) { return 10.0 * std::log10(linear); }
+
+/// dB -> power ratio.
+inline double DbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Watts -> dBm.
+inline double WattsToDbm(double watts) {
+  return 10.0 * std::log10(watts * 1e3);
+}
+
+/// dBm -> watts.
+inline double DbmToWatts(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+/// Amplitude ratio -> dB (20 log10).
+inline double AmplitudeToDb(double amp) { return 20.0 * std::log10(amp); }
+
+/// dB -> amplitude ratio.
+inline double DbToAmplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+}  // namespace freerider

@@ -1,0 +1,81 @@
+#include "core/hitchhike.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy80211b/params11b.h"
+
+namespace freerider::core {
+namespace {
+
+using phy80211b::kSamplesPerSymbol;
+
+}  // namespace
+
+std::size_t HitchhikeCapacity(const phy80211b::TxFrame& frame,
+                              const HitchhikeConfig& config) {
+  if (frame.waveform.size() <= frame.psdu_start_sample) return 0;
+  const std::size_t window = kSamplesPerSymbol * config.redundancy;
+  return (frame.waveform.size() - frame.psdu_start_sample) / window;
+}
+
+double HitchhikeBitRateBps(const HitchhikeConfig& config) {
+  return phy80211b::kBitRateBps / static_cast<double>(config.redundancy);
+}
+
+IqBuffer HitchhikeTranslate(const phy80211b::TxFrame& frame,
+                            std::span<const Cplx> excitation,
+                            std::span<const Bit> tag_bits,
+                            const HitchhikeConfig& config) {
+  const std::size_t window = kSamplesPerSymbol * config.redundancy;
+  const std::size_t num_windows =
+      excitation.size() > frame.psdu_start_sample
+          ? (excitation.size() - frame.psdu_start_sample) / window
+          : 0;
+
+  IqBuffer out(excitation.size());
+  // The tag's phase state: toggled at every symbol boundary inside a
+  // window whose tag bit is 1.
+  double phase_sign = 1.0;
+  std::size_t current_symbol = 0;
+  for (std::size_t n = 0; n < excitation.size(); ++n) {
+    if (n >= frame.psdu_start_sample) {
+      const std::size_t rel = n - frame.psdu_start_sample;
+      const std::size_t symbol = rel / kSamplesPerSymbol;
+      if (symbol != current_symbol) {
+        current_symbol = symbol;
+        const std::size_t w = symbol / config.redundancy;
+        const Bit bit =
+            (w < num_windows && w < tag_bits.size()) ? tag_bits[w] : 0;
+        if (bit) phase_sign = -phase_sign;
+      }
+    }
+    out[n] = excitation[n] * config.conversion_amplitude * phase_sign;
+  }
+  return out;
+}
+
+TagDecodeResult HitchhikeDecode(std::span<const Bit> reference_raw_psdu_bits,
+                                std::span<const Bit> rx_raw_psdu_bits,
+                                std::size_t redundancy, double threshold) {
+  TagDecodeResult result;
+  const std::size_t n =
+      std::min(reference_raw_psdu_bits.size(), rx_raw_psdu_bits.size());
+  if (redundancy == 0) return result;
+  const std::size_t windows = n / redundancy;
+  result.bits.reserve(windows);
+  result.diff_fractions.reserve(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    double diff = 0.0;
+    for (std::size_t u = 0; u < redundancy; ++u) {
+      const std::size_t i = w * redundancy + u;
+      diff += (reference_raw_psdu_bits[i] != rx_raw_psdu_bits[i]) ? 1.0 : 0.0;
+    }
+    const double fraction = diff / static_cast<double>(redundancy);
+    result.diff_fractions.push_back(fraction);
+    result.bits.push_back(static_cast<Bit>(fraction >= threshold));
+  }
+  return result;
+}
+
+}  // namespace freerider::core

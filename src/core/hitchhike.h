@@ -1,0 +1,53 @@
+// HitchHike baseline (Zhang et al., SenSys 2016 — reference [25] of the
+// FreeRider paper): codeword translation on 802.11b DSSS frames only.
+//
+// On DBPSK, data lives in phase *transitions*, so the tag embeds a bit
+// per window by toggling its reflection phase at every symbol boundary
+// inside the window (tag 1) or holding it (tag 0); the receiver's
+// differential demodulator then reports each excitation bit XOR the tag
+// bit — exactly Table 1 again, but confined to 802.11b.
+//
+// FreeRider's motivation is that this baseline starves on modern
+// networks: 802.11b frames are a small fraction of traffic, so the
+// effective tag rate collapses (see bench_baseline_hitchhike).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.h"
+#include "core/xor_decoder.h"
+#include "phy80211b/frame11b.h"
+
+namespace freerider::core {
+
+struct HitchhikeConfig {
+  /// 802.11b symbols (= bits at 1 Mb/s) per tag bit.
+  std::size_t redundancy = 4;
+  double conversion_amplitude = tag::kSidebandAmplitude;
+};
+
+/// Tag bit capacity of one 802.11b frame.
+std::size_t HitchhikeCapacity(const phy80211b::TxFrame& frame,
+                              const HitchhikeConfig& config = {});
+
+/// Raw tag bit rate (b/s of excitation airtime).
+double HitchhikeBitRateBps(const HitchhikeConfig& config = {});
+
+/// Apply the HitchHike translation to an 802.11b excitation waveform.
+/// Modulation starts at the frame's PSDU (the preamble/PLCP must stay
+/// clean for the backscatter receiver, as in FreeRider).
+IqBuffer HitchhikeTranslate(const phy80211b::TxFrame& frame,
+                            std::span<const Cplx> excitation,
+                            std::span<const Bit> tag_bits,
+                            const HitchhikeConfig& config = {});
+
+/// Decode tag bits from the two receivers' *scrambled-domain* PSDU bits
+/// (TxFrame::raw_psdu_bits / RxResult::raw_psdu_bits): the 802.11b
+/// descrambler is self-synchronizing, so a tag flip would otherwise
+/// echo at +4 and +7 bit positions and smear across windows.
+TagDecodeResult HitchhikeDecode(std::span<const Bit> reference_raw_psdu_bits,
+                                std::span<const Bit> rx_raw_psdu_bits,
+                                std::size_t redundancy, double threshold = 0.5);
+
+}  // namespace freerider::core

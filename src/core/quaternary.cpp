@@ -1,0 +1,73 @@
+#include "core/quaternary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/translator.h"
+#include "phy80211/constellation.h"
+#include "phy80211/convolutional.h"
+#include "phy80211/interleaver.h"
+#include "phy80211/scrambler.h"
+
+namespace freerider::core {
+
+IqBuffer RebuildConstellation(std::span<const Bit> data_bits,
+                              const phy80211::RateParams& params,
+                              std::uint8_t scrambler_seed,
+                              std::size_t psdu_len) {
+  // Mirror of the transmitter's bit pipeline (transmitter.cpp),
+  // including the post-scrambling zeroing of the 6 tail bits.
+  phy80211::Scrambler scrambler(scrambler_seed);
+  BitVector scrambled = scrambler.Process(data_bits);
+  const std::size_t tail_pos = 16 + psdu_len * 8;
+  for (std::size_t i = 0; i < 6 && tail_pos + i < scrambled.size(); ++i) {
+    scrambled[tail_pos + i] = 0;
+  }
+  const BitVector coded = phy80211::Puncture(
+      phy80211::ConvolutionalEncode(scrambled), params.coding);
+  const BitVector interleaved = phy80211::InterleaveStream(coded, params);
+  return phy80211::MapBits(interleaved, params.modulation);
+}
+
+TagDecodeResult DecodeWifiQuaternary(
+    std::span<const Cplx> reference_constellation,
+    std::span<const Cplx> rx_constellation, std::size_t redundancy) {
+  TagDecodeResult result;
+  if (redundancy == 0) return result;
+  const std::size_t points_per_symbol = phy80211::kNumDataSubcarriers;
+  const std::size_t n =
+      std::min(reference_constellation.size(), rx_constellation.size());
+  const std::size_t num_symbols = n / points_per_symbol;
+  const std::size_t skip = ModulationSkipUnits(RadioType::kWifi);
+  if (num_symbols <= skip) return result;
+  const std::size_t windows = (num_symbols - skip) / redundancy;
+
+  result.bits.reserve(windows * 2);
+  result.diff_fractions.reserve(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    // Mean rotation of the window: sum rx * conj(expected).
+    Cplx acc{0.0, 0.0};
+    const std::size_t first_point =
+        (skip + w * redundancy) * points_per_symbol;
+    const std::size_t count = redundancy * points_per_symbol;
+    for (std::size_t i = 0; i < count && first_point + i < n; ++i) {
+      acc += rx_constellation[first_point + i] *
+             std::conj(reference_constellation[first_point + i]);
+    }
+    const double angle = std::arg(acc);  // [-pi, pi]
+    // Quantize to the nearest multiple of 90°.
+    int dibit = static_cast<int>(std::lround(angle / (kPi / 2.0)));
+    dibit = ((dibit % 4) + 4) % 4;
+    result.bits.push_back(static_cast<Bit>((dibit >> 1) & 1));
+    result.bits.push_back(static_cast<Bit>(dibit & 1));
+    // Evidence: circular distance from the quantized angle, normalized
+    // so 0 = exact and 1 = on the 45° decision boundary.
+    const double residual = std::abs(
+        std::remainder(angle - static_cast<double>(dibit) * (kPi / 2.0),
+                       kTwoPi));
+    result.diff_fractions.push_back(std::min(residual / (kPi / 4.0), 1.0));
+  }
+  return result;
+}
+
+}  // namespace freerider::core

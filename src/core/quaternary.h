@@ -1,0 +1,41 @@
+// Quaternary codeword translation decode — the paper's Eq. 5: the tag
+// steps the phase in 90° increments, sending 2 bits per window on
+// QPSK-or-denser excitations.
+//
+// Bit-level XOR cannot tell +90° from -90° after Viterbi/descrambling,
+// so this decoder works one layer lower: it rebuilds the *expected*
+// constellation from receiver 1's decoded bits (re-running the TX bit
+// pipeline) and measures each window's mean rotation of receiver 2's
+// equalized constellation against it, quantized to {0°, 90°, 180°,
+// 270°}. This is still commodity-receiver data — RxResult exposes the
+// equalized points that any chipset computes internally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+#include "core/xor_decoder.h"
+#include "phy80211/params.h"
+
+namespace freerider::core {
+
+/// Rebuild the transmitted constellation points (48 per OFDM symbol)
+/// from the decoded DATA bits and the frame's scrambler seed — the
+/// reference the rotation detector compares against.
+/// `psdu_len` locates the 6 tail bits, which the transmitter zeroes
+/// *after* scrambling (clause 17.3.5.3) — the rebuild must match.
+IqBuffer RebuildConstellation(std::span<const Bit> data_bits,
+                              const phy80211::RateParams& params,
+                              std::uint8_t scrambler_seed,
+                              std::size_t psdu_len);
+
+/// Decode quaternary tag bits: `reference_constellation` from
+/// RebuildConstellation, `rx_constellation` from the backscatter
+/// receiver (RxConfig::collect_constellation). Returns 2 bits per
+/// window (hi, lo) with dibit = rotation / 90°.
+TagDecodeResult DecodeWifiQuaternary(
+    std::span<const Cplx> reference_constellation,
+    std::span<const Cplx> rx_constellation, std::size_t redundancy);
+
+}  // namespace freerider::core

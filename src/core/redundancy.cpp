@@ -1,0 +1,51 @@
+#include "core/redundancy.h"
+
+#include <array>
+
+namespace freerider::core {
+namespace {
+
+constexpr std::array<std::size_t, 4> kWifiLadder = {4, 8, 16, 32};
+constexpr std::array<std::size_t, 4> kZigbeeLadder = {4, 8, 16, 32};
+constexpr std::array<std::size_t, 4> kBluetoothLadder = {18, 36, 72, 144};
+
+}  // namespace
+
+std::span<const std::size_t> RedundancyLadder(RadioType radio) {
+  switch (radio) {
+    case RadioType::kWifi:
+      return kWifiLadder;
+    case RadioType::kZigbee:
+      return kZigbeeLadder;
+    case RadioType::kBluetooth:
+      return kBluetoothLadder;
+  }
+  return kWifiLadder;
+}
+
+AdaptiveRedundancy::AdaptiveRedundancy(RadioType radio,
+                                       AdaptiveRedundancyConfig config)
+    : config_(config) {
+  const auto ladder = RedundancyLadder(radio);
+  ladder_.assign(ladder.begin(), ladder.end());
+}
+
+std::size_t AdaptiveRedundancy::current() const { return ladder_[level_]; }
+
+void AdaptiveRedundancy::Report(bool success) {
+  if (success) {
+    consecutive_failures_ = 0;
+    if (++consecutive_successes_ >= config_.lower_after_successes) {
+      consecutive_successes_ = 0;
+      if (level_ > 0) --level_;
+    }
+  } else {
+    consecutive_successes_ = 0;
+    if (++consecutive_failures_ >= config_.raise_after_failures) {
+      consecutive_failures_ = 0;
+      if (level_ + 1 < ladder_.size()) ++level_;
+    }
+  }
+}
+
+}  // namespace freerider::core

@@ -1,0 +1,93 @@
+#include "core/tag_frame.h"
+
+#include <stdexcept>
+
+#include "common/bits.h"
+#include "common/crc.h"
+
+namespace freerider::core {
+namespace {
+
+constexpr std::size_t kPreambleBits = 16;
+constexpr std::size_t kLengthBits = 8;
+constexpr std::size_t kCrcBits = 16;
+
+}  // namespace
+
+const BitVector& TagPreamble() {
+  // 0xF0A5: a run-in of ones for AGC-ish settling plus an irregular
+  // tail; autocorrelation sidelobes <= 4/16.
+  static const BitVector preamble = BitsFromString("1111000010100101");
+  return preamble;
+}
+
+std::size_t TagFrameBits(std::size_t payload_bytes) {
+  return kPreambleBits + kLengthBits + payload_bytes * 8 + kCrcBits;
+}
+
+BitVector EncodeTagFrame(std::span<const std::uint8_t> payload) {
+  if (payload.size() > 255) {
+    throw std::invalid_argument("tag frame payload too large");
+  }
+  BitVector bits = TagPreamble();
+
+  Bytes body;
+  body.push_back(static_cast<std::uint8_t>(payload.size()));
+  body.insert(body.end(), payload.begin(), payload.end());
+  const std::uint16_t crc = Crc16Ccitt(body);
+  body.push_back(static_cast<std::uint8_t>(crc & 0xFFu));
+  body.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFFu));
+
+  const BitVector body_bits = BytesToBits(body);
+  bits.insert(bits.end(), body_bits.begin(), body_bits.end());
+  return bits;
+}
+
+std::optional<TagFrame> FindTagFrame(std::span<const Bit> stream,
+                                     std::size_t from_bit) {
+  const BitVector& preamble = TagPreamble();
+  if (stream.size() < TagFrameBits(0)) return std::nullopt;
+  for (std::size_t i = from_bit; i + TagFrameBits(0) <= stream.size(); ++i) {
+    bool match = true;
+    for (std::size_t k = 0; k < preamble.size(); ++k) {
+      if (stream[i + k] != preamble[k]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+
+    const std::size_t len_pos = i + kPreambleBits;
+    std::size_t len = 0;
+    for (std::size_t k = 0; k < kLengthBits; ++k) {
+      len |= static_cast<std::size_t>(stream[len_pos + k]) << k;
+    }
+    if (i + TagFrameBits(len) > stream.size()) continue;  // truncated
+
+    const Bytes body = BitsToBytes(
+        stream.subspan(len_pos, kLengthBits + len * 8 + kCrcBits));
+    TagFrame frame;
+    frame.start_bit = i;
+    frame.payload.assign(body.begin() + 1,
+                         body.begin() + 1 + static_cast<std::ptrdiff_t>(len));
+    const std::uint16_t rx_crc = static_cast<std::uint16_t>(
+        body[1 + len] | (body[2 + len] << 8));
+    const std::uint16_t computed = Crc16Ccitt(
+        std::span<const std::uint8_t>(body.data(), 1 + len));
+    frame.crc_ok = (rx_crc == computed);
+    return frame;
+  }
+  return std::nullopt;
+}
+
+std::vector<TagFrame> ExtractTagFrames(std::span<const Bit> stream) {
+  std::vector<TagFrame> frames;
+  std::size_t pos = 0;
+  while (auto frame = FindTagFrame(stream, pos)) {
+    frames.push_back(*frame);
+    pos = frame->start_bit + TagFrameBits(frame->payload.size());
+  }
+  return frames;
+}
+
+}  // namespace freerider::core

@@ -1,0 +1,44 @@
+// Tag-level framing: the bit format a FreeRider tag embeds inside the
+// backscattered stream. Tag bits arrive as a continuous stream spread
+// over excitation packets, so the frame is self-delimiting:
+//
+//   preamble (16 bits) | length (8 bits, payload bytes) | payload |
+//   CRC-16 over length+payload
+//
+// The decoder scans a reassembled bit stream for frames, which is how
+// goodput (CRC-valid payload bits per second) is measured in the
+// evaluation benches.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/types.h"
+
+namespace freerider::core {
+
+/// 16-bit tag preamble with good autocorrelation.
+const BitVector& TagPreamble();
+
+/// Encode a tag frame (payload up to 255 bytes).
+BitVector EncodeTagFrame(std::span<const std::uint8_t> payload);
+
+struct TagFrame {
+  Bytes payload;
+  std::size_t start_bit = 0;  ///< Offset of the preamble in the stream.
+  bool crc_ok = false;
+};
+
+/// Scan `stream` from `from_bit` for the next frame whose preamble
+/// matches exactly. Returns frames even when the CRC fails (flagged),
+/// mirroring how the evaluation counts corrupt tag packets.
+std::optional<TagFrame> FindTagFrame(std::span<const Bit> stream,
+                                     std::size_t from_bit = 0);
+
+/// Extract every frame in the stream (advancing past each).
+std::vector<TagFrame> ExtractTagFrames(std::span<const Bit> stream);
+
+/// Total encoded length in bits for a payload of n bytes.
+std::size_t TagFrameBits(std::size_t payload_bytes);
+
+}  // namespace freerider::core

@@ -1,0 +1,139 @@
+#include "core/translator.h"
+
+#include <stdexcept>
+
+#include "phy80211/params.h"
+#include "phy802154/params.h"
+#include "phyble/params.h"
+
+namespace freerider::core {
+namespace {
+
+double SampleRate(RadioType radio) {
+  switch (radio) {
+    case RadioType::kWifi:
+      return phy80211::kSampleRateHz;
+    case RadioType::kZigbee:
+      return phy802154::kSampleRateHz;
+    case RadioType::kBluetooth:
+      return phyble::kSampleRateHz;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::size_t DefaultRedundancy(RadioType radio) {
+  switch (radio) {
+    case RadioType::kWifi:
+      return 4;
+    case RadioType::kZigbee:
+      return 4;
+    case RadioType::kBluetooth:
+      return 18;
+  }
+  return 4;
+}
+
+std::size_t SamplesPerCodeword(RadioType radio) {
+  switch (radio) {
+    case RadioType::kWifi:
+      return phy80211::kSymbolLen;  // 80 samples = 4 us
+    case RadioType::kZigbee:
+      return phy802154::kSamplesPerSymbol;  // 128 samples = 16 us
+    case RadioType::kBluetooth:
+      return phyble::kSamplesPerBit;  // 8 samples = 1 us
+  }
+  return 0;
+}
+
+std::size_t ModulationStartSamples(RadioType radio) {
+  switch (radio) {
+    case RadioType::kWifi:
+      // STF (160) + LTF (160) + SIGNAL (80) + the SERVICE-carrying
+      // first data symbol (80).
+      return 480;
+    case RadioType::kZigbee:
+      // SHR (10 symbols) + PHR (2 symbols).
+      return (phy802154::kShrSymbols + 2) * phy802154::kSamplesPerSymbol;
+    case RadioType::kBluetooth:
+      // Preamble + access address + length byte.
+      return (phyble::kPreambleBits + phyble::kAccessAddressBits + 8) *
+             phyble::kSamplesPerBit;
+  }
+  return 0;
+}
+
+std::size_t ModulationSkipUnits(RadioType radio) {
+  switch (radio) {
+    case RadioType::kWifi:
+      return 1;  // first DATA symbol (SERVICE field / scrambler seed)
+    case RadioType::kZigbee:
+      return 2;  // PHR symbols
+    case RadioType::kBluetooth:
+      return 8;  // length-byte bits
+  }
+  return 0;
+}
+
+std::size_t TagBitCapacity(std::size_t waveform_samples,
+                           const TranslateConfig& config) {
+  const std::size_t start = ModulationStartSamples(config.radio);
+  if (waveform_samples <= start) return 0;
+  const std::size_t window =
+      SamplesPerCodeword(config.radio) * config.redundancy;
+  const std::size_t windows = (waveform_samples - start) / window;
+  return windows * (config.quaternary ? 2 : 1);
+}
+
+double TagBitRateBps(const TranslateConfig& config) {
+  const double window_s =
+      static_cast<double>(SamplesPerCodeword(config.radio)) *
+      static_cast<double>(config.redundancy) / SampleRate(config.radio);
+  return (config.quaternary ? 2.0 : 1.0) / window_s;
+}
+
+IqBuffer Translate(std::span<const Cplx> excitation,
+                   std::span<const Bit> tag_bits, const TranslateConfig& config) {
+  if (config.redundancy == 0) {
+    throw std::invalid_argument("Translate: redundancy must be >= 1");
+  }
+  if (config.quaternary && config.radio != RadioType::kWifi) {
+    throw std::invalid_argument("quaternary mode is only defined for OFDM WiFi");
+  }
+  const std::size_t start = ModulationStartSamples(config.radio);
+  const std::size_t window = SamplesPerCodeword(config.radio) * config.redundancy;
+  const std::size_t num_windows =
+      excitation.size() > start ? (excitation.size() - start) / window : 0;
+
+  if (config.radio == RadioType::kBluetooth) {
+    BitVector flags(num_windows, 0);
+    for (std::size_t w = 0; w < num_windows && w < tag_bits.size(); ++w) {
+      flags[w] = tag_bits[w];
+    }
+    return tag::ApplyFskTogglePlan(excitation, start, window, flags,
+                                   phyble::kTagDeltaFHz, SampleRate(config.radio),
+                                   config.conversion_amplitude);
+  }
+
+  tag::PhasePlan plan;
+  plan.start_sample = start;
+  plan.samples_per_window = window;
+  plan.window_phases.resize(num_windows, 0.0);
+  if (config.quaternary) {
+    for (std::size_t w = 0; w < num_windows; ++w) {
+      const std::size_t b0 = 2 * w;
+      const Bit hi = b0 < tag_bits.size() ? tag_bits[b0] : 0;
+      const Bit lo = b0 + 1 < tag_bits.size() ? tag_bits[b0 + 1] : 0;
+      const int dibit = (hi << 1) | lo;  // Eq. 5: theta = dibit * 90°
+      plan.window_phases[w] = static_cast<double>(dibit) * (kPi / 2.0);
+    }
+  } else {
+    for (std::size_t w = 0; w < num_windows && w < tag_bits.size(); ++w) {
+      if (tag_bits[w]) plan.window_phases[w] = kPi;  // Eq. 4
+    }
+  }
+  return tag::ApplyPhasePlan(excitation, plan, config.conversion_amplitude);
+}
+
+}  // namespace freerider::core

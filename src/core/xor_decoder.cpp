@@ -1,0 +1,82 @@
+#include "core/xor_decoder.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace freerider::core {
+namespace {
+
+/// Generic windowed diff decision over two unit-comparable streams.
+/// `unit_diff(i)` returns the number of differing atoms in unit i, and
+/// `atoms_per_unit` normalizes it.
+template <typename DiffFn>
+TagDecodeResult WindowedDecode(std::size_t num_units, std::size_t skip_units,
+                               std::size_t redundancy, double atoms_per_unit,
+                               double threshold, DiffFn unit_diff) {
+  TagDecodeResult result;
+  if (num_units <= skip_units || redundancy == 0) return result;
+  const std::size_t usable = num_units - skip_units;
+  const std::size_t windows = usable / redundancy;
+  result.bits.reserve(windows);
+  result.diff_fractions.reserve(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    double diff = 0.0;
+    for (std::size_t u = 0; u < redundancy; ++u) {
+      diff += unit_diff(skip_units + w * redundancy + u);
+    }
+    const double fraction =
+        diff / (atoms_per_unit * static_cast<double>(redundancy));
+    result.diff_fractions.push_back(fraction);
+    result.bits.push_back(static_cast<Bit>(fraction >= threshold));
+  }
+  return result;
+}
+
+}  // namespace
+
+TagDecodeResult DecodeWifi(std::span<const Bit> reference_bits,
+                           std::span<const Bit> rx_bits,
+                           std::size_t data_bits_per_symbol,
+                           std::size_t redundancy, double threshold) {
+  const std::size_t n = std::min(reference_bits.size(), rx_bits.size());
+  const std::size_t num_symbols = n / data_bits_per_symbol;
+  return WindowedDecode(
+      num_symbols, ModulationSkipUnits(RadioType::kWifi), redundancy,
+      static_cast<double>(data_bits_per_symbol), threshold,
+      [&](std::size_t symbol) {
+        double diff = 0.0;
+        const std::size_t base = symbol * data_bits_per_symbol;
+        for (std::size_t b = 0; b < data_bits_per_symbol; ++b) {
+          diff += (reference_bits[base + b] != rx_bits[base + b]) ? 1.0 : 0.0;
+        }
+        return diff;
+      });
+}
+
+TagDecodeResult DecodeZigbee(std::span<const std::uint8_t> reference_symbols,
+                             std::span<const std::uint8_t> rx_symbols,
+                             std::size_t redundancy, double threshold) {
+  const std::size_t n = std::min(reference_symbols.size(), rx_symbols.size());
+  return WindowedDecode(n, ModulationSkipUnits(RadioType::kZigbee), redundancy,
+                        1.0, threshold, [&](std::size_t s) {
+                          return reference_symbols[s] != rx_symbols[s] ? 1.0
+                                                                       : 0.0;
+                        });
+}
+
+TagDecodeResult DecodeBluetooth(std::span<const Bit> reference_bits,
+                                std::span<const Bit> rx_bits,
+                                std::size_t redundancy, double threshold) {
+  const std::size_t n = std::min(reference_bits.size(), rx_bits.size());
+  return WindowedDecode(n, ModulationSkipUnits(RadioType::kBluetooth),
+                        redundancy, 1.0, threshold, [&](std::size_t b) {
+                          return reference_bits[b] != rx_bits[b] ? 1.0 : 0.0;
+                        });
+}
+
+double TagBitErrorRate(std::span<const Bit> sent, const TagDecodeResult& decoded) {
+  return BitErrorRate(sent, decoded.bits);
+}
+
+}  // namespace freerider::core

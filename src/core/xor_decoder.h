@@ -1,0 +1,61 @@
+// Tag-data extraction from the two receivers' decoded streams —
+// Table 1 of the paper generalized to windowed majority decisions.
+//
+// Receiver 1 (the intended client of the excitation) yields the
+// reference stream; receiver 2 (tuned to the backscatter channel)
+// yields the translated stream. Where the tag sent 0, the streams
+// match; where it sent 1, the window decodes as a *different* valid
+// codeword. One tag bit spans `redundancy` codewords, so the decision
+// per window is "fraction of differing units >= threshold".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/translator.h"
+
+namespace freerider::core {
+
+struct TagDecodeResult {
+  BitVector bits;                      ///< One decoded tag bit per window.
+  std::vector<double> diff_fractions;  ///< Per-window evidence.
+};
+
+/// Exact Table 1 logic for a single binary codeword pair: tag bit =
+/// decoded codeword XOR excitation codeword.
+inline Bit XorDecodeTable1(Bit decoded_codeword, Bit excitation_codeword) {
+  return decoded_codeword ^ excitation_codeword;
+}
+
+/// WiFi: streams are the descrambled DATA bits of the two receivers;
+/// one OFDM symbol holds `data_bits_per_symbol` of them. The first
+/// ModulationSkipUnits(kWifi) symbols are skipped.
+///
+/// `threshold` defaults to 0.25 because a 180° flip inverts all coded
+/// bits of a window but, after Viterbi at the higher QAM rates, only a
+/// structured subset of data bits flips; 25 % differing bits is already
+/// far above the noise-induced diff rate.
+TagDecodeResult DecodeWifi(std::span<const Bit> reference_bits,
+                           std::span<const Bit> rx_bits,
+                           std::size_t data_bits_per_symbol,
+                           std::size_t redundancy, double threshold = 0.25);
+
+/// ZigBee: streams are the decoded 4-bit symbol streams (PHR + PSDU) of
+/// the two receivers. The PHR units are skipped.
+TagDecodeResult DecodeZigbee(std::span<const std::uint8_t> reference_symbols,
+                             std::span<const std::uint8_t> rx_symbols,
+                             std::size_t redundancy, double threshold = 0.5);
+
+/// Bluetooth: streams are the de-whitened PDU bits; the length-byte
+/// bits are skipped.
+TagDecodeResult DecodeBluetooth(std::span<const Bit> reference_bits,
+                                std::span<const Bit> rx_bits,
+                                std::size_t redundancy, double threshold = 0.5);
+
+/// Tag BER helper: compare decoded tag bits against the bits actually
+/// sent (over the shorter length; empty decode counts as all-errors).
+double TagBitErrorRate(std::span<const Bit> sent, const TagDecodeResult& decoded);
+
+}  // namespace freerider::core

@@ -1,0 +1,80 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace freerider::dsp {
+namespace {
+
+// Twiddle factors for a given size, cached across calls. The simulator
+// only ever uses a handful of sizes (64 for OFDM plus test sizes).
+const std::vector<Cplx>& TwiddlesFor(std::size_t n) {
+  static std::map<std::size_t, std::vector<Cplx>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    std::vector<Cplx> tw(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const double angle = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+      tw[k] = {std::cos(angle), std::sin(angle)};
+    }
+    it = cache.emplace(n, std::move(tw)).first;
+  }
+  return it->second;
+}
+
+void BitReversePermute(std::span<Cplx> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+}  // namespace
+
+void Fft(std::span<Cplx> data) {
+  const std::size_t n = data.size();
+  if (!IsPowerOfTwo(n)) throw std::invalid_argument("Fft: size not a power of 2");
+  if (n == 1) return;
+
+  const auto& tw = TwiddlesFor(n);
+  BitReversePermute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t step = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx w = tw[k * step];
+        const Cplx u = data[i + k];
+        const Cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+void Ifft(std::span<Cplx> data) {
+  for (auto& x : data) x = std::conj(x);
+  Fft(data);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x = std::conj(x) * inv_n;
+}
+
+IqBuffer FftCopy(std::span<const Cplx> data) {
+  IqBuffer out(data.begin(), data.end());
+  Fft(out);
+  return out;
+}
+
+IqBuffer IfftCopy(std::span<const Cplx> data) {
+  IqBuffer out(data.begin(), data.end());
+  Ifft(out);
+  return out;
+}
+
+}  // namespace freerider::dsp

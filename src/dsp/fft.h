@@ -1,0 +1,30 @@
+// Radix-2 iterative FFT/IFFT on power-of-two sizes.
+//
+// The 802.11 OFDM modulator/demodulator runs this at N = 64 thousands of
+// times per packet, so the implementation precomputes twiddles per size
+// and works in place.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace freerider::dsp {
+
+/// In-place forward FFT. `data.size()` must be a power of two.
+void Fft(std::span<Cplx> data);
+
+/// In-place inverse FFT including the 1/N normalization, so
+/// Ifft(Fft(x)) == x.
+void Ifft(std::span<Cplx> data);
+
+/// Out-of-place conveniences.
+IqBuffer FftCopy(std::span<const Cplx> data);
+IqBuffer IfftCopy(std::span<const Cplx> data);
+
+/// True iff n is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace freerider::dsp

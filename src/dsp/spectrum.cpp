@@ -1,0 +1,102 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace freerider::dsp {
+
+double Spectrum::FrequencyOf(std::size_t bin) const {
+  const std::size_t n = psd_db.size();
+  const auto signed_bin = static_cast<std::ptrdiff_t>(bin) -
+                          (bin >= n / 2 ? static_cast<std::ptrdiff_t>(n) : 0);
+  return static_cast<double>(signed_bin) * bin_hz;
+}
+
+double Spectrum::PowerAtDb(double freq_hz) const {
+  const std::size_t n = psd_db.size();
+  auto bin = static_cast<std::ptrdiff_t>(std::llround(freq_hz / bin_hz));
+  bin = ((bin % static_cast<std::ptrdiff_t>(n)) + static_cast<std::ptrdiff_t>(n)) %
+        static_cast<std::ptrdiff_t>(n);
+  return psd_db[static_cast<std::size_t>(bin)];
+}
+
+Spectrum EstimateSpectrum(std::span<const Cplx> signal, double sample_rate_hz,
+                          const SpectrumConfig& config) {
+  if (!IsPowerOfTwo(config.fft_size)) {
+    throw std::invalid_argument("Spectrum: fft_size must be a power of two");
+  }
+  if (signal.size() < config.fft_size) {
+    throw std::invalid_argument("Spectrum: signal shorter than one segment");
+  }
+  const std::size_t n = config.fft_size;
+  const auto step = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(n) * (1.0 - std::clamp(config.overlap, 0.0, 0.9))));
+
+  std::vector<double> window(n, 1.0);
+  if (config.hann_window) {
+    for (std::size_t i = 0; i < n; ++i) {
+      window[i] = 0.5 - 0.5 * std::cos(kTwoPi * static_cast<double>(i) /
+                                       static_cast<double>(n - 1));
+    }
+  }
+
+  std::vector<double> acc(n, 0.0);
+  std::size_t segments = 0;
+  for (std::size_t start = 0; start + n <= signal.size(); start += step) {
+    IqBuffer seg(n);
+    for (std::size_t i = 0; i < n; ++i) seg[i] = signal[start + i] * window[i];
+    Fft(seg);
+    for (std::size_t i = 0; i < n; ++i) acc[i] += std::norm(seg[i]);
+    ++segments;
+  }
+
+  Spectrum out;
+  out.sample_rate_hz = sample_rate_hz;
+  out.bin_hz = sample_rate_hz / static_cast<double>(n);
+  out.psd_db.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = acc[i] / static_cast<double>(segments);
+    out.psd_db[i] = 10.0 * std::log10(p + 1e-30);
+  }
+  return out;
+}
+
+std::string RenderSpectrum(const Spectrum& spectrum, std::size_t rows,
+                           std::size_t width) {
+  const std::size_t n = spectrum.psd_db.size();
+  // Reorder to [-fs/2, fs/2) and bucket into `rows`.
+  std::vector<double> ordered(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ordered[i] = spectrum.psd_db[(i + n / 2) % n];
+  }
+  const double peak = *std::max_element(ordered.begin(), ordered.end());
+  const double floor = peak - 60.0;
+
+  std::ostringstream out;
+  const std::size_t per_row = std::max<std::size_t>(1, n / rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t begin = r * per_row;
+    if (begin >= n) break;
+    const std::size_t end = std::min(n, begin + per_row);
+    double best = -1e30;
+    for (std::size_t i = begin; i < end; ++i) best = std::max(best, ordered[i]);
+    const double freq =
+        (static_cast<double>(begin + end) / 2.0 - static_cast<double>(n) / 2.0) *
+        spectrum.bin_hz;
+    const double norm = std::clamp((best - floor) / (peak - floor), 0.0, 1.0);
+    const auto bar = static_cast<std::size_t>(norm * static_cast<double>(width));
+    char line[160];
+    std::snprintf(line, sizeof(line), "%9.2f kHz |%-*s| %6.1f dB\n",
+                  freq / 1e3, static_cast<int>(width),
+                  std::string(bar, '#').c_str(), best - peak);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace freerider::dsp

@@ -1,0 +1,40 @@
+// Power spectral density estimation (Welch's method) — used by the
+// spectrum_explorer example to *show* codeword translation and by tests
+// that assert where backscatter energy lands (sidebands, harmonics,
+// channel shifts).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace freerider::dsp {
+
+struct SpectrumConfig {
+  std::size_t fft_size = 256;   ///< Power of two.
+  double overlap = 0.5;         ///< Segment overlap fraction [0, 0.9].
+  bool hann_window = true;
+};
+
+struct Spectrum {
+  std::vector<double> psd_db;   ///< fft_size bins, dB (relative).
+  double bin_hz = 0.0;
+  double sample_rate_hz = 0.0;
+
+  /// Frequency of bin i, mapped to [-fs/2, fs/2).
+  double FrequencyOf(std::size_t bin) const;
+  /// PSD (dB) at the bin nearest `freq_hz`.
+  double PowerAtDb(double freq_hz) const;
+};
+
+/// Welch PSD estimate of `signal` sampled at `sample_rate_hz`.
+Spectrum EstimateSpectrum(std::span<const Cplx> signal, double sample_rate_hz,
+                          const SpectrumConfig& config = {});
+
+/// Render the spectrum as ASCII art rows ("freq | bar | dB"), `rows`
+/// frequency buckets across the full span, bars normalized to the peak.
+std::string RenderSpectrum(const Spectrum& spectrum, std::size_t rows = 24,
+                           std::size_t width = 48);
+
+}  // namespace freerider::dsp

@@ -1,0 +1,76 @@
+#include "mac/ambient_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mac/plm.h"
+
+namespace freerider::mac {
+
+double SampleAmbientDuration(const AmbientTrafficConfig& config, Rng& rng) {
+  const double u = rng.NextDouble();
+  auto uniform = [&](double lo, double hi) {
+    return lo + rng.NextDouble() * (hi - lo);
+  };
+  if (u < config.short_fraction) {
+    return uniform(config.short_min_s, config.short_max_s);
+  }
+  if (u < config.short_fraction + config.long_fraction) {
+    return uniform(config.long_min_s, config.long_max_s);
+  }
+  return uniform(config.valley_min_s, config.valley_max_s);
+}
+
+std::vector<tag::AirPulse> GenerateAmbientTraffic(
+    const AmbientTrafficConfig& config, double duration_s, Rng& rng) {
+  std::vector<tag::AirPulse> pulses;
+  double t = 0.0;
+  while (t < duration_s) {
+    // Exponential inter-arrival gap.
+    double u = rng.NextDouble();
+    while (u <= 1e-12) u = rng.NextDouble();
+    t += -config.mean_gap_s * std::log(u);
+    const double d = SampleAmbientDuration(config, rng);
+    if (t + d > duration_s) break;
+    pulses.push_back({t, d, config.power_dbm});
+    t += d;
+  }
+  return pulses;
+}
+
+std::vector<tag::AirPulse> MergePulses(std::vector<tag::AirPulse> pulses) {
+  std::sort(pulses.begin(), pulses.end(),
+            [](const tag::AirPulse& a, const tag::AirPulse& b) {
+              return a.start_s < b.start_s;
+            });
+  std::vector<tag::AirPulse> merged;
+  for (const tag::AirPulse& p : pulses) {
+    if (!merged.empty() &&
+        p.start_s <= merged.back().start_s + merged.back().duration_s) {
+      tag::AirPulse& last = merged.back();
+      const double end = std::max(last.start_s + last.duration_s,
+                                  p.start_s + p.duration_s);
+      last.duration_s = end - last.start_s;
+      last.power_dbm = std::max(last.power_dbm, p.power_dbm);
+    } else {
+      merged.push_back(p);
+    }
+  }
+  return merged;
+}
+
+double AmbientFalseMatchProbability(const AmbientTrafficConfig& config,
+                                    double l0_s, double l1_s,
+                                    double tolerance_s, Rng& rng,
+                                    std::size_t samples) {
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double d = SampleAmbientDuration(config, rng);
+    if (std::abs(d - l0_s) <= tolerance_s || std::abs(d - l1_s) <= tolerance_s) {
+      ++matches;
+    }
+  }
+  return static_cast<double>(matches) / static_cast<double>(samples);
+}
+
+}  // namespace freerider::mac

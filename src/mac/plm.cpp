@@ -1,0 +1,78 @@
+#include "mac/plm.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace freerider::mac {
+
+double PlmBitRateBps(const PlmConfig& config) {
+  const double mean_bit_s = 0.5 * (config.l0_s + config.l1_s) + config.gap_s;
+  return 1.0 / mean_bit_s;
+}
+
+std::vector<tag::AirPulse> EncodePlm(std::span<const Bit> bits, double start_s,
+                                     double power_dbm, const PlmConfig& config) {
+  std::vector<tag::AirPulse> pulses;
+  pulses.reserve(bits.size());
+  double t = start_s;
+  for (Bit b : bits) {
+    const double duration = b ? config.l1_s : config.l0_s;
+    pulses.push_back({t, duration, power_dbm});
+    t += duration + config.gap_s;
+  }
+  return pulses;
+}
+
+std::optional<Bit> ClassifyPulse(const tag::MeasuredPulse& pulse,
+                                 const PlmConfig& config) {
+  if (std::abs(pulse.duration_s - config.l0_s) <= config.tolerance_s) return 0;
+  if (std::abs(pulse.duration_s - config.l1_s) <= config.tolerance_s) return 1;
+  return std::nullopt;
+}
+
+BitVector DecodePlm(std::span<const tag::MeasuredPulse> pulses,
+                    const PlmConfig& config) {
+  BitVector bits;
+  bits.reserve(pulses.size());
+  for (const auto& p : pulses) {
+    if (auto b = ClassifyPulse(p, config)) bits.push_back(*b);
+  }
+  return bits;
+}
+
+const BitVector& PlmPreamble() {
+  static const BitVector preamble = BitsFromString("10110001");
+  return preamble;
+}
+
+BitVector BuildPlmMessage(std::span<const Bit> payload) {
+  BitVector message = PlmPreamble();
+  message.insert(message.end(), payload.begin(), payload.end());
+  return message;
+}
+
+PlmMessageReceiver::PlmMessageReceiver(std::size_t payload_bits)
+    : payload_bits_(payload_bits), history_(PlmPreamble().size()) {}
+
+std::optional<BitVector> PlmMessageReceiver::PushBit(Bit bit) {
+  if (collecting_) {
+    pending_.push_back(bit);
+    if (pending_.size() == payload_bits_) {
+      collecting_ = false;
+      BitVector message = std::move(pending_);
+      pending_.clear();
+      history_.Clear();
+      return message;
+    }
+    return std::nullopt;
+  }
+  history_.Push(bit);
+  if (history_.full() && history_.EndsWith(PlmPreamble())) {
+    collecting_ = true;
+    pending_.clear();
+  }
+  return std::nullopt;
+}
+
+}  // namespace freerider::mac

@@ -1,0 +1,71 @@
+// Packet-length modulation (paper §2.4.2): the transmitter-to-tag
+// downlink. A 0 bit is a packet of duration L0, a 1 bit a packet of
+// duration L1; the tag measures durations with its envelope detector
+// and ignores pulses that match neither (ambient traffic). Messages are
+// delimited by the PLM preamble, matched against a circular buffer of
+// received bits (paper §2.4.1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "common/types.h"
+#include "tag/envelope_detector.h"
+
+namespace freerider::mac {
+
+struct PlmConfig {
+  /// Bit durations sit in the valley of the ambient packet-duration
+  /// distribution (Fig. 3): most traffic is <500 µs or >1.5 ms.
+  double l0_s = 700e-6;
+  double l1_s = 1100e-6;
+  /// Pulse-width acceptance bound (the paper uses 25 µs).
+  double tolerance_s = 25e-6;
+  /// Idle gap between PLM packets (DIFS-ish).
+  double gap_s = 60e-6;
+};
+
+/// Approximate PLM downlink bit rate for a config.
+double PlmBitRateBps(const PlmConfig& config = {});
+
+/// Encode message bits as a pulse train starting at `start_s` with the
+/// given received power at the tag.
+std::vector<tag::AirPulse> EncodePlm(std::span<const Bit> bits, double start_s,
+                                     double power_dbm,
+                                     const PlmConfig& config = {});
+
+/// Classify one measured pulse: 0, 1, or nullopt (noise / ambient).
+std::optional<Bit> ClassifyPulse(const tag::MeasuredPulse& pulse,
+                                 const PlmConfig& config = {});
+
+/// Decode a train of measured pulses into bits, dropping unclassified
+/// pulses (this is what makes PLM robust to ambient traffic).
+BitVector DecodePlm(std::span<const tag::MeasuredPulse> pulses,
+                    const PlmConfig& config = {});
+
+/// The PLM message preamble (8 bits).
+const BitVector& PlmPreamble();
+
+/// Tag-side message receiver: push decoded bits one at a time; when the
+/// newest bits match the preamble, the following `payload_bits` bits
+/// form a message.
+class PlmMessageReceiver {
+ public:
+  explicit PlmMessageReceiver(std::size_t payload_bits);
+
+  /// Returns the completed message payload when one finishes.
+  std::optional<BitVector> PushBit(Bit bit);
+
+ private:
+  std::size_t payload_bits_;
+  RingBuffer<Bit> history_;
+  bool collecting_ = false;
+  BitVector pending_;
+};
+
+/// Build a full PLM message: preamble + payload bits.
+BitVector BuildPlmMessage(std::span<const Bit> payload);
+
+}  // namespace freerider::mac

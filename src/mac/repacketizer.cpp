@@ -1,0 +1,48 @@
+#include "mac/repacketizer.h"
+
+#include <algorithm>
+
+#include "phy80211/transmitter.h"
+
+namespace freerider::mac {
+
+std::size_t PayloadBytesForBit(Bit bit, const RepacketizerConfig& config) {
+  const double duration = bit ? config.plm.l1_s : config.plm.l0_s;
+  const std::size_t psdu =
+      phy80211::PsduBytesForDuration(duration, config.rate);
+  // PSDU includes the 4-byte FCS the PHY appends.
+  return psdu > 4 ? psdu - 4 : 1;
+}
+
+RepacketizeResult PlanFrames(std::size_t pending_bytes,
+                             std::span<const Bit> plm_bits,
+                             const RepacketizerConfig& config) {
+  RepacketizeResult result;
+  result.frames.reserve(plm_bits.size());
+  std::size_t remaining = pending_bytes;
+  for (Bit bit : plm_bits) {
+    PlannedFrame frame;
+    frame.plm_bit = bit;
+    frame.payload_bytes = PayloadBytesForBit(bit, config);
+    const std::size_t user = std::min(remaining, frame.payload_bytes);
+    remaining -= user;
+    result.user_bytes_carried += user;
+    if (user < frame.payload_bytes) {
+      frame.padded = true;
+      result.pad_bytes += frame.payload_bytes - user;
+    }
+    result.frames.push_back(frame);
+  }
+  return result;
+}
+
+double ProductiveFraction(const RepacketizeResult& result,
+                          const RepacketizerConfig& config) {
+  (void)config;
+  const std::size_t total = result.user_bytes_carried + result.pad_bytes;
+  if (total == 0) return 0.0;
+  return static_cast<double>(result.user_bytes_carried) /
+         static_cast<double>(total);
+}
+
+}  // namespace freerider::mac

@@ -1,0 +1,54 @@
+// Productive packet-length modulation (paper §2.4.2):
+//
+//   "To send the scheduling messages, the transmitter could generate
+//    dummy packets, but a better way is to buffer existing traffic
+//    before sending it to the NIC, and then re-order or re-packetize to
+//    get the necessary sequence of L0s and L1s."
+//
+// The re-packetizer takes the transmitter's pending byte stream and a
+// PLM bit sequence and cuts the stream into real 802.11 data frames
+// whose airtimes equal L0/L1 — the control channel costs (almost) no
+// extra airtime because the bytes were going out anyway.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "mac/plm.h"
+#include "phy80211/params.h"
+
+namespace freerider::mac {
+
+struct RepacketizerConfig {
+  PlmConfig plm;
+  phy80211::Rate rate = phy80211::Rate::k6Mbps;
+};
+
+struct PlannedFrame {
+  std::size_t payload_bytes = 0;  ///< User bytes carried (pre-FCS).
+  Bit plm_bit = 0;                ///< The bit this frame's length encodes.
+  bool padded = false;            ///< True if dummy fill was needed.
+};
+
+struct RepacketizeResult {
+  std::vector<PlannedFrame> frames;
+  std::size_t user_bytes_carried = 0;  ///< Real traffic moved.
+  std::size_t pad_bytes = 0;           ///< Dummy fill (traffic ran out).
+};
+
+/// Cut `pending_bytes` of queued traffic into frames whose airtimes
+/// encode `plm_bits`. When the queue runs dry mid-message, frames are
+/// padded (the "dummy packet" fallback the paper mentions).
+RepacketizeResult PlanFrames(std::size_t pending_bytes,
+                             std::span<const Bit> plm_bits,
+                             const RepacketizerConfig& config = {});
+
+/// The payload size whose frame airtime encodes `bit` at `rate`.
+std::size_t PayloadBytesForBit(Bit bit, const RepacketizerConfig& config = {});
+
+/// Fraction of the PLM message airtime that carried real user traffic
+/// (1.0 = fully productive control channel).
+double ProductiveFraction(const RepacketizeResult& result,
+                          const RepacketizerConfig& config = {});
+
+}  // namespace freerider::mac

@@ -1,0 +1,117 @@
+#include "mac/slotted_aloha.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace freerider::mac {
+
+double MacTimingConfig::ControlDurationS() const {
+  const std::size_t bits = PlmPreamble().size() + control_payload_bits;
+  return static_cast<double>(bits) / PlmBitRateBps(plm);
+}
+
+double MacTimingConfig::RoundDurationS(std::size_t slots) const {
+  return ControlDurationS() + static_cast<double>(slots) * slot_s +
+         inter_round_gap_s;
+}
+
+SlotScheduler::SlotScheduler(SlotAdjustConfig config)
+    : config_(config), slots_(config.initial_slots) {}
+
+void SlotScheduler::ReportRound(std::size_t singles, std::size_t collisions,
+                                std::size_t empties) {
+  (void)empties;
+  // Schoute's backlog estimate for frames sized ~n: each collision
+  // hides ~2.39 tags on average.
+  const double estimate =
+      static_cast<double>(singles) + 2.39 * static_cast<double>(collisions);
+  const auto next = static_cast<std::size_t>(std::lround(estimate));
+  slots_ = std::clamp(next, config_.min_slots, config_.max_slots);
+}
+
+FramedSlottedAlohaSimulator::FramedSlottedAlohaSimulator(CampaignConfig config)
+    : config_(config), scheduler_(config.adjust) {}
+
+RoundResult FramedSlottedAlohaSimulator::RunRound(std::size_t num_tags,
+                                                  Rng& rng) {
+  RoundResult result;
+  result.slots = scheduler_.current_slots();
+  result.tag_succeeded.assign(num_tags, false);
+
+  std::vector<int> occupancy(result.slots, 0);
+  std::vector<std::size_t> choice(num_tags, 0);
+  std::vector<bool> heard(num_tags, false);
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    heard[t] = rng.NextDouble() < config_.plm_delivery_probability;
+    if (!heard[t]) continue;
+    choice[t] = rng.NextBelow(result.slots);
+    ++occupancy[choice[t]];
+  }
+  for (int occ : occupancy) {
+    if (occ == 0) {
+      ++result.empties;
+    } else if (occ == 1) {
+      ++result.singles;
+    } else {
+      ++result.collisions;
+    }
+  }
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    result.tag_succeeded[t] = heard[t] && occupancy[choice[t]] == 1;
+  }
+  result.duration_s = config_.timing.RoundDurationS(result.slots);
+  scheduler_.ReportRound(result.singles, result.collisions, result.empties);
+  return result;
+}
+
+CampaignStats FramedSlottedAlohaSimulator::RunCampaign(std::size_t num_tags,
+                                                       std::size_t num_rounds,
+                                                       Rng& rng) {
+  CampaignStats stats;
+  std::vector<double> per_tag_bits(num_tags, 0.0);
+  double total_time = 0.0;
+  double slot_sum = 0.0;
+  for (std::size_t r = 0; r < num_rounds; ++r) {
+    const RoundResult round = RunRound(num_tags, rng);
+    total_time += round.duration_s;
+    slot_sum += static_cast<double>(round.slots);
+    for (std::size_t t = 0; t < num_tags; ++t) {
+      if (round.tag_succeeded[t]) {
+        per_tag_bits[t] +=
+            static_cast<double>(config_.timing.slot_payload_bits);
+      }
+    }
+  }
+  stats.total_time_s = total_time;
+  stats.mean_slots = slot_sum / static_cast<double>(num_rounds);
+  stats.per_tag_throughput_bps.resize(num_tags);
+  double total_bits = 0.0;
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    stats.per_tag_throughput_bps[t] = per_tag_bits[t] / total_time;
+    total_bits += per_tag_bits[t];
+  }
+  stats.aggregate_throughput_bps = total_bits / total_time;
+  stats.jain_fairness = JainFairnessIndex(stats.per_tag_throughput_bps);
+  return stats;
+}
+
+double ExpectedAlohaThroughputBps(std::size_t num_tags,
+                                  const MacTimingConfig& timing) {
+  // Frame sized to the population: K = n slots. Expected singles =
+  // n (1 - 1/n)^(n-1).
+  const double n = static_cast<double>(std::max<std::size_t>(num_tags, 1));
+  const double singles =
+      n * std::pow(1.0 - 1.0 / n, std::max(0.0, n - 1.0));
+  const double round_s = timing.RoundDurationS(num_tags);
+  return singles * static_cast<double>(timing.slot_payload_bits) / round_s;
+}
+
+double TdmThroughputBps(std::size_t num_tags, const MacTimingConfig& timing) {
+  const double round_s = timing.RoundDurationS(num_tags);
+  return static_cast<double>(num_tags) *
+         static_cast<double>(timing.slot_payload_bits) / round_s;
+}
+
+}  // namespace freerider::mac

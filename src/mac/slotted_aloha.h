@@ -1,0 +1,112 @@
+// Framed Slotted Aloha MAC (paper §2.4.1).
+//
+// The transmitter coordinates rounds over the PLM downlink: each round
+// it announces the number of slots; every tag that heard the
+// announcement picks a uniformly random slot and backscatters its frame
+// there. Slots with exactly one transmitter succeed; collisions carry
+// nothing. After each round the coordinator re-estimates the tag
+// population from (singles, collisions, empties) and resizes the frame
+// — which is what keeps fairness high as tags come and go and why the
+// paper prefers this over a stochastic TDM (no association needed).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "mac/plm.h"
+
+namespace freerider::mac {
+
+struct MacTimingConfig {
+  /// One uplink slot: a tag frame's airtime plus guard.
+  double slot_s = 6e-3;
+  /// Tag payload bits delivered by one successful slot.
+  std::size_t slot_payload_bits = 256;
+  /// Control message payload (slot-count + round sequence).
+  std::size_t control_payload_bits = 16;
+  /// Idle gap after each round (lets other users at the channel,
+  /// paper: "each round can have an arbitrary amount of delay").
+  double inter_round_gap_s = 2e-3;
+  PlmConfig plm;
+
+  /// Airtime of one round's control message.
+  double ControlDurationS() const;
+  /// Total airtime of a round with `slots` slots.
+  double RoundDurationS(std::size_t slots) const;
+};
+
+struct SlotAdjustConfig {
+  std::size_t initial_slots = 8;
+  std::size_t min_slots = 4;
+  std::size_t max_slots = 256;
+};
+
+/// Frame-size controller: Schoute's estimator (n̂ = singles + 2.39 ·
+/// collisions) with the next frame sized to the estimate, clamped.
+class SlotScheduler {
+ public:
+  explicit SlotScheduler(SlotAdjustConfig config = {});
+
+  std::size_t current_slots() const { return slots_; }
+
+  void ReportRound(std::size_t singles, std::size_t collisions,
+                   std::size_t empties);
+
+ private:
+  SlotAdjustConfig config_;
+  std::size_t slots_;
+};
+
+struct RoundResult {
+  std::size_t slots = 0;
+  std::size_t singles = 0;
+  std::size_t collisions = 0;
+  std::size_t empties = 0;
+  std::vector<bool> tag_succeeded;  ///< Per tag.
+  double duration_s = 0.0;
+};
+
+struct CampaignConfig {
+  MacTimingConfig timing;
+  SlotAdjustConfig adjust;
+  /// Probability a tag decodes the round's PLM announcement (distance
+  /// dependent; tags that miss it sit the round out).
+  double plm_delivery_probability = 0.95;
+};
+
+struct CampaignStats {
+  double aggregate_throughput_bps = 0.0;
+  double jain_fairness = 0.0;
+  std::vector<double> per_tag_throughput_bps;
+  double mean_slots = 0.0;
+  double total_time_s = 0.0;
+};
+
+class FramedSlottedAlohaSimulator {
+ public:
+  explicit FramedSlottedAlohaSimulator(CampaignConfig config = {});
+
+  /// Simulate one round for `num_tags` tags.
+  RoundResult RunRound(std::size_t num_tags, Rng& rng);
+
+  /// Simulate `num_rounds` rounds and aggregate.
+  CampaignStats RunCampaign(std::size_t num_tags, std::size_t num_rounds,
+                            Rng& rng);
+
+  const SlotScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  CampaignConfig config_;
+  SlotScheduler scheduler_;
+};
+
+/// Analytic expectation of aggregate Aloha throughput with frame size
+/// matched to the population (the "Simulated" curve of Fig. 17a).
+double ExpectedAlohaThroughputBps(std::size_t num_tags,
+                                  const MacTimingConfig& timing);
+
+/// Collision-free TDM reference (the paper's "~40 kbps" asymptote).
+double TdmThroughputBps(std::size_t num_tags, const MacTimingConfig& timing);
+
+}  // namespace freerider::mac

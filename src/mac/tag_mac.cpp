@@ -1,0 +1,58 @@
+#include "mac/tag_mac.h"
+
+namespace freerider::mac {
+
+std::optional<RoundAnnouncement> ParseAnnouncement(const BitVector& payload) {
+  if (payload.size() != 16) return std::nullopt;
+  RoundAnnouncement a;
+  for (int i = 0; i < 8; ++i) {
+    a.slots |= static_cast<std::size_t>(payload[static_cast<std::size_t>(i)]) << i;
+  }
+  for (int i = 0; i < 8; ++i) {
+    a.sequence |= static_cast<std::uint8_t>(payload[8 + static_cast<std::size_t>(i)]
+                                            << i);
+  }
+  if (a.slots == 0) return std::nullopt;
+  return a;
+}
+
+BitVector BuildAnnouncement(const RoundAnnouncement& announcement) {
+  BitVector payload(16, 0);
+  for (int i = 0; i < 8; ++i) {
+    payload[static_cast<std::size_t>(i)] =
+        static_cast<Bit>((announcement.slots >> i) & 1u);
+    payload[8 + static_cast<std::size_t>(i)] =
+        static_cast<Bit>((announcement.sequence >> i) & 1u);
+  }
+  return payload;
+}
+
+TagController::TagController(std::uint64_t seed, PlmConfig plm_config)
+    : plm_config_(plm_config), receiver_(16), rng_(seed) {}
+
+void TagController::OnPulse(const tag::MeasuredPulse& pulse) {
+  if (state_ != TagState::kListening) return;  // deaf while transmitting
+  const auto bit = ClassifyPulse(pulse, plm_config_);
+  if (!bit.has_value()) return;  // ambient traffic, ignored
+  const auto message = receiver_.PushBit(*bit);
+  if (!message.has_value()) return;
+  const auto announcement = ParseAnnouncement(*message);
+  if (!announcement.has_value()) return;
+  round_ = announcement;
+  chosen_slot_ = rng_.NextBelow(announcement->slots);
+  slot_cursor_ = 0;
+  state_ = TagState::kSlotWait;
+}
+
+bool TagController::OnSlotBoundary() {
+  if (state_ != TagState::kSlotWait || !round_.has_value()) return false;
+  const bool mine = slot_cursor_ == chosen_slot_;
+  ++slot_cursor_;
+  if (slot_cursor_ >= round_->slots) {
+    state_ = TagState::kListening;
+    round_.reset();
+  }
+  return mine;
+}
+
+}  // namespace freerider::mac

@@ -1,0 +1,67 @@
+// The tag's control firmware: the state machine the AGLN250 FPGA runs
+// (paper §2.4.1). The tag has no receiver beyond its envelope detector,
+// so everything it knows arrives as measured pulse durations:
+//
+//   LISTENING      decode PLM bits, match the preamble in the circular
+//                  buffer, collect the round announcement
+//   SLOT_WAIT      announcement received: a random slot was drawn;
+//                  count slots as they pass
+//   (backscatter)  in its slot the controller asserts ShouldBackscatter
+//                  and the codeword translator runs for one slot
+//
+// After the round the controller returns to LISTENING, matching the
+// Framed-Slotted-Aloha coordinator on the transmitter side.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "mac/plm.h"
+#include "tag/envelope_detector.h"
+
+namespace freerider::mac {
+
+enum class TagState { kListening, kSlotWait };
+
+struct RoundAnnouncement {
+  std::size_t slots = 0;
+  std::uint8_t sequence = 0;
+};
+
+/// Parse a 16-bit PLM control payload: slot count (8) | sequence (8).
+std::optional<RoundAnnouncement> ParseAnnouncement(const BitVector& payload);
+
+/// Build the 16-bit control payload the coordinator sends.
+BitVector BuildAnnouncement(const RoundAnnouncement& announcement);
+
+class TagController {
+ public:
+  explicit TagController(std::uint64_t seed,
+                         PlmConfig plm_config = {});
+
+  /// Feed one measured pulse from the envelope detector.
+  void OnPulse(const tag::MeasuredPulse& pulse);
+
+  /// Advance to the next slot of the announced round. Returns true if
+  /// the tag backscatters in that slot. Returns to LISTENING after the
+  /// round's last slot.
+  bool OnSlotBoundary();
+
+  TagState state() const { return state_; }
+  const std::optional<RoundAnnouncement>& current_round() const {
+    return round_;
+  }
+  std::size_t chosen_slot() const { return chosen_slot_; }
+
+ private:
+  PlmConfig plm_config_;
+  PlmMessageReceiver receiver_;
+  Rng rng_;
+  TagState state_ = TagState::kListening;
+  std::optional<RoundAnnouncement> round_;
+  std::size_t chosen_slot_ = 0;
+  std::size_t slot_cursor_ = 0;
+};
+
+}  // namespace freerider::mac

@@ -1,0 +1,103 @@
+#include "mac/tdm.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace freerider::mac {
+
+TdmSimulator::TdmSimulator(TdmConfig config) : config_(config) {}
+
+std::size_t TdmSimulator::associated_count() const {
+  return static_cast<std::size_t>(
+      std::count(associated_.begin(), associated_.end(), true));
+}
+
+TdmRoundResult TdmSimulator::RunRound(std::size_t num_tags, Rng& rng) {
+  if (associated_.size() != num_tags) {
+    associated_.assign(num_tags, false);
+    per_tag_bits_.assign(num_tags, 0.0);
+  }
+  TdmRoundResult result;
+  result.assigned_slots = associated_count();
+  // The coordinator sizes the join window to its backlog estimate
+  // (inferred from join-slot collisions), like the Aloha frame sizing:
+  // a fixed window would stall under a burst of joiners.
+  result.join_slots =
+      std::max(config_.join_slots, num_tags - result.assigned_slots);
+
+  // Which tags hear this round's announcement.
+  std::vector<bool> heard(num_tags);
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    heard[t] = rng.NextDouble() < config_.plm_delivery_probability;
+  }
+
+  // Assigned tags transmit in their dedicated slots (no collisions).
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    if (associated_[t] && heard[t]) {
+      ++result.data_successes;
+      per_tag_bits_[t] += static_cast<double>(config_.timing.slot_payload_bits);
+    }
+  }
+
+  // Unassociated tags contend in the join slots.
+  std::vector<int> join_occupancy(result.join_slots, 0);
+  std::vector<std::size_t> join_choice(num_tags, 0);
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    if (associated_[t] || !heard[t] || result.join_slots == 0) continue;
+    join_choice[t] = rng.NextBelow(result.join_slots);
+    ++join_occupancy[join_choice[t]];
+  }
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    if (associated_[t] || !heard[t] || result.join_slots == 0) continue;
+    if (join_occupancy[join_choice[t]] == 1) {
+      associated_[t] = true;
+      ++result.new_associations;
+    }
+  }
+
+  result.duration_s = config_.timing.ControlDurationS() +
+                      static_cast<double>(result.assigned_slots +
+                                          result.join_slots) *
+                          config_.timing.slot_s +
+                      config_.timing.inter_round_gap_s;
+  return result;
+}
+
+TdmCampaignStats TdmSimulator::RunCampaign(std::size_t num_tags,
+                                           std::size_t num_rounds, Rng& rng) {
+  associated_.assign(num_tags, false);
+  per_tag_bits_.assign(num_tags, 0.0);
+  TdmCampaignStats stats;
+  double total_time = 0.0;
+  for (std::size_t r = 0; r < num_rounds; ++r) {
+    const TdmRoundResult round = RunRound(num_tags, rng);
+    total_time += round.duration_s;
+    if (stats.rounds_to_full_association == 0 &&
+        associated_count() == num_tags) {
+      stats.rounds_to_full_association = r + 1;
+    }
+  }
+  stats.total_time_s = total_time;
+  stats.per_tag_throughput_bps.resize(num_tags);
+  double total_bits = 0.0;
+  for (std::size_t t = 0; t < num_tags; ++t) {
+    stats.per_tag_throughput_bps[t] = per_tag_bits_[t] / total_time;
+    total_bits += per_tag_bits_[t];
+  }
+  stats.aggregate_throughput_bps = total_bits / total_time;
+  stats.jain_fairness = JainFairnessIndex(stats.per_tag_throughput_bps);
+  return stats;
+}
+
+double SteadyStateTdmThroughputBps(std::size_t num_tags,
+                                   const TdmConfig& config) {
+  const double round_s =
+      config.timing.ControlDurationS() +
+      static_cast<double>(num_tags + config.join_slots) * config.timing.slot_s +
+      config.timing.inter_round_gap_s;
+  return config.plm_delivery_probability * static_cast<double>(num_tags) *
+         static_cast<double>(config.timing.slot_payload_bits) / round_s;
+}
+
+}  // namespace freerider::mac

@@ -1,0 +1,66 @@
+// Time-division MAC — the alternative the paper sketches in §4.5:
+// "More data-intensive applications would benefit from a time division
+// scheme, which would be possible to implement in FreeRider".
+//
+// Tags join through a small contention window (mini slotted Aloha) and
+// are then assigned a dedicated slot every round — no collisions in
+// steady state, so aggregate throughput approaches the TDM bound of
+// Fig. 17a (~40 kb/s) at the cost of an association handshake and no
+// graceful handling of unannounced churn.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "mac/slotted_aloha.h"
+
+namespace freerider::mac {
+
+struct TdmConfig {
+  MacTimingConfig timing;
+  /// Contention slots appended to every round for unassociated tags.
+  std::size_t join_slots = 2;
+  /// Probability a tag hears the round's PLM announcement.
+  double plm_delivery_probability = 0.95;
+};
+
+struct TdmRoundResult {
+  std::size_t assigned_slots = 0;
+  std::size_t join_slots = 0;
+  std::size_t data_successes = 0;  ///< Assigned slots that delivered.
+  std::size_t new_associations = 0;
+  double duration_s = 0.0;
+};
+
+struct TdmCampaignStats {
+  double aggregate_throughput_bps = 0.0;
+  double jain_fairness = 0.0;
+  std::vector<double> per_tag_throughput_bps;
+  /// Rounds until every tag had an assigned slot.
+  std::size_t rounds_to_full_association = 0;
+  double total_time_s = 0.0;
+};
+
+class TdmSimulator {
+ public:
+  explicit TdmSimulator(TdmConfig config = {});
+
+  TdmRoundResult RunRound(std::size_t num_tags, Rng& rng);
+  TdmCampaignStats RunCampaign(std::size_t num_tags, std::size_t num_rounds,
+                               Rng& rng);
+
+  std::size_t associated_count() const;
+
+ private:
+  TdmConfig config_;
+  std::vector<bool> associated_;
+  std::vector<double> per_tag_bits_;
+};
+
+/// Steady-state analytic TDM throughput including the join-slot
+/// overhead (the Fig. 17a "no collisions" asymptote with realism).
+double SteadyStateTdmThroughputBps(std::size_t num_tags,
+                                   const TdmConfig& config);
+
+}  // namespace freerider::mac

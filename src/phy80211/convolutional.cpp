@@ -1,0 +1,265 @@
+#include "phy80211/convolutional.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace freerider::phy80211 {
+namespace {
+
+// Generator taps expressed as delay masks with the *newest* bit in the
+// LSB: g0 = 133 octal touches delays {0,2,3,5,6} (Eq. 9, C1), g1 = 171
+// octal touches delays {0,1,2,3,6} (Eq. 9, C2).
+constexpr std::uint8_t kG0 = 0x6D;
+constexpr std::uint8_t kG1 = 0x4F;
+constexpr int kConstraint = 7;
+constexpr int kNumStates = 1 << (kConstraint - 1);  // 64
+
+inline Bit Parity(std::uint8_t x) {
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return static_cast<Bit>(x & 1u);
+}
+
+// Output pair for (state, input). State holds the 6 previous bits with
+// the most recent in the LSB.
+inline void BranchOutputs(int state, Bit input, Bit& out_a, Bit& out_b) {
+  // 7-bit window with the newest bit in the LSB; window bit i is the
+  // input delayed by i, so the delay masks apply directly.
+  const std::uint8_t window =
+      static_cast<std::uint8_t>((state << 1) | input);
+  out_a = Parity(window & kG0);
+  out_b = Parity(window & kG1);
+}
+
+// Puncturing keep-masks over one period of the rate-1/2 stream.
+// Rate 2/3: period 4 mother bits (A1 B1 A2 B2), drop B2.
+// Rate 3/4: period 6 (A1 B1 A2 B2 A3 B3), drop B2 and A3.
+constexpr std::array<bool, 4> kKeep23 = {true, true, true, false};
+constexpr std::array<bool, 6> kKeep34 = {true, true, true, false, false, true};
+
+std::span<const bool> KeepMask(CodingRate rate) {
+  switch (rate) {
+    case CodingRate::kTwoThirds:
+      return kKeep23;
+    case CodingRate::kThreeQuarters:
+      return kKeep34;
+    case CodingRate::kHalf:
+      break;
+  }
+  return {};
+}
+
+}  // namespace
+
+BitVector ConvolutionalEncode(std::span<const Bit> bits) {
+  BitVector out;
+  out.reserve(bits.size() * 2);
+  int state = 0;
+  for (Bit b : bits) {
+    Bit a = 0;
+    Bit c = 0;
+    BranchOutputs(state, b, a, c);
+    out.push_back(a);
+    out.push_back(c);
+    state = ((state << 1) | b) & (kNumStates - 1);
+  }
+  return out;
+}
+
+BitVector Puncture(std::span<const Bit> coded, CodingRate rate) {
+  if (rate == CodingRate::kHalf) return BitVector(coded.begin(), coded.end());
+  const auto mask = KeepMask(rate);
+  BitVector out;
+  out.reserve(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (mask[i % mask.size()]) out.push_back(coded[i]);
+  }
+  return out;
+}
+
+BitVector Depuncture(std::span<const Bit> punctured, CodingRate rate,
+                     std::size_t num_mother_bits) {
+  if (rate == CodingRate::kHalf) {
+    return BitVector(punctured.begin(), punctured.end());
+  }
+  const auto mask = KeepMask(rate);
+  BitVector out;
+  out.reserve(num_mother_bits);
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < num_mother_bits; ++i) {
+    if (mask[i % mask.size()]) {
+      out.push_back(src < punctured.size() ? punctured[src++] : Bit{2});
+    } else {
+      out.push_back(Bit{2});  // erasure
+    }
+  }
+  return out;
+}
+
+std::size_t CodedLength(std::size_t info_bits, CodingRate rate) {
+  const std::size_t mother = info_bits * 2;
+  switch (rate) {
+    case CodingRate::kHalf:
+      return mother;
+    case CodingRate::kTwoThirds:
+      return mother * 3 / 4;
+    case CodingRate::kThreeQuarters:
+      return mother * 4 / 6;
+  }
+  return mother;
+}
+
+std::vector<double> DepunctureSoft(std::span<const double> punctured,
+                                   CodingRate rate,
+                                   std::size_t num_mother_bits) {
+  if (rate == CodingRate::kHalf) {
+    return std::vector<double>(punctured.begin(), punctured.end());
+  }
+  const auto mask = KeepMask(rate);
+  std::vector<double> out;
+  out.reserve(num_mother_bits);
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < num_mother_bits; ++i) {
+    if (mask[i % mask.size()]) {
+      out.push_back(src < punctured.size() ? punctured[src++] : 0.0);
+    } else {
+      out.push_back(0.0);  // erasure
+    }
+  }
+  return out;
+}
+
+BitVector ViterbiDecodeSoft(std::span<const double> llrs) {
+  if (llrs.size() % 2 != 0) {
+    throw std::invalid_argument("Viterbi soft input must be even length");
+  }
+  const std::size_t steps = llrs.size() / 2;
+  if (steps == 0) return {};
+
+  constexpr double kInf = 1e30;
+  std::vector<double> metric(kNumStates, kInf);
+  std::vector<double> next_metric(kNumStates, kInf);
+  metric[0] = 0.0;
+  std::vector<std::uint8_t> decisions(steps * kNumStates);
+
+  struct Branch {
+    Bit a, b;
+  };
+  static const auto branch_table = [] {
+    std::array<std::array<Branch, 2>, kNumStates> t{};
+    for (int s = 0; s < kNumStates; ++s) {
+      for (int in = 0; in < 2; ++in) {
+        BranchOutputs(s, static_cast<Bit>(in), t[s][in].a, t[s][in].b);
+      }
+    }
+    return t;
+  }();
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double la = llrs[2 * t];
+    const double lb = llrs[2 * t + 1];
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    std::uint8_t* dec = &decisions[t * kNumStates];
+    for (int s = 0; s < kNumStates; ++s) {
+      const double m = metric[s];
+      if (m >= kInf) continue;
+      for (int in = 0; in < 2; ++in) {
+        const Branch& br = branch_table[s][in];
+        // Penalize disagreement between the branch bit and the LLR sign
+        // by the LLR magnitude (max-log metric).
+        double cost = m;
+        if ((la > 0.0) != (br.a == 1)) cost += std::abs(la);
+        if ((lb > 0.0) != (br.b == 1)) cost += std::abs(lb);
+        const int ns = ((s << 1) | in) & (kNumStates - 1);
+        if (cost < next_metric[ns]) {
+          next_metric[ns] = cost;
+          dec[ns] = static_cast<std::uint8_t>((s << 1) | in);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  int state = static_cast<int>(
+      std::min_element(metric.begin(), metric.end()) - metric.begin());
+  BitVector info(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint8_t d = decisions[t * kNumStates + state];
+    info[t] = static_cast<Bit>(d & 1u);
+    state = (d >> 1) & (kNumStates - 1);
+  }
+  return info;
+}
+
+BitVector ViterbiDecode(std::span<const Bit> coded_with_erasures) {
+  if (coded_with_erasures.size() % 2 != 0) {
+    throw std::invalid_argument("Viterbi input must be even length");
+  }
+  const std::size_t steps = coded_with_erasures.size() / 2;
+  if (steps == 0) return {};
+
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max() / 2;
+  std::vector<std::uint32_t> metric(kNumStates, kInf);
+  std::vector<std::uint32_t> next_metric(kNumStates, kInf);
+  metric[0] = 0;
+
+  // decisions[t][state] = input bit that led to `state` on the survivor.
+  // Stored packed as one byte per state for simple traceback.
+  std::vector<std::uint8_t> decisions(steps * kNumStates);
+
+  // Precompute branch outputs once.
+  struct Branch {
+    Bit a, b;
+  };
+  static const auto branch_table = [] {
+    std::array<std::array<Branch, 2>, kNumStates> t{};
+    for (int s = 0; s < kNumStates; ++s) {
+      for (int in = 0; in < 2; ++in) {
+        BranchOutputs(s, static_cast<Bit>(in), t[s][in].a, t[s][in].b);
+      }
+    }
+    return t;
+  }();
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const Bit ra = coded_with_erasures[2 * t];
+    const Bit rb = coded_with_erasures[2 * t + 1];
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    std::uint8_t* dec = &decisions[t * kNumStates];
+    for (int s = 0; s < kNumStates; ++s) {
+      const std::uint32_t m = metric[s];
+      if (m >= kInf) continue;
+      for (int in = 0; in < 2; ++in) {
+        const Branch& br = branch_table[s][in];
+        std::uint32_t cost = m;
+        if (ra != 2 && br.a != ra) ++cost;
+        if (rb != 2 && br.b != rb) ++cost;
+        const int ns = ((s << 1) | in) & (kNumStates - 1);
+        if (cost < next_metric[ns]) {
+          next_metric[ns] = cost;
+          dec[ns] = static_cast<std::uint8_t>((s << 1) | in);
+          // dec packs: bits 6..1 = predecessor state, bit 0 = input.
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Best final state (zero tail drives this to state 0 in practice).
+  int state = static_cast<int>(
+      std::min_element(metric.begin(), metric.end()) - metric.begin());
+
+  BitVector info(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint8_t d = decisions[t * kNumStates + state];
+    info[t] = static_cast<Bit>(d & 1u);
+    state = (d >> 1) & (kNumStates - 1);
+  }
+  return info;
+}
+
+}  // namespace freerider::phy80211

@@ -1,0 +1,30 @@
+// 802.11 block interleaver (clause 17.3.5.7): operates on one OFDM
+// symbol's worth of coded bits (N_CBPS) at a time. Because interleaving
+// never crosses a symbol boundary, a tag bit that spans whole OFDM
+// symbols survives it intact — the observation of paper §3.2.1.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+#include "phy80211/params.h"
+
+namespace freerider::phy80211 {
+
+/// Interleave one symbol's coded bits. `bits.size()` must equal the
+/// rate's N_CBPS.
+BitVector InterleaveSymbol(std::span<const Bit> bits, const RateParams& rate);
+
+/// Inverse permutation.
+BitVector DeinterleaveSymbol(std::span<const Bit> bits, const RateParams& rate);
+
+/// Apply (de)interleaving across a multi-symbol stream whose length is a
+/// multiple of N_CBPS.
+BitVector InterleaveStream(std::span<const Bit> bits, const RateParams& rate);
+BitVector DeinterleaveStream(std::span<const Bit> bits, const RateParams& rate);
+
+/// Deinterleave one symbol of soft metrics (same permutation as bits).
+std::vector<double> DeinterleaveSymbolSoft(std::span<const double> values,
+                                           const RateParams& rate);
+
+}  // namespace freerider::phy80211

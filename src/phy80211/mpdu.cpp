@@ -1,0 +1,136 @@
+#include "phy80211/mpdu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace freerider::phy80211 {
+namespace {
+
+// Frame-control field: protocol version 0; (type, subtype) per
+// 802.11-2016 Table 9-1.
+std::uint16_t FrameControlFor(const MpduHeader& header) {
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  switch (header.type) {
+    case FrameType::kData:
+      type = 2;
+      subtype = 0;
+      break;
+    case FrameType::kQosData:
+      type = 2;
+      subtype = 8;
+      break;
+    case FrameType::kRts:
+      type = 1;
+      subtype = 11;
+      break;
+    case FrameType::kCts:
+      type = 1;
+      subtype = 12;
+      break;
+    case FrameType::kAck:
+      type = 1;
+      subtype = 13;
+      break;
+  }
+  std::uint16_t fc = static_cast<std::uint16_t>((type << 2) | (subtype << 4));
+  if (header.to_ds) fc |= 1u << 8;
+  if (header.from_ds) fc |= 1u << 9;
+  return fc;
+}
+
+std::optional<FrameType> TypeFromFrameControl(std::uint16_t fc) {
+  const int type = (fc >> 2) & 0x3;
+  const int subtype = (fc >> 4) & 0xF;
+  if (type == 2 && subtype == 0) return FrameType::kData;
+  if (type == 2 && subtype == 8) return FrameType::kQosData;
+  if (type == 1 && subtype == 11) return FrameType::kRts;
+  if (type == 1 && subtype == 12) return FrameType::kCts;
+  if (type == 1 && subtype == 13) return FrameType::kAck;
+  return std::nullopt;
+}
+
+void AppendU16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+std::uint16_t ReadU16(std::span<const std::uint8_t> data, std::size_t at) {
+  return static_cast<std::uint16_t>(data[at] |
+                                    (static_cast<std::uint16_t>(data[at + 1])
+                                     << 8));
+}
+
+}  // namespace
+
+std::size_t MpduHeaderBytes(FrameType type) {
+  switch (type) {
+    case FrameType::kData:
+      return 24;  // fc(2) dur(2) a1(6) a2(6) a3(6) seq(2)
+    case FrameType::kQosData:
+      return 26;  // + QoS control
+    case FrameType::kRts:
+      return 16;  // fc dur ra ta
+    case FrameType::kCts:
+    case FrameType::kAck:
+      return 10;  // fc dur ra
+  }
+  return 24;
+}
+
+Bytes BuildMpdu(const MpduHeader& header, std::span<const std::uint8_t> payload) {
+  const bool control = header.type == FrameType::kRts ||
+                       header.type == FrameType::kCts ||
+                       header.type == FrameType::kAck;
+  if (control && !payload.empty()) {
+    throw std::invalid_argument("control frames carry no payload");
+  }
+  Bytes out;
+  out.reserve(MpduHeaderBytes(header.type) + payload.size());
+  AppendU16(out, FrameControlFor(header));
+  AppendU16(out, header.duration_us);
+  out.insert(out.end(), header.addr1.begin(), header.addr1.end());
+  if (header.type != FrameType::kCts && header.type != FrameType::kAck) {
+    out.insert(out.end(), header.addr2.begin(), header.addr2.end());
+  }
+  if (header.type == FrameType::kData || header.type == FrameType::kQosData) {
+    out.insert(out.end(), header.addr3.begin(), header.addr3.end());
+    AppendU16(out, static_cast<std::uint16_t>((header.sequence & 0x0FFF) << 4));
+    if (header.type == FrameType::kQosData) AppendU16(out, 0);  // QoS ctl
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::optional<ParsedMpdu> ParseMpdu(std::span<const std::uint8_t> mpdu) {
+  if (mpdu.size() < 10) return std::nullopt;
+  const std::uint16_t fc = ReadU16(mpdu, 0);
+  const auto type = TypeFromFrameControl(fc);
+  if (!type.has_value()) return std::nullopt;
+  const std::size_t header_bytes = MpduHeaderBytes(*type);
+  if (mpdu.size() < header_bytes) return std::nullopt;
+
+  ParsedMpdu parsed;
+  parsed.header.type = *type;
+  parsed.header.duration_us = ReadU16(mpdu, 2);
+  parsed.header.to_ds = (fc >> 8) & 1;
+  parsed.header.from_ds = (fc >> 9) & 1;
+  std::copy_n(mpdu.begin() + 4, 6, parsed.header.addr1.begin());
+  if (*type != FrameType::kCts && *type != FrameType::kAck) {
+    std::copy_n(mpdu.begin() + 10, 6, parsed.header.addr2.begin());
+  }
+  if (*type == FrameType::kData || *type == FrameType::kQosData) {
+    std::copy_n(mpdu.begin() + 16, 6, parsed.header.addr3.begin());
+    parsed.header.sequence =
+        static_cast<std::uint16_t>(ReadU16(mpdu, 22) >> 4);
+    parsed.payload.assign(mpdu.begin() + static_cast<std::ptrdiff_t>(header_bytes),
+                          mpdu.end());
+  }
+  return parsed;
+}
+
+MacAddress MakeAddress(std::uint8_t last_octet) {
+  return {0x02, 0x00, 0x46, 0x52, 0x00, last_octet};
+}
+
+}  // namespace freerider::phy80211

@@ -1,0 +1,58 @@
+// 802.11 MAC frames (MPDU): the excitation frames FreeRider rides are
+// *real traffic*, so the simulator carries real MAC headers — frame
+// control, duration, addressing, sequence numbers — not bare payload
+// blobs. Data frames are what the PLM re-packetizer emits; RTS/CTS are
+// what the coordinator uses to reserve the channel before a round
+// (paper §2.4.1 "the transmitter uses carrier sensing before sending
+// messages to the tags", §4.4.2 RTS-CTS mitigation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.h"
+
+namespace freerider::phy80211 {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+enum class FrameType : std::uint8_t {
+  kData,
+  kQosData,
+  kRts,
+  kCts,
+  kAck,
+};
+
+struct MpduHeader {
+  FrameType type = FrameType::kData;
+  std::uint16_t duration_us = 0;
+  MacAddress addr1{};  ///< Receiver.
+  MacAddress addr2{};  ///< Transmitter (absent on CTS/ACK).
+  MacAddress addr3{};  ///< BSSID (data frames only).
+  std::uint16_t sequence = 0;  ///< 12-bit sequence number (data only).
+  bool to_ds = false;
+  bool from_ds = false;
+};
+
+/// Header size on air for a frame type (bytes).
+std::size_t MpduHeaderBytes(FrameType type);
+
+/// Serialize header + payload into an MPDU (no FCS — the PHY appends
+/// it, see transmitter.h). Control frames (RTS/CTS/ACK) take no payload.
+Bytes BuildMpdu(const MpduHeader& header, std::span<const std::uint8_t> payload);
+
+struct ParsedMpdu {
+  MpduHeader header;
+  Bytes payload;
+};
+
+/// Parse an MPDU (without FCS). Returns nullopt on malformed frames.
+std::optional<ParsedMpdu> ParseMpdu(std::span<const std::uint8_t> mpdu);
+
+/// Convenience addresses for examples and tests.
+MacAddress MakeAddress(std::uint8_t last_octet);
+
+}  // namespace freerider::phy80211

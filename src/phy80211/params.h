@@ -1,0 +1,73 @@
+// 802.11a/g OFDM PHY parameters (IEEE 802.11-2016 clause 17).
+//
+// 20 MHz channel, 64 subcarriers, 48 data + 4 pilots, 4 µs symbols
+// (3.2 µs useful + 0.8 µs cyclic prefix).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace freerider::phy80211 {
+
+inline constexpr double kSampleRateHz = 20e6;
+inline constexpr std::size_t kFftSize = 64;
+inline constexpr std::size_t kCpLen = 16;
+inline constexpr std::size_t kSymbolLen = kFftSize + kCpLen;  // 80 samples
+inline constexpr double kSymbolDurationS = 4e-6;
+inline constexpr std::size_t kNumDataSubcarriers = 48;
+inline constexpr std::size_t kNumPilots = 4;
+/// Pilot subcarrier indices (signed, DC = 0).
+inline constexpr std::array<int, kNumPilots> kPilotSubcarriers = {-21, -7, 7, 21};
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+enum class CodingRate { kHalf, kTwoThirds, kThreeQuarters };
+
+enum class Rate : std::uint8_t {
+  k6Mbps,
+  k9Mbps,
+  k12Mbps,
+  k18Mbps,
+  k24Mbps,
+  k36Mbps,
+  k48Mbps,
+  k54Mbps,
+};
+
+struct RateParams {
+  Rate rate;
+  Modulation modulation;
+  CodingRate coding;
+  std::size_t bits_per_subcarrier;   // N_BPSC
+  std::size_t coded_bits_per_symbol; // N_CBPS
+  std::size_t data_bits_per_symbol;  // N_DBPS
+  std::uint8_t signal_rate_bits;     // 4-bit RATE field, bit3..bit0 = R1..R4
+  double mbps;
+};
+
+inline constexpr std::array<RateParams, 8> kRateTable = {{
+    {Rate::k6Mbps, Modulation::kBpsk, CodingRate::kHalf, 1, 48, 24, 0b1101, 6.0},
+    {Rate::k9Mbps, Modulation::kBpsk, CodingRate::kThreeQuarters, 1, 48, 36, 0b1111, 9.0},
+    {Rate::k12Mbps, Modulation::kQpsk, CodingRate::kHalf, 2, 96, 48, 0b0101, 12.0},
+    {Rate::k18Mbps, Modulation::kQpsk, CodingRate::kThreeQuarters, 2, 96, 72, 0b0111, 18.0},
+    {Rate::k24Mbps, Modulation::kQam16, CodingRate::kHalf, 4, 192, 96, 0b1001, 24.0},
+    {Rate::k36Mbps, Modulation::kQam16, CodingRate::kThreeQuarters, 4, 192, 144, 0b1011, 36.0},
+    {Rate::k48Mbps, Modulation::kQam64, CodingRate::kTwoThirds, 6, 288, 192, 0b0001, 48.0},
+    {Rate::k54Mbps, Modulation::kQam64, CodingRate::kThreeQuarters, 6, 288, 216, 0b0011, 54.0},
+}};
+
+inline constexpr const RateParams& ParamsFor(Rate rate) {
+  return kRateTable[static_cast<std::size_t>(rate)];
+}
+
+/// Reverse lookup from the SIGNAL field's 4 RATE bits.
+inline constexpr std::optional<Rate> RateFromSignalBits(std::uint8_t bits) {
+  for (const auto& p : kRateTable) {
+    if (p.signal_rate_bits == bits) return p.rate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace freerider::phy80211

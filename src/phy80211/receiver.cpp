@@ -1,0 +1,329 @@
+#include "phy80211/receiver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/crc.h"
+#include "dsp/fft.h"
+#include "dsp/signal_ops.h"
+#include "phy80211/constellation.h"
+#include "phy80211/convolutional.h"
+#include "phy80211/interleaver.h"
+#include "phy80211/ofdm.h"
+#include "phy80211/scrambler.h"
+
+namespace freerider::phy80211 {
+namespace {
+
+constexpr std::size_t kServiceBits = 16;
+constexpr std::size_t kTailBits = 6;
+
+/// Normalized LTF correlation: |<rx, T>| / (||rx_window|| * ||T||).
+struct Detection {
+  bool found = false;
+  std::size_t second_ltf_start = 0;  ///< Start of the 2nd long symbol.
+};
+
+Detection DetectPreamble(const IqBuffer& rx, double threshold) {
+  static const IqBuffer ltf = LongTrainingSymbol64();
+  static const double ltf_energy = [&] {
+    double e = 0.0;
+    for (const Cplx& x : ltf) e += std::norm(x);
+    return e;
+  }();
+
+  if (rx.size() < ltf.size() + 64) return {};
+
+  // Sliding window energy for normalization.
+  const std::size_t positions = rx.size() - ltf.size() + 1;
+  std::vector<double> win_energy(positions);
+  double acc = 0.0;
+  for (std::size_t n = 0; n < ltf.size(); ++n) acc += std::norm(rx[n]);
+  win_energy[0] = acc;
+  for (std::size_t n = 1; n < positions; ++n) {
+    acc += std::norm(rx[n + ltf.size() - 1]) - std::norm(rx[n - 1]);
+    win_energy[n] = acc;
+  }
+
+  std::vector<double> ncorr(positions, 0.0);
+  for (std::size_t n = 0; n < positions; ++n) {
+    if (win_energy[n] <= 0.0) continue;
+    Cplx c{0.0, 0.0};
+    for (std::size_t k = 0; k < ltf.size(); ++k) {
+      c += rx[n + k] * std::conj(ltf[k]);
+    }
+    ncorr[n] = std::abs(c) / std::sqrt(win_energy[n] * ltf_energy);
+  }
+
+  // The LTF gives two adjacent full-symbol peaks 64 samples apart.
+  // Find the best position with a confirming peak at +64.
+  double best = 0.0;
+  std::size_t best_n = 0;
+  for (std::size_t n = 0; n + 64 < positions; ++n) {
+    const double pair = std::min(ncorr[n], ncorr[n + 64]);
+    if (pair > best) {
+      best = pair;
+      best_n = n;
+    }
+  }
+  if (best < threshold) return {};
+  return {true, best_n + 64};
+}
+
+/// Decision-directed residual-phase tracker: first-order loop updated
+/// from the mean rotation of equalized points against their nearest
+/// constellation points. Symmetric under the constellation's rotational
+/// symmetry group, hence transparent to the tag's codeword translation.
+class PhaseTracker {
+ public:
+  explicit PhaseTracker(bool enabled, Modulation mod)
+      : enabled_(enabled), mod_(mod) {}
+
+  void Apply(IqBuffer& points) {
+    if (!enabled_) return;
+    const Cplx derot{std::cos(-phase_), std::sin(-phase_)};
+    for (auto& p : points) p *= derot;
+    // Residual rotation against hard decisions.
+    const BitVector hard = DemapSymbols(points, mod_);
+    const IqBuffer ref = MapBits(hard, mod_);
+    Cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      acc += points[i] * std::conj(ref[i]);
+    }
+    if (std::norm(acc) < 1e-30) return;
+    // Clamp the per-symbol step: residual CFO drifts a few tens of
+    // millirad per symbol; larger apparent jumps are decision noise
+    // (e.g. the corrupted symbol at a tag window boundary).
+    const double alpha = std::clamp(std::arg(acc), -0.3, 0.3);
+    phase_ += alpha;
+  }
+
+ private:
+  bool enabled_;
+  Modulation mod_;
+  double phase_ = 0.0;
+};
+
+/// Equalized data-subcarrier points of one symbol.
+IqBuffer DemodSymbolPoints(std::span<const Cplx> symbol80,
+                           std::span<const Cplx> channel,
+                           std::size_t symbol_index, const RxConfig& config,
+                           IqBuffer* constellation_out, PhaseTracker* tracker) {
+  IqBuffer bins = DemodulateSymbol(symbol80);
+  IqBuffer data = ExtractDataSubcarriers(bins, channel);
+  if (config.pilot_phase_correction) {
+    const double cpe = PilotPhaseError(bins, channel, symbol_index);
+    const Cplx derot{std::cos(-cpe), std::sin(-cpe)};
+    for (auto& x : data) x *= derot;
+  }
+  if (tracker != nullptr) tracker->Apply(data);
+  if (constellation_out != nullptr) {
+    constellation_out->insert(constellation_out->end(), data.begin(), data.end());
+  }
+  return data;
+}
+
+/// Decode one symbol's worth of interleaved coded bits (hard decision).
+BitVector DemodSymbolBits(std::span<const Cplx> symbol80,
+                          std::span<const Cplx> channel, const RateParams& params,
+                          std::size_t symbol_index, const RxConfig& config,
+                          IqBuffer* constellation_out) {
+  const IqBuffer data = DemodSymbolPoints(symbol80, channel, symbol_index,
+                                          config, constellation_out, nullptr);
+  const BitVector hard = DemapSymbols(data, params.modulation);
+  return DeinterleaveSymbol(hard, params);
+}
+
+/// CFO estimate from the periodicity of a training region: the phase
+/// of the lag-`period` autocorrelation advances by 2π·f·period/fs.
+double EstimateCfoHz(std::span<const Cplx> region, std::size_t period) {
+  Cplx acc{0.0, 0.0};
+  for (std::size_t n = 0; n + period < region.size(); ++n) {
+    acc += region[n + period] * std::conj(region[n]);
+  }
+  if (std::norm(acc) < 1e-30) return 0.0;
+  return std::arg(acc) * kSampleRateHz / (kTwoPi * static_cast<double>(period));
+}
+
+struct SignalInfo {
+  bool ok = false;
+  Rate rate = Rate::k6Mbps;
+  std::size_t length = 0;
+};
+
+SignalInfo ParseSignal(std::span<const Bit> bits24) {
+  SignalInfo info;
+  std::uint8_t rate_bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    rate_bits = static_cast<std::uint8_t>((rate_bits << 1) | bits24[i]);
+  }
+  const auto rate = RateFromSignalBits(rate_bits);
+  if (!rate.has_value()) return info;
+  if (bits24[4] != 0) return info;  // reserved bit
+  std::size_t length = 0;
+  for (int i = 0; i < 12; ++i) {
+    length |= static_cast<std::size_t>(bits24[5 + i]) << i;
+  }
+  Bit parity = 0;
+  for (int i = 0; i < 17; ++i) parity ^= bits24[i];
+  if (parity != bits24[17]) return info;
+  if (length == 0) return info;
+  info.ok = true;
+  info.rate = *rate;
+  info.length = length;
+  return info;
+}
+
+}  // namespace
+
+RxResult ReceiveFrame(const IqBuffer& raw_rx, const RxConfig& config) {
+  RxResult result;
+
+  Detection det = DetectPreamble(raw_rx, config.detection_threshold);
+  if (!det.found) return result;
+  result.detected = true;
+  result.start_index = det.second_ltf_start - 64;
+
+  // CFO estimation and correction on the preamble, then re-detect for
+  // exact timing on the corrected buffer.
+  IqBuffer rx = raw_rx;
+  if (config.cfo_correction) {
+    double cfo = 0.0;
+    // Coarse: STF region (160 samples ending 160 before the LTF).
+    if (result.start_index >= 192) {
+      cfo += EstimateCfoHz(
+          std::span<const Cplx>(rx).subspan(result.start_index - 184, 144), 16);
+      rx = dsp::MixFrequency(rx, -cfo, kSampleRateHz);
+    }
+    // Fine: the two LTF symbols, period 64.
+    cfo += EstimateCfoHz(
+        std::span<const Cplx>(rx).subspan(result.start_index, 128), 64);
+    rx = dsp::MixFrequency(raw_rx, -cfo, kSampleRateHz);
+    result.cfo_hz = cfo;
+    det = DetectPreamble(rx, config.detection_threshold);
+    if (!det.found) return result;
+    result.start_index = det.second_ltf_start - 64;
+  }
+
+  // Channel estimation over both long training symbols.
+  static const IqBuffer ltf_time = LongTrainingSymbol64();
+  IqBuffer h(kFftSize, Cplx{0.0, 0.0});
+  {
+    IqBuffer y1(rx.begin() + static_cast<std::ptrdiff_t>(result.start_index),
+                rx.begin() + static_cast<std::ptrdiff_t>(result.start_index) + 64);
+    IqBuffer y2(rx.begin() + static_cast<std::ptrdiff_t>(det.second_ltf_start),
+                rx.begin() + static_cast<std::ptrdiff_t>(det.second_ltf_start) + 64);
+    dsp::Fft(y1);
+    dsp::Fft(y2);
+    for (int s = -26; s <= 26; ++s) {
+      const Cplx l = LtfSymbolAt(s);
+      if (std::norm(l) < 0.5) continue;
+      const std::size_t bin = BinIndex(s);
+      // H absorbs the TX time-domain scale and the channel gain, so
+      // equalized data points land on the unit constellation grid.
+      h[bin] = 0.5 * (y1[bin] + y2[bin]) / l;
+    }
+  }
+
+  // SIGNAL symbol.
+  const std::size_t signal_start = det.second_ltf_start + 64;
+  if (signal_start + kSymbolLen > rx.size()) return result;
+  const BitVector signal_coded = DemodSymbolBits(
+      std::span<const Cplx>(rx).subspan(signal_start, kSymbolLen), h,
+      ParamsFor(Rate::k6Mbps), 0, RxConfig{}, nullptr);
+  const BitVector signal_bits = ViterbiDecode(signal_coded);
+  const SignalInfo info = ParseSignal(signal_bits);
+  if (!info.ok) return result;
+  result.signal_ok = true;
+  result.rate = info.rate;
+  result.psdu_len = info.length;
+
+  const auto& params = ParamsFor(info.rate);
+  const std::size_t payload_bits = kServiceBits + info.length * 8 + kTailBits;
+  const std::size_t num_symbols =
+      (payload_bits + params.data_bits_per_symbol - 1) /
+      params.data_bits_per_symbol;
+  result.num_data_symbols = num_symbols;
+
+  const std::size_t data_start = signal_start + kSymbolLen;
+  if (data_start + num_symbols * kSymbolLen > rx.size()) {
+    result.signal_ok = false;  // truncated capture
+    return result;
+  }
+
+  // RSSI over the frame extent.
+  result.rssi_dbm = dsp::PowerDbm(std::span<const Cplx>(rx).subspan(
+      result.start_index, data_start + num_symbols * kSymbolLen - result.start_index));
+
+  // Demodulate all data symbols, then depuncture and Viterbi-decode
+  // (hard or soft per the configuration).
+  const std::size_t info_bits = num_symbols * params.data_bits_per_symbol;
+  IqBuffer* constellation =
+      config.collect_constellation ? &result.constellation : nullptr;
+  BitVector scrambled;
+  PhaseTracker tracker(config.decision_directed_tracking, params.modulation);
+  if (config.soft_decision) {
+    std::vector<double> coded;
+    coded.reserve(num_symbols * params.coded_bits_per_symbol);
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      const IqBuffer points = DemodSymbolPoints(
+          std::span<const Cplx>(rx).subspan(data_start + s * kSymbolLen,
+                                            kSymbolLen),
+          h, s + 1, config, constellation, &tracker);
+      const std::vector<double> llrs = DemapSoft(points, params.modulation);
+      const std::vector<double> deint = DeinterleaveSymbolSoft(llrs, params);
+      coded.insert(coded.end(), deint.begin(), deint.end());
+    }
+    const std::vector<double> mother =
+        DepunctureSoft(coded, params.coding, info_bits * 2);
+    scrambled = ViterbiDecodeSoft(mother);
+  } else {
+    BitVector coded;
+    coded.reserve(num_symbols * params.coded_bits_per_symbol);
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      const IqBuffer points = DemodSymbolPoints(
+          std::span<const Cplx>(rx).subspan(data_start + s * kSymbolLen,
+                                            kSymbolLen),
+          h, s + 1, config, constellation, &tracker);
+      const BitVector hard = DemapSymbols(points, params.modulation);
+      const BitVector sym_bits = DeinterleaveSymbol(hard, params);
+      coded.insert(coded.end(), sym_bits.begin(), sym_bits.end());
+    }
+    const BitVector mother = Depuncture(coded, params.coding, info_bits * 2);
+    scrambled = ViterbiDecode(mother);
+  }
+
+  result.scrambler_seed =
+      RecoverScramblerSeed(std::span<const Bit>(scrambled).subspan(0, 7));
+  if (result.scrambler_seed == 0) {
+    // SERVICE corrupted beyond seed recovery; return raw bits unscrambled.
+    result.data_bits = scrambled;
+    return result;
+  }
+  Scrambler descrambler(result.scrambler_seed);
+  result.data_bits = descrambler.Process(scrambled);
+
+  // Zero the (known-zero) tail bits so streams compare cleanly.
+  const std::size_t tail_pos = kServiceBits + info.length * 8;
+  for (std::size_t i = 0; i < kTailBits && tail_pos + i < result.data_bits.size();
+       ++i) {
+    result.data_bits[tail_pos + i] = 0;
+  }
+
+  // Extract PSDU and check FCS.
+  result.psdu = BitsToBytes(
+      std::span<const Bit>(result.data_bits).subspan(kServiceBits, info.length * 8));
+  if (info.length >= 5) {
+    std::uint32_t fcs = 0;
+    for (int i = 0; i < 4; ++i) {
+      fcs |= static_cast<std::uint32_t>(result.psdu[info.length - 4 + i]) << (8 * i);
+    }
+    const std::uint32_t computed = Crc32(
+        std::span<const std::uint8_t>(result.psdu).subspan(0, info.length - 4));
+    result.fcs_ok = (fcs == computed);
+  }
+  return result;
+}
+
+}  // namespace freerider::phy80211

@@ -1,0 +1,54 @@
+#include "phy80211/scrambler.h"
+
+#include <stdexcept>
+
+namespace freerider::phy80211 {
+
+Scrambler::Scrambler(std::uint8_t seed) { Reset(seed); }
+
+void Scrambler::Reset(std::uint8_t seed) {
+  state_ = seed & 0x7Fu;
+  if (state_ == 0) throw std::invalid_argument("Scrambler seed must be nonzero");
+}
+
+Bit Scrambler::NextBit() {
+  // Feedback = x7 xor x4 (bit positions 6 and 3 of the 7-bit register).
+  const Bit out = static_cast<Bit>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | out) & 0x7Fu);
+  return out;
+}
+
+BitVector Scrambler::Process(std::span<const Bit> bits) {
+  BitVector out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = bits[i] ^ NextBit();
+  }
+  return out;
+}
+
+std::uint8_t RecoverScramblerSeed(std::span<const Bit> first7ScrambledBits) {
+  if (first7ScrambledBits.size() < 7) {
+    throw std::invalid_argument("need 7 bits to recover scrambler seed");
+  }
+  // SERVICE bits 0..6 are zero pre-scrambling, so the received bits are
+  // the whitening outputs w0..w6. The LFSR state after emitting w0..w6
+  // is simply (w0..w6) shifted in; rewind to the initial state by noting
+  // state bits are the last 7 outputs. Initial state S satisfies: the
+  // outputs w_k are generated from S; we can reconstruct S by running
+  // the recurrence backwards: s[-1] = w6 ^ ... Easier: the 7 outputs
+  // w0..w6 equal s6, s5^?, ... — instead brute-force the 127 seeds.
+  for (std::uint8_t seed = 1; seed < 128; ++seed) {
+    Scrambler s(seed);
+    bool match = true;
+    for (std::size_t i = 0; i < 7; ++i) {
+      if (s.NextBit() != first7ScrambledBits[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return seed;
+  }
+  return 0;  // No seed matches: corrupted SERVICE field.
+}
+
+}  // namespace freerider::phy80211

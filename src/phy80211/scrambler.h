@@ -1,0 +1,40 @@
+// 802.11 data scrambler (clause 17.3.5.5): a free-running 7-bit LFSR
+// with polynomial x^7 + x^4 + 1 whose output is XOR-ed onto the data.
+// This is Eq. 8 of the FreeRider paper — and the reason the tag must
+// spread one bit over several OFDM symbols: the XOR-decode argument
+// (paper §3.2.1) relies on the scrambler being linear, which this is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace freerider::phy80211 {
+
+class Scrambler {
+ public:
+  /// `seed` is the initial 7-bit LFSR state; must be nonzero for a
+  /// useful whitening sequence (the standard picks a pseudorandom one
+  /// per frame and conveys it via the SERVICE field).
+  explicit Scrambler(std::uint8_t seed = 0x5D);
+
+  /// Next whitening bit; advances the LFSR.
+  Bit NextBit();
+
+  /// Scramble (== descramble, the operation is an involution when the
+  /// seeds match) a bit sequence.
+  BitVector Process(std::span<const Bit> bits);
+
+  void Reset(std::uint8_t seed);
+
+ private:
+  std::uint8_t state_;
+};
+
+/// Recover the scrambler seed from the first 7 descrambler-input bits of
+/// the SERVICE field, which is transmitted as all zeros: the scrambled
+/// bits ARE the whitening sequence, from which the LFSR state unwinds.
+std::uint8_t RecoverScramblerSeed(std::span<const Bit> first7ScrambledBits);
+
+}  // namespace freerider::phy80211

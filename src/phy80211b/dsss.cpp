@@ -1,0 +1,115 @@
+#include "phy80211b/dsss.h"
+
+#include <cmath>
+
+namespace freerider::phy80211b {
+namespace {
+
+/// Gray-coded DQPSK phase increment for a dibit (b0 first on air).
+Cplx DqpskStep(Bit b0, Bit b1) {
+  const int code = (b0 << 1) | b1;
+  switch (code) {
+    case 0b00: return {1.0, 0.0};    // 0
+    case 0b01: return {0.0, 1.0};    // +90
+    case 0b11: return {-1.0, 0.0};   // 180
+    default:   return {0.0, -1.0};   // 10: -90
+  }
+}
+
+/// Inverse: nearest quadrant of the measured phase change.
+void DqpskSlice(Cplx delta, Bit& b0, Bit& b1) {
+  const double angle = std::arg(delta);
+  const int quadrant =
+      ((static_cast<int>(std::lround(angle / (kPi / 2.0))) % 4) + 4) % 4;
+  switch (quadrant) {
+    case 0: b0 = 0; b1 = 0; break;
+    case 1: b0 = 0; b1 = 1; break;
+    case 2: b0 = 1; b1 = 1; break;
+    default: b0 = 1; b1 = 0; break;
+  }
+}
+
+}  // namespace
+
+IqBuffer ModulateDbpsk(std::span<const Bit> bits, bool initial_phase_positive) {
+  IqBuffer out;
+  out.reserve((bits.size() + 1) * kSamplesPerSymbol);
+  double phase = initial_phase_positive ? 1.0 : -1.0;
+  // Reference symbol first (carries no data, anchors the differential
+  // chain), then one symbol per bit.
+  auto emit_symbol = [&](double p) {
+    for (int chip : kBarker) {
+      out.emplace_back(p * static_cast<double>(chip), 0.0);
+    }
+  };
+  emit_symbol(phase);
+  for (Bit b : bits) {
+    if (b) phase = -phase;
+    emit_symbol(phase);
+  }
+  return out;
+}
+
+Cplx DespreadSymbol(std::span<const Cplx> rx, std::size_t start) {
+  Cplx acc{0.0, 0.0};
+  for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+    const std::size_t idx = start + c * kSamplesPerChip;
+    if (idx >= rx.size()) break;
+    acc += rx[idx] * static_cast<double>(kBarker[c]);
+  }
+  return acc;
+}
+
+IqBuffer ModulateDqpsk(std::span<const Bit> bits, Cplx initial_phase) {
+  IqBuffer out;
+  out.reserve((bits.size() / 2 + 1) * kSamplesPerSymbol);
+  Cplx phase = initial_phase;
+  auto emit_symbol = [&](Cplx p) {
+    for (int chip : kBarker) out.push_back(p * static_cast<double>(chip));
+  };
+  emit_symbol(phase);
+  for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+    phase *= DqpskStep(bits[i], bits[i + 1]);
+    emit_symbol(phase);
+  }
+  return out;
+}
+
+BitVector DemodulateDqpsk(std::span<const Cplx> rx, std::size_t start,
+                          std::size_t num_symbols) {
+  BitVector bits;
+  bits.reserve(num_symbols * 2);
+  if (start < kSamplesPerSymbol) return bits;
+  Cplx prev = DespreadSymbol(rx, start - kSamplesPerSymbol);
+  for (std::size_t k = 0; k < num_symbols; ++k) {
+    const std::size_t pos = start + k * kSamplesPerSymbol;
+    if (pos + kSamplesPerSymbol > rx.size()) break;
+    const Cplx cur = DespreadSymbol(rx, pos);
+    Bit b0 = 0;
+    Bit b1 = 0;
+    DqpskSlice(cur * std::conj(prev), b0, b1);
+    bits.push_back(b0);
+    bits.push_back(b1);
+    prev = cur;
+  }
+  return bits;
+}
+
+BitVector DemodulateDbpsk(std::span<const Cplx> rx, std::size_t start,
+                          std::size_t num_bits) {
+  BitVector bits;
+  bits.reserve(num_bits);
+  if (start < kSamplesPerSymbol) return bits;
+  Cplx prev = DespreadSymbol(rx, start - kSamplesPerSymbol);
+  for (std::size_t k = 0; k < num_bits; ++k) {
+    const std::size_t pos = start + k * kSamplesPerSymbol;
+    if (pos + kSamplesPerSymbol > rx.size()) break;
+    const Cplx cur = DespreadSymbol(rx, pos);
+    // Differential decision: phase reversal => bit 1.
+    bits.push_back(static_cast<Bit>((cur * std::conj(prev)).real() < 0.0));
+    prev = cur;
+  }
+  return bits;
+}
+
+}  // namespace freerider::phy80211b

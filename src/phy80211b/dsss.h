@@ -1,0 +1,37 @@
+// DSSS modulation for 802.11b at 1 Mb/s: differential BPSK symbols
+// spread by the Barker-11 sequence, one sample per chip.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+#include "phy80211b/params11b.h"
+
+namespace freerider::phy80211b {
+
+/// Modulate bits as DBPSK/Barker: each input bit toggles (1) or keeps
+/// (0) the symbol phase; each symbol is 11 Barker chips.
+/// `initial_phase_positive` sets the reference symbol polarity.
+IqBuffer ModulateDbpsk(std::span<const Bit> bits,
+                       bool initial_phase_positive = true);
+
+/// Correlate one symbol (11 samples from `start`) against Barker and
+/// return the complex despread value (phase carries the DBPSK data).
+Cplx DespreadSymbol(std::span<const Cplx> rx, std::size_t start);
+
+/// Differentially demodulate `num_bits` symbols beginning at `start`
+/// (the symbol *before* start is used as the phase reference).
+BitVector DemodulateDbpsk(std::span<const Cplx> rx, std::size_t start,
+                          std::size_t num_bits);
+
+/// DQPSK (2 Mb/s): two bits per Barker symbol encoded in the phase
+/// change, gray-coded {00: 0, 01: +90°, 11: 180°, 10: -90°}.
+/// `initial_phase` anchors the differential chain.
+IqBuffer ModulateDqpsk(std::span<const Bit> bits, Cplx initial_phase = {1.0, 0.0});
+
+/// Demodulate `num_symbols` DQPSK symbols starting at `start`; the
+/// symbol before `start` is the phase reference. Returns 2 bits/symbol.
+BitVector DemodulateDqpsk(std::span<const Cplx> rx, std::size_t start,
+                          std::size_t num_symbols);
+
+}  // namespace freerider::phy80211b

@@ -1,0 +1,58 @@
+// 802.11b DSSS frame build/receive at 1 Mb/s:
+//   SYNC (scrambled ones) | SFD | PLCP header (SIGNAL, SERVICE, LENGTH,
+//   CRC-16) | PSDU (payload + CRC-32 FCS)
+// all self-sync scrambled and DBPSK/Barker modulated.
+//
+// This PHY exists as the substrate of the HitchHike baseline
+// (core/hitchhike.h): the paper's predecessor works *only* on these
+// frames, which modern networks rarely transmit — FreeRider's central
+// motivation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+#include "phy80211b/params11b.h"
+
+namespace freerider::phy80211b {
+
+struct TxFrame {
+  Rate11b rate = Rate11b::k1Mbps;
+  IqBuffer waveform;     ///< Unit-power complex baseband at 11 MS/s.
+  BitVector psdu_bits;   ///< Descrambled PSDU bits (payload + FCS).
+  /// Scrambled (as-modulated) PSDU bits. HitchHike decodes tag data by
+  /// XOR-ing the two receivers' *scrambled-domain* streams: the
+  /// self-synchronizing descrambler would smear each tag flip into +4
+  /// and +7 echoes.
+  BitVector raw_psdu_bits;
+  Bytes psdu;            ///< Payload + CRC-32.
+  std::size_t psdu_start_sample = 0;  ///< First PSDU symbol's start.
+};
+
+TxFrame BuildFrame(std::span<const std::uint8_t> payload,
+                   Rate11b rate = Rate11b::k1Mbps);
+
+struct RxConfig {
+  /// Minimum per-symbol Barker despread quality (fraction of the ideal
+  /// 11-chip correlation) for timing acquisition.
+  double timing_quality_threshold = 0.45;
+};
+
+struct RxResult {
+  bool detected = false;   ///< Preamble + SFD found.
+  Rate11b rate = Rate11b::k1Mbps;
+  bool header_ok = false;  ///< PLCP header CRC-16 matched.
+  bool fcs_ok = false;     ///< PSDU CRC-32 matched.
+  std::size_t psdu_len = 0;
+  Bytes psdu;
+  BitVector psdu_bits;     ///< Descrambled PSDU bits.
+  BitVector raw_psdu_bits; ///< Scrambled-domain PSDU bits (tag decode input).
+  double rssi_dbm = -300.0;
+};
+
+RxResult ReceiveFrame(const IqBuffer& rx, const RxConfig& config = {});
+
+double FrameDurationS(const TxFrame& frame);
+
+}  // namespace freerider::phy80211b

@@ -1,0 +1,40 @@
+// IEEE 802.11b DSSS PHY parameters (clause 16): the HitchHike
+// baseline's substrate. 11 Mchip/s Barker-11 spreading, DBPSK at
+// 1 Mb/s (DQPSK 2 Mb/s is not needed for the baseline).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace freerider::phy80211b {
+
+inline constexpr double kChipRateHz = 11e6;
+inline constexpr std::size_t kSamplesPerChip = 1;
+inline constexpr double kSampleRateHz = kChipRateHz * kSamplesPerChip;
+inline constexpr std::size_t kChipsPerSymbol = 11;
+inline constexpr std::size_t kSamplesPerSymbol =
+    kChipsPerSymbol * kSamplesPerChip;
+inline constexpr double kSymbolRateHz = 1e6;
+inline constexpr double kBitRateBps = 1e6;     // DBPSK
+inline constexpr double kBitRate2Bps = 2e6;    // DQPSK
+
+enum class Rate11b { k1Mbps, k2Mbps };
+
+/// Barker-11 sequence (+1/-1 as bits 1/0).
+inline constexpr std::array<int, 11> kBarker = {1, -1, 1,  1, -1, 1,
+                                                1, 1,  -1, -1, -1};
+
+/// Long-preamble sync bits (scrambled ones) and SFD.
+inline constexpr std::size_t kSyncBits = 64;  // shortened long preamble
+inline constexpr std::uint16_t kSfd = 0xF3A0;
+
+/// PLCP header: SIGNAL(8) SERVICE(8) LENGTH(16) CRC(16) at 1 Mb/s.
+inline constexpr std::size_t kPlcpHeaderBits = 48;
+inline constexpr std::uint8_t kSignal1Mbps = 0x0A;  // 1 Mb/s in 100 kb/s units
+inline constexpr std::uint8_t kSignal2Mbps = 0x14;  // 2 Mb/s
+
+inline constexpr std::size_t kMaxPsduBytes = 2047;
+
+}  // namespace freerider::phy80211b

@@ -1,0 +1,28 @@
+#include "phy80211b/scrambler11b.h"
+
+namespace freerider::phy80211b {
+
+BitVector Scramble11b(std::span<const Bit> bits, std::uint8_t seed) {
+  // Shift register holds the last 7 *output* bits, newest in bit 0.
+  std::uint8_t reg = static_cast<std::uint8_t>(seed & 0x7Fu);
+  BitVector out(bits.size());
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    const Bit fb = static_cast<Bit>(((reg >> 3) ^ (reg >> 6)) & 1u);
+    out[k] = bits[k] ^ fb;
+    reg = static_cast<std::uint8_t>(((reg << 1) | out[k]) & 0x7Fu);
+  }
+  return out;
+}
+
+BitVector Descramble11b(std::span<const Bit> bits, std::uint8_t seed) {
+  std::uint8_t reg = static_cast<std::uint8_t>(seed & 0x7Fu);
+  BitVector out(bits.size());
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    const Bit fb = static_cast<Bit>(((reg >> 3) ^ (reg >> 6)) & 1u);
+    out[k] = bits[k] ^ fb;
+    reg = static_cast<std::uint8_t>(((reg << 1) | bits[k]) & 0x7Fu);
+  }
+  return out;
+}
+
+}  // namespace freerider::phy80211b

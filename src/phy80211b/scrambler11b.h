@@ -1,0 +1,24 @@
+// 802.11b self-synchronizing scrambler (clause 16.2.4): unlike the
+// OFDM PHY's free-running LFSR, the DSSS scrambler feeds back the
+// *transmitted* bits, so the descrambler needs no seed — it
+// self-synchronizes after 7 bits. This is the property HitchHike
+// exploits: a tag-flipped window descrambles to a flipped window plus a
+// 7-bit tail, with no whole-frame corruption.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace freerider::phy80211b {
+
+/// Scramble: out[k] = in[k] ^ out[k-4] ^ out[k-7].
+BitVector Scramble11b(std::span<const Bit> bits, std::uint8_t seed = 0x1B);
+
+/// Descramble: in[k] = out[k] ^ out[k-4] ^ out[k-7] (self-synchronizing;
+/// the first 7 bits depend on the unknown TX seed and are produced
+/// assuming the default preamble padding — callers discard sync bits).
+BitVector Descramble11b(std::span<const Bit> bits, std::uint8_t seed = 0x1B);
+
+}  // namespace freerider::phy80211b

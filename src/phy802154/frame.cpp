@@ -1,0 +1,164 @@
+#include "phy802154/frame.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/crc.h"
+#include "dsp/signal_ops.h"
+#include "phy802154/chips.h"
+#include "phy802154/oqpsk.h"
+
+namespace freerider::phy802154 {
+namespace {
+
+std::vector<std::uint8_t> ShrSymbols() {
+  std::vector<std::uint8_t> symbols(kPreambleSymbols, 0);
+  // SFD = 0xA7, low nibble first.
+  symbols.push_back(0x7);
+  symbols.push_back(0xA);
+  return symbols;
+}
+
+// Reference waveform of the SHR tail used for detection & phase lock:
+// the last two preamble symbols plus the SFD (4 symbols, 512 samples).
+const IqBuffer& DetectionReference() {
+  static const IqBuffer ref = [] {
+    const std::vector<std::uint8_t> symbols = {0, 0, 0x7, 0xA};
+    return ModulateChips(SpreadSymbols(symbols));
+  }();
+  return ref;
+}
+
+}  // namespace
+
+TxFrame BuildFrame(std::span<const std::uint8_t> payload) {
+  if (payload.size() + 2 > kMaxPsduBytes) {
+    throw std::invalid_argument("802.15.4 payload too large");
+  }
+  TxFrame frame;
+  frame.psdu.assign(payload.begin(), payload.end());
+  const std::uint16_t fcs = Crc16Ccitt(payload);
+  frame.psdu.push_back(static_cast<std::uint8_t>(fcs & 0xFFu));
+  frame.psdu.push_back(static_cast<std::uint8_t>((fcs >> 8) & 0xFFu));
+
+  std::vector<std::uint8_t> symbols = ShrSymbols();
+  const std::size_t shr_count = symbols.size();
+
+  Bytes phr_and_psdu;
+  phr_and_psdu.push_back(static_cast<std::uint8_t>(frame.psdu.size() & 0x7Fu));
+  phr_and_psdu.insert(phr_and_psdu.end(), frame.psdu.begin(), frame.psdu.end());
+  const std::vector<std::uint8_t> data_symbols = BytesToSymbols(phr_and_psdu);
+  symbols.insert(symbols.end(), data_symbols.begin(), data_symbols.end());
+
+  frame.data_symbols = data_symbols;
+  frame.waveform = ModulateChips(SpreadSymbols(symbols));
+  frame.shr_samples = shr_count * kSamplesPerSymbol;
+  return frame;
+}
+
+double FrameDurationS(const TxFrame& frame) {
+  return static_cast<double>(frame.waveform.size()) / kSampleRateHz;
+}
+
+RxResult ReceiveFrame(const IqBuffer& rx, const RxConfig& config) {
+  RxResult result;
+  const IqBuffer& ref = DetectionReference();
+  if (rx.size() < ref.size() + kSamplesPerSymbol) return result;
+
+  // Normalized cross-correlation against the SHR tail.
+  const std::size_t positions = rx.size() - ref.size() + 1;
+  double ref_energy = 0.0;
+  for (const Cplx& x : ref) ref_energy += std::norm(x);
+
+  double best = 0.0;
+  std::size_t best_pos = 0;
+  Cplx best_corr{0.0, 0.0};
+  double window_energy = 0.0;
+  for (std::size_t n = 0; n < ref.size(); ++n) window_energy += std::norm(rx[n]);
+  for (std::size_t n = 0; n < positions; ++n) {
+    if (n > 0) {
+      window_energy +=
+          std::norm(rx[n + ref.size() - 1]) - std::norm(rx[n - 1]);
+    }
+    if (window_energy > 0.0) {
+      Cplx c{0.0, 0.0};
+      for (std::size_t k = 0; k < ref.size(); ++k) {
+        c += rx[n + k] * std::conj(ref[k]);
+      }
+      const double ncorr = std::abs(c) / std::sqrt(window_energy * ref_energy);
+      if (ncorr > best) {
+        best = ncorr;
+        best_pos = n;
+        best_corr = c;
+      }
+    }
+  }
+  if (best < config.detection_threshold) return result;
+  result.detected = true;
+  result.start_index = best_pos;
+
+  // Phase lock: derotate by the correlation phase.
+  const double phase = std::arg(best_corr);
+  IqBuffer locked = dsp::RotatePhase(rx, -phase);
+
+  // PHR starts right after the SFD. The detection reference covers 4
+  // symbols; its start is 2 preamble symbols before the SFD.
+  const std::size_t phr_start = best_pos + 4 * kSamplesPerSymbol;
+
+  // Decode PHR (2 symbols = 1 byte).
+  const BitVector phr_chips =
+      DemodulateChips(locked, phr_start, 2 * kChipsPerSymbol);
+  if (phr_chips.size() < 2 * kChipsPerSymbol) return result;
+  std::vector<std::uint8_t> symbols;
+  double chip_distance_sum = 0.0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    const DespreadResult d = DespreadChips(
+        std::span<const Bit>(phr_chips).subspan(s * kChipsPerSymbol,
+                                                kChipsPerSymbol));
+    symbols.push_back(d.symbol);
+    chip_distance_sum += d.distance;
+  }
+  const std::size_t psdu_len = SymbolsToBytes(symbols)[0] & 0x7Fu;
+  if (psdu_len < 2 || psdu_len > kMaxPsduBytes) return result;
+  result.psdu_len = psdu_len;
+
+  // Decode PSDU symbols.
+  const std::size_t psdu_symbols = psdu_len * 2;
+  const std::size_t psdu_start = phr_start + 2 * kSamplesPerSymbol;
+  const BitVector chips =
+      DemodulateChips(locked, psdu_start, psdu_symbols * kChipsPerSymbol);
+  if (chips.size() < psdu_symbols * kChipsPerSymbol) return result;
+  std::vector<std::uint8_t> payload_symbols;
+  for (std::size_t s = 0; s < psdu_symbols; ++s) {
+    const DespreadResult d = DespreadChips(std::span<const Bit>(chips).subspan(
+        s * kChipsPerSymbol, kChipsPerSymbol));
+    payload_symbols.push_back(d.symbol);
+    chip_distance_sum += d.distance;
+  }
+  result.psdu = SymbolsToBytes(payload_symbols);
+  result.data_symbols = symbols;
+  result.data_symbols.insert(result.data_symbols.end(), payload_symbols.begin(),
+                             payload_symbols.end());
+  result.mean_chip_distance =
+      chip_distance_sum / static_cast<double>(2 + psdu_symbols);
+
+  // RSSI over the frame extent.
+  const std::size_t frame_end =
+      std::min(rx.size(), psdu_start + psdu_symbols * kSamplesPerSymbol);
+  result.rssi_dbm = dsp::PowerDbm(
+      std::span<const Cplx>(rx).subspan(best_pos, frame_end - best_pos));
+
+  // FCS check.
+  if (result.psdu.size() >= 2) {
+    const std::uint16_t fcs = static_cast<std::uint16_t>(
+        result.psdu[result.psdu.size() - 2] |
+        (result.psdu[result.psdu.size() - 1] << 8));
+    const std::uint16_t computed = Crc16Ccitt(std::span<const std::uint8_t>(
+        result.psdu.data(), result.psdu.size() - 2));
+    result.fcs_ok = (fcs == computed);
+  }
+  return result;
+}
+
+}  // namespace freerider::phy802154

@@ -1,0 +1,81 @@
+#include "phy802154/mhr.h"
+
+namespace freerider::phy802154 {
+namespace {
+
+// Frame-control field (802.15.4-2015 §7.2.1), short addressing both
+// ways for data frames; no addressing on ACKs.
+std::uint16_t FrameControlFor(const MacHeader& header) {
+  std::uint16_t fc = static_cast<std::uint16_t>(header.type);
+  if (header.ack_request) fc |= 1u << 5;
+  if (header.type != MacFrameType::kAck) {
+    if (header.pan_id_compression) fc |= 1u << 6;
+    fc |= 2u << 10;  // dest addressing: short
+    fc |= 2u << 14;  // src addressing: short
+  }
+  return fc;
+}
+
+void AppendU16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+std::uint16_t ReadU16(std::span<const std::uint8_t> d, std::size_t at) {
+  return static_cast<std::uint16_t>(d[at] |
+                                    (static_cast<std::uint16_t>(d[at + 1]) << 8));
+}
+
+}  // namespace
+
+std::size_t MacHeaderBytes(const MacHeader& header) {
+  if (header.type == MacFrameType::kAck) return 3;  // fc(2) + seq(1)
+  // fc(2) seq(1) dest_pan(2) dest(2) [src_pan(2)] src(2)
+  return header.pan_id_compression ? 9 : 11;
+}
+
+Bytes BuildMacFrame(const MacHeader& header,
+                    std::span<const std::uint8_t> payload) {
+  Bytes out;
+  out.reserve(MacHeaderBytes(header) + payload.size());
+  AppendU16(out, FrameControlFor(header));
+  out.push_back(header.sequence);
+  if (header.type != MacFrameType::kAck) {
+    AppendU16(out, header.dest_pan);
+    AppendU16(out, header.dest_short);
+    if (!header.pan_id_compression) AppendU16(out, header.dest_pan);
+    AppendU16(out, header.src_short);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::optional<ParsedMacFrame> ParseMacFrame(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < 3) return std::nullopt;
+  const std::uint16_t fc = ReadU16(frame, 0);
+  const auto type = static_cast<MacFrameType>(fc & 0x7);
+  if (static_cast<int>(type) > 3) return std::nullopt;
+
+  ParsedMacFrame parsed;
+  parsed.header.type = type;
+  parsed.header.ack_request = (fc >> 5) & 1;
+  parsed.header.pan_id_compression = (fc >> 6) & 1;
+  parsed.header.sequence = frame[2];
+  if (type == MacFrameType::kAck) return parsed;
+
+  const std::size_t header_bytes = parsed.header.pan_id_compression ? 9 : 11;
+  if (((fc >> 10) & 0x3) != 2 || ((fc >> 14) & 0x3) != 2) {
+    return std::nullopt;  // only short addressing supported
+  }
+  if (frame.size() < header_bytes) return std::nullopt;
+  parsed.header.dest_pan = ReadU16(frame, 3);
+  parsed.header.dest_short = ReadU16(frame, 5);
+  const std::size_t src_at = parsed.header.pan_id_compression ? 7 : 9;
+  parsed.header.src_short = ReadU16(frame, src_at);
+  parsed.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(header_bytes),
+                        frame.end());
+  return parsed;
+}
+
+}  // namespace freerider::phy802154

@@ -1,0 +1,48 @@
+// IEEE 802.15.4 MAC header (MHR): like the WiFi MPDU layer, this makes
+// the ZigBee excitation frames *real traffic* — frame control, sequence
+// number, PAN/short addressing — rather than opaque byte blobs.
+// Covers the data and acknowledgment frames a lighting network sends.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.h"
+
+namespace freerider::phy802154 {
+
+enum class MacFrameType : std::uint8_t {
+  kBeacon = 0,
+  kData = 1,
+  kAck = 2,
+  kMacCommand = 3,
+};
+
+struct MacHeader {
+  MacFrameType type = MacFrameType::kData;
+  bool ack_request = false;
+  bool pan_id_compression = true;
+  std::uint8_t sequence = 0;
+  std::uint16_t dest_pan = 0x1234;
+  std::uint16_t dest_short = 0xFFFF;
+  std::uint16_t src_short = 0x0000;
+};
+
+/// Header size on air (bytes) for this configuration.
+std::size_t MacHeaderBytes(const MacHeader& header);
+
+/// Serialize header + payload into a MAC frame (without the FCS, which
+/// the PHY's BuildFrame appends). ACK frames carry no payload/addresses.
+Bytes BuildMacFrame(const MacHeader& header,
+                    std::span<const std::uint8_t> payload);
+
+struct ParsedMacFrame {
+  MacHeader header;
+  Bytes payload;
+};
+
+/// Parse a MAC frame (without FCS). Returns nullopt on malformed input.
+std::optional<ParsedMacFrame> ParseMacFrame(std::span<const std::uint8_t> frame);
+
+}  // namespace freerider::phy802154

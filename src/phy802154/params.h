@@ -1,0 +1,34 @@
+// IEEE 802.15.4 2.4 GHz O-QPSK PHY parameters (clause 12 of
+// 802.15.4-2015; the classic 250 kb/s ZigBee PHY).
+//
+// 2 Mchip/s, 32 chips per 4-bit symbol (62.5 ksym/s), half-sine pulse
+// shaping with even chips on I and odd chips on Q, offset by half a
+// pulse (this offset is what paper §3.2.2 works around with N-symbol
+// redundancy).
+#pragma once
+
+#include <cstddef>
+
+namespace freerider::phy802154 {
+
+inline constexpr double kChipRateHz = 2e6;
+inline constexpr std::size_t kSamplesPerChip = 4;
+inline constexpr double kSampleRateHz = kChipRateHz * kSamplesPerChip;  // 8 MS/s
+inline constexpr std::size_t kChipsPerSymbol = 32;
+inline constexpr std::size_t kBitsPerSymbol = 4;
+inline constexpr double kSymbolRateHz = kChipRateHz / kChipsPerSymbol;  // 62.5 k
+inline constexpr double kSymbolDurationS = 1.0 / kSymbolRateHz;         // 16 us
+inline constexpr std::size_t kSamplesPerSymbol =
+    kChipsPerSymbol * kSamplesPerChip;  // 128
+inline constexpr double kBitRateBps = kSymbolRateHz * kBitsPerSymbol;  // 250 kb/s
+
+/// Preamble: 4 octets of 0x00 = 8 symbols of value 0.
+inline constexpr std::size_t kPreambleSymbols = 8;
+/// Start-of-frame delimiter 0xA7, low nibble first: symbols {7, 10}.
+inline constexpr std::size_t kSfdSymbols = 2;
+inline constexpr std::size_t kShrSymbols = kPreambleSymbols + kSfdSymbols;
+
+/// Max PSDU (PHR length field is 7 bits).
+inline constexpr std::size_t kMaxPsduBytes = 127;
+
+}  // namespace freerider::phy802154

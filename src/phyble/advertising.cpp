@@ -1,0 +1,57 @@
+#include "phyble/advertising.h"
+
+#include <stdexcept>
+
+#include "phyble/params.h"
+
+namespace freerider::phyble {
+
+Bytes BuildAdvertisingPayload(std::span<const AdStructure> structures) {
+  Bytes out;
+  for (const AdStructure& s : structures) {
+    if (s.data.size() + 1 > 255) {
+      throw std::invalid_argument("AD structure too large");
+    }
+    out.push_back(static_cast<std::uint8_t>(s.data.size() + 1));
+    out.push_back(static_cast<std::uint8_t>(s.type));
+    out.insert(out.end(), s.data.begin(), s.data.end());
+  }
+  if (out.size() > kMaxPayloadBytes) {
+    throw std::invalid_argument("advertising payload too large");
+  }
+  return out;
+}
+
+std::optional<std::vector<AdStructure>> ParseAdvertisingPayload(
+    std::span<const std::uint8_t> payload) {
+  std::vector<AdStructure> out;
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    const std::size_t len = payload[i];
+    if (len == 0) break;  // early-terminated payload (padding)
+    if (i + 1 + len > payload.size()) return std::nullopt;  // truncated
+    AdStructure s;
+    s.type = static_cast<AdType>(payload[i + 1]);
+    s.data.assign(payload.begin() + static_cast<std::ptrdiff_t>(i + 2),
+                  payload.begin() + static_cast<std::ptrdiff_t>(i + 1 + len));
+    out.push_back(std::move(s));
+    i += 1 + len;
+  }
+  return out;
+}
+
+Bytes MakeBeaconPayload(const std::string& name, std::uint16_t service_uuid,
+                        std::span<const std::uint8_t> service_data) {
+  std::vector<AdStructure> structures;
+  structures.push_back({AdType::kFlags, Bytes{0x06}});  // general discoverable
+  structures.push_back(
+      {AdType::kCompleteLocalName, Bytes(name.begin(), name.end())});
+  Bytes service;
+  service.push_back(static_cast<std::uint8_t>(service_uuid & 0xFF));
+  service.push_back(static_cast<std::uint8_t>((service_uuid >> 8) & 0xFF));
+  service.insert(service.end(), service_data.begin(), service_data.end());
+  structures.push_back({AdType::kServiceData16, std::move(service)});
+  return BuildAdvertisingPayload(structures);
+}
+
+}  // namespace freerider::phyble

@@ -1,0 +1,44 @@
+// BLE advertising payloads: the AD-structure (length | type | data)
+// format inside ADV_* PDUs — the "productive traffic" a Bluetooth
+// beacon actually broadcasts while FreeRider rides it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace freerider::phyble {
+
+/// Common AD types (Core Specification Supplement Part A).
+enum class AdType : std::uint8_t {
+  kFlags = 0x01,
+  kCompleteLocalName = 0x09,
+  kTxPowerLevel = 0x0A,
+  kServiceData16 = 0x16,
+  kManufacturerSpecific = 0xFF,
+};
+
+struct AdStructure {
+  AdType type = AdType::kFlags;
+  Bytes data;
+};
+
+/// Serialize AD structures into an advertising payload (each structure
+/// is length(1) | type(1) | data; total must fit a BLE payload).
+Bytes BuildAdvertisingPayload(std::span<const AdStructure> structures);
+
+/// Parse an advertising payload; returns nullopt on malformed length
+/// fields (truncated structures).
+std::optional<std::vector<AdStructure>> ParseAdvertisingPayload(
+    std::span<const std::uint8_t> payload);
+
+/// Convenience: a typical beacon payload — flags + name + 16-bit
+/// service data (e.g. a temperature reading).
+Bytes MakeBeaconPayload(const std::string& name, std::uint16_t service_uuid,
+                        std::span<const std::uint8_t> service_data);
+
+}  // namespace freerider::phyble

@@ -1,0 +1,36 @@
+// Bluetooth LE 1 Mb/s PHY parameters: GFSK, modulation index 0.5
+// (frequency deviation ±250 kHz), BT = 0.5, 1 MHz channel — matching
+// the TI CC2541 configuration in paper §3.1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace freerider::phyble {
+
+inline constexpr double kBitRateBps = 1e6;
+inline constexpr std::size_t kSamplesPerBit = 8;
+inline constexpr double kSampleRateHz = kBitRateBps * kSamplesPerBit;  // 8 MS/s
+inline constexpr double kFreqDeviationHz = 250e3;
+inline constexpr double kChannelBandwidthHz = 1e6;
+inline constexpr double kModulationIndex =
+    2.0 * kFreqDeviationHz / kChannelBandwidthHz;  // 0.5
+inline constexpr double kGaussianBt = 0.5;
+
+/// BLE advertising access address.
+inline constexpr std::uint32_t kAdvAccessAddress = 0x8E89BED6u;
+
+/// Preamble: 8 alternating bits (0xAA LSB-first starting with 0).
+inline constexpr std::size_t kPreambleBits = 8;
+inline constexpr std::size_t kAccessAddressBits = 32;
+
+inline constexpr std::size_t kMaxPayloadBytes = 255;
+inline constexpr std::size_t kCrcBytes = 3;
+
+/// The tag's data-1 toggle offset: |f1 - f0| = 2 * deviation = 500 kHz.
+/// Satisfies Eq. 10 of the paper: the unwanted sideband lands at
+/// ±750 kHz, outside the (1-i)·w/2 = 250 kHz codeword region and beyond
+/// the channel edge, so the receiver's channel filter rejects it.
+inline constexpr double kTagDeltaFHz = 2.0 * kFreqDeviationHz;
+
+}  // namespace freerider::phyble

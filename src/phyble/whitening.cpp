@@ -1,0 +1,24 @@
+#include "phyble/whitening.h"
+
+#include <stdexcept>
+
+namespace freerider::phyble {
+
+BitVector Whiten(std::span<const Bit> bits, std::uint8_t channel_index) {
+  if (channel_index > 39) {
+    throw std::invalid_argument("BLE channel index must be 0..39");
+  }
+  // Register init: position 0 = 1, positions 1..6 = channel index bits
+  // (MSB of the channel in position 1).
+  std::uint8_t lfsr = static_cast<std::uint8_t>(0x40u | (channel_index & 0x3Fu));
+  BitVector out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const Bit w = static_cast<Bit>((lfsr >> 6) & 1u);
+    out[i] = bits[i] ^ w;
+    lfsr = static_cast<std::uint8_t>(((lfsr << 1) & 0x7Fu) | w);
+    if (w) lfsr ^= 0x10u;  // feedback into position 4 (x^4 tap)
+  }
+  return out;
+}
+
+}  // namespace freerider::phyble

@@ -1,0 +1,16 @@
+// BLE data whitening (Core spec Vol 6 Part B §3.2): 7-bit LFSR with
+// polynomial x^7 + x^4 + 1, initialized from the RF channel index,
+// XOR-ed over PDU + CRC bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace freerider::phyble {
+
+/// Whiten (== dewhiten) `bits` for `channel_index` (0..39).
+BitVector Whiten(std::span<const Bit> bits, std::uint8_t channel_index);
+
+}  // namespace freerider::phyble

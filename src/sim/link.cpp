@@ -1,0 +1,298 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "core/redundancy.h"
+#include "core/xor_decoder.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "phy802154/frame.h"
+#include "phyble/frame.h"
+
+namespace freerider::sim {
+namespace {
+
+double SampleRate(core::RadioType radio) {
+  switch (radio) {
+    case core::RadioType::kWifi:
+      return phy80211::kSampleRateHz;
+    case core::RadioType::kZigbee:
+      return phy802154::kSampleRateHz;
+    case core::RadioType::kBluetooth:
+      return phyble::kSampleRateHz;
+  }
+  return 0.0;
+}
+
+/// Apply a random-walk phase drift (receiver LO wander).
+IqBuffer ApplyPhaseDrift(IqBuffer wave, double sigma_per_sample, Rng& rng) {
+  if (sigma_per_sample <= 0.0) return wave;
+  double phase = 0.0;
+  for (auto& x : wave) {
+    phase += sigma_per_sample * rng.NextGaussian();
+    x *= Cplx{std::cos(phase), std::sin(phase)};
+  }
+  return wave;
+}
+
+IqBuffer PadBuffer(const IqBuffer& wave, std::size_t pad) {
+  IqBuffer out(pad, Cplx{0.0, 0.0});
+  out.insert(out.end(), wave.begin(), wave.end());
+  out.insert(out.end(), pad, Cplx{0.0, 0.0});
+  return out;
+}
+
+channel::BackscatterBudget MakeBudget(const LinkConfig& config) {
+  channel::BackscatterBudget budget;
+  budget.tx_power_dbm = config.profile.tx_power_dbm;
+  budget.path = config.deployment.path_model();
+  return budget;
+}
+
+struct PacketOutcome {
+  bool decoded = false;
+  std::size_t tag_bits = 0;
+  std::size_t tag_bit_errors = 0;
+  std::size_t good_chunk_bits = 0;  ///< Bits inside error-free 96-bit chunks.
+  double rssi_dbm = -300.0;
+  double airtime_s = 0.0;
+};
+
+/// Tag-frame-sized accounting unit for goodput.
+constexpr std::size_t kChunkBits = 96;
+
+void ChunkAccount(std::span<const Bit> sent, std::span<const Bit> decoded,
+                  PacketOutcome& outcome) {
+  const std::size_t n = std::min(sent.size(), decoded.size());
+  outcome.tag_bits = n;
+  for (std::size_t base = 0; base + 1 <= n; base += kChunkBits) {
+    const std::size_t len = std::min(kChunkBits, n - base);
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      errors += (sent[base + i] != decoded[base + i]) ? 1 : 0;
+    }
+    outcome.tag_bit_errors += errors;
+    if (errors == 0) outcome.good_chunk_bits += len;
+  }
+}
+
+PacketOutcome RunOnePacket(const LinkConfig& config, std::size_t redundancy,
+                           double rx_power_dbm, Rng& rng) {
+  PacketOutcome outcome;
+  core::TranslateConfig tcfg;
+  tcfg.radio = config.radio;
+  tcfg.redundancy = redundancy;
+
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = SampleRate(config.radio);
+  fe.noise_figure_db = config.profile.noise_figure_db;
+
+  const Bytes payload =
+      RandomBytes(rng, config.profile.excitation_payload_bytes);
+
+  switch (config.radio) {
+    case core::RadioType::kWifi: {
+      const phy80211::TxFrame frame = phy80211::BuildFrame(payload, {});
+      outcome.airtime_s = phy80211::FrameDurationS(frame);
+      const BitVector tag_bits =
+          RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+      const IqBuffer scaled =
+          channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
+      const IqBuffer backscattered = core::Translate(scaled, tag_bits, tcfg);
+      const IqBuffer rx =
+          channel::AddThermalNoise(PadBuffer(backscattered, 150), fe, rng);
+      const phy80211::RxResult result = phy80211::ReceiveFrame(rx);
+      if (!result.signal_ok) return outcome;
+      outcome.decoded = true;
+      outcome.rssi_dbm = result.rssi_dbm;
+      const core::TagDecodeResult decoded = core::DecodeWifi(
+          frame.data_bits, result.data_bits,
+          phy80211::ParamsFor(frame.rate).data_bits_per_symbol, redundancy);
+      ChunkAccount(tag_bits, decoded.bits, outcome);
+      break;
+    }
+    case core::RadioType::kZigbee: {
+      const std::size_t psdu = std::min<std::size_t>(
+          config.profile.excitation_payload_bytes, 100);
+      const phy802154::TxFrame frame =
+          phy802154::BuildFrame(std::span(payload).subspan(0, psdu));
+      outcome.airtime_s = phy802154::FrameDurationS(frame);
+      const BitVector tag_bits =
+          RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+      const IqBuffer scaled =
+          channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
+      const IqBuffer backscattered = core::Translate(scaled, tag_bits, tcfg);
+      const IqBuffer rx = ApplyPhaseDrift(
+          channel::AddThermalNoise(PadBuffer(backscattered, 200), fe, rng),
+          config.profile.phase_noise_rw_rad_per_sample, rng);
+      const phy802154::RxResult result = phy802154::ReceiveFrame(rx);
+      if (!result.detected || result.data_symbols.empty()) return outcome;
+      outcome.decoded = true;
+      outcome.rssi_dbm = result.rssi_dbm;
+      const core::TagDecodeResult decoded = core::DecodeZigbee(
+          frame.data_symbols, result.data_symbols, redundancy);
+      ChunkAccount(tag_bits, decoded.bits, outcome);
+      break;
+    }
+    case core::RadioType::kBluetooth: {
+      const std::size_t len = std::min<std::size_t>(
+          config.profile.excitation_payload_bytes, phyble::kMaxPayloadBytes);
+      const phyble::TxFrame frame =
+          phyble::BuildFrame(std::span(payload).subspan(0, len));
+      outcome.airtime_s = phyble::FrameDurationS(frame);
+      const BitVector tag_bits =
+          RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+      const IqBuffer scaled =
+          channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
+      const IqBuffer backscattered = core::Translate(scaled, tag_bits, tcfg);
+      const IqBuffer rx =
+          channel::AddThermalNoise(PadBuffer(backscattered, 200), fe, rng);
+      const phyble::RxResult result = phyble::ReceiveFrame(rx);
+      if (!result.detected || result.stream_bits.empty()) return outcome;
+      outcome.decoded = true;
+      outcome.rssi_dbm = result.rssi_dbm;
+      const core::TagDecodeResult decoded = core::DecodeBluetooth(
+          frame.stream_bits, result.stream_bits, redundancy);
+      ChunkAccount(tag_bits, decoded.bits, outcome);
+      break;
+    }
+  }
+  return outcome;
+}
+
+LinkStats Aggregate(const LinkConfig& config, std::size_t redundancy,
+                    double rx_power_dbm, std::size_t packets, Rng& rng) {
+  LinkStats stats;
+  stats.redundancy_used = redundancy;
+  stats.packets_attempted = packets;
+  std::size_t total_bits = 0;
+  std::size_t total_errors = 0;
+  std::size_t total_good_bits = 0;
+  double total_airtime = 0.0;
+  double rssi_sum = 0.0;
+  const double sideband_db =
+      channel::BackscatterBudget{}.sideband_conversion_loss_db;
+  for (std::size_t p = 0; p < packets; ++p) {
+    const double faded_dbm =
+        rx_power_dbm + config.profile.shadowing_sigma_db * rng.NextGaussian();
+    // Sensitivity gate: below the chipset's sync floor nothing decodes.
+    if (faded_dbm - sideband_db < config.profile.sensitivity_dbm) {
+      total_airtime += 1e-3 + config.profile.inter_frame_gap_s;
+      continue;
+    }
+    const PacketOutcome o = RunOnePacket(config, redundancy, faded_dbm, rng);
+    total_airtime += o.airtime_s + config.profile.inter_frame_gap_s;
+    if (o.decoded) {
+      ++stats.packets_decoded;
+      total_bits += o.tag_bits;
+      total_errors += o.tag_bit_errors;
+      total_good_bits += o.good_chunk_bits;
+      rssi_sum += o.rssi_dbm;
+    }
+  }
+  stats.packet_reception_rate =
+      static_cast<double>(stats.packets_decoded) / static_cast<double>(packets);
+  if (total_bits > 0) {
+    stats.tag_ber =
+        static_cast<double>(total_errors) / static_cast<double>(total_bits);
+    stats.tag_throughput_bps =
+        static_cast<double>(total_good_bits) / total_airtime;
+  }
+  if (stats.packets_decoded > 0) {
+    stats.rssi_dbm = rssi_sum / static_cast<double>(stats.packets_decoded);
+  }
+  return stats;
+}
+
+}  // namespace
+
+RadioProfile DefaultProfile(core::RadioType radio) {
+  RadioProfile profile;
+  switch (radio) {
+    case core::RadioType::kWifi:
+      profile.tx_power_dbm = 11.0;  // Intel 5300, §4.2.1
+      profile.noise_figure_db = 5.0;
+      profile.excitation_payload_bytes = 800;
+      profile.sensitivity_dbm = -93.5;
+      break;
+    case core::RadioType::kZigbee:
+      profile.tx_power_dbm = 5.0;  // CC2650 maximum
+      // NF plus the implementation loss of coherently demodulating a
+      // weak backscattered O-QPSK signal (phase lock on a short SHR).
+      profile.noise_figure_db = 13.0;
+      profile.excitation_payload_bytes = 80;
+      profile.sensitivity_dbm = -93.5;
+      profile.phase_noise_rw_rad_per_sample = 0.0045;
+      break;
+    case core::RadioType::kBluetooth:
+      profile.tx_power_dbm = 0.0;  // CC2541
+      // NF + discriminator implementation loss (CC2541-class
+      // sensitivity rather than an ideal matched receiver).
+      profile.noise_figure_db = 12.0;
+      profile.excitation_payload_bytes = 200;
+      profile.sensitivity_dbm = -94.0;
+      break;
+  }
+  return profile;
+}
+
+double BackscatterRxPowerDbm(const LinkConfig& config) {
+  const channel::BackscatterBudget budget = MakeBudget(config);
+  return budget.ReceivedDbm(config.deployment.tx_to_tag_m, config.tag_to_rx_m,
+                            config.deployment.WallsTxToTag(),
+                            config.deployment.WallsTagToRx(config.tag_to_rx_m),
+                            /*include_sideband_loss=*/true);
+}
+
+double BackscatterSnrDb(const LinkConfig& config) {
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = SampleRate(config.radio);
+  fe.noise_figure_db = config.profile.noise_figure_db;
+  return BackscatterRxPowerDbm(config) - fe.NoiseFloorDbm();
+}
+
+LinkStats SimulateTagLink(const LinkConfig& config, Rng& rng) {
+  const std::size_t redundancy = config.redundancy != 0
+                                     ? config.redundancy
+                                     : core::DefaultRedundancy(config.radio);
+  const channel::BackscatterBudget budget = MakeBudget(config);
+  // Power excluding the sideband loss: the tag waveform model applies it.
+  const double rx_power = budget.ReceivedDbm(
+      config.deployment.tx_to_tag_m, config.tag_to_rx_m,
+      config.deployment.WallsTxToTag(),
+      config.deployment.WallsTagToRx(config.tag_to_rx_m),
+      /*include_sideband_loss=*/false);
+  LinkStats stats =
+      Aggregate(config, redundancy, rx_power, config.num_packets, rng);
+  stats.snr_db = BackscatterSnrDb(config);
+  return stats;
+}
+
+LinkStats SimulateTagLinkAdaptive(const LinkConfig& config, Rng& rng,
+                                  std::size_t probe_packets) {
+  const auto ladder = core::RedundancyLadder(config.radio);
+  const channel::BackscatterBudget budget = MakeBudget(config);
+  const double rx_power = budget.ReceivedDbm(
+      config.deployment.tx_to_tag_m, config.tag_to_rx_m,
+      config.deployment.WallsTxToTag(),
+      config.deployment.WallsTagToRx(config.tag_to_rx_m),
+      /*include_sideband_loss=*/false);
+
+  std::size_t best_n = ladder.back();
+  double best_goodput = -1.0;
+  for (std::size_t n : ladder) {
+    const LinkStats probe = Aggregate(config, n, rx_power, probe_packets, rng);
+    if (probe.tag_throughput_bps > best_goodput) {
+      best_goodput = probe.tag_throughput_bps;
+      best_n = n;
+    }
+  }
+  LinkConfig final_config = config;
+  final_config.redundancy = best_n;
+  return SimulateTagLink(final_config, rng);
+}
+
+}  // namespace freerider::sim

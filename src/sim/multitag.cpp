@@ -1,0 +1,162 @@
+#include "sim/multitag.h"
+
+#include <algorithm>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/stats.h"
+#include "core/tag_frame.h"
+#include "core/translator.h"
+#include "core/xor_decoder.h"
+#include "dsp/signal_ops.h"
+#include "mac/tag_mac.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "tag/envelope_detector.h"
+
+namespace freerider::sim {
+namespace {
+
+/// One tag's firmware + identity.
+struct SimTag {
+  explicit SimTag(std::uint64_t seed) : controller(seed) {}
+
+  mac::TagController controller;
+  std::uint8_t id = 0;
+  std::uint8_t sequence = 0;
+};
+
+/// The tag's slot payload: [id, sequence], framed.
+BitVector TagSlotBits(SimTag& tag) {
+  Bytes payload = {tag.id, tag.sequence};
+  ++tag.sequence;
+  return core::EncodeTagFrame(payload);
+}
+
+}  // namespace
+
+FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
+  FullStackStats stats;
+  stats.per_tag_deliveries.assign(config.num_tags, 0);
+
+  std::vector<SimTag> tags;
+  tags.reserve(config.num_tags);
+  for (std::size_t t = 0; t < config.num_tags; ++t) {
+    tags.emplace_back(rng.NextU64());
+    tags.back().id = static_cast<std::uint8_t>(t + 1);
+  }
+
+  const tag::EnvelopeDetector detector;
+  mac::SlotScheduler scheduler(config.adjust);
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = phy80211::kSampleRateHz;
+  fe.noise_figure_db = 5.0;
+  const mac::PlmConfig plm;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    ++stats.rounds;
+    const std::size_t slots = scheduler.current_slots();
+
+    // 1. PLM announcement through each tag's envelope detector.
+    mac::RoundAnnouncement announcement;
+    announcement.slots = slots;
+    announcement.sequence = static_cast<std::uint8_t>(round);
+    const BitVector message =
+        mac::BuildPlmMessage(mac::BuildAnnouncement(announcement));
+    const auto pulses =
+        mac::EncodePlm(message, 0.0, config.plm_power_at_tag_dbm, plm);
+    stats.airtime_s +=
+        pulses.back().start_s + pulses.back().duration_s + plm.gap_s;
+    for (SimTag& t : tags) {
+      for (const auto& p : pulses) {
+        if (auto m = detector.Detect(p, rng)) t.controller.OnPulse(*m);
+      }
+    }
+
+    // 2+3. Slots: real excitation, real reflections, real decode.
+    std::size_t singles_observed = 0;
+    std::size_t collisions_observed = 0;
+    std::size_t empties_observed = 0;
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      ++stats.slots_total;
+      const phy80211::TxFrame excitation = phy80211::BuildFrame(
+          RandomBytes(rng, config.excitation_payload_bytes), {});
+      stats.airtime_s += phy80211::FrameDurationS(excitation) + 60e-6;
+
+      core::TranslateConfig tcfg;
+      const std::size_t capacity =
+          core::TagBitCapacity(excitation.waveform.size(), tcfg);
+      const IqBuffer scaled = channel::ToAbsolutePower(
+          excitation.waveform, config.backscatter_rx_dbm);
+
+      // Superpose every firing tag's reflection.
+      IqBuffer composite;
+      std::vector<std::size_t> transmitters;
+      for (std::size_t t = 0; t < config.num_tags; ++t) {
+        if (!tags[t].controller.OnSlotBoundary()) continue;
+        transmitters.push_back(t);
+        BitVector bits = TagSlotBits(tags[t]);
+        bits.resize(capacity, 0);
+        const IqBuffer reflection = core::Translate(scaled, bits, tcfg);
+        composite = composite.empty()
+                        ? reflection
+                        : dsp::AddSignals(composite, reflection);
+      }
+
+      if (composite.empty()) {
+        ++empties_observed;
+        continue;
+      }
+
+      IqBuffer padded(150, Cplx{0.0, 0.0});
+      padded.insert(padded.end(), composite.begin(), composite.end());
+      const phy80211::RxResult rx =
+          phy80211::ReceiveFrame(channel::AddThermalNoise(padded, fe, rng));
+
+      bool delivered = false;
+      if (rx.signal_ok) {
+        const core::TagDecodeResult decoded = core::DecodeWifi(
+            excitation.data_bits, rx.data_bits,
+            phy80211::ParamsFor(excitation.rate).data_bits_per_symbol,
+            tcfg.redundancy);
+        const auto frames = core::ExtractTagFrames(decoded.bits);
+        for (const core::TagFrame& f : frames) {
+          if (!f.crc_ok || f.payload.size() != config.tag_payload_bytes) {
+            continue;
+          }
+          const std::uint8_t id = f.payload[0];
+          if (id >= 1 && id <= config.num_tags) {
+            ++stats.deliveries;
+            ++stats.per_tag_deliveries[id - 1];
+            delivered = true;
+          }
+        }
+      }
+      if (delivered) {
+        ++singles_observed;
+      } else {
+        // Energy present but nothing decodable: observed collision.
+        ++collisions_observed;
+      }
+    }
+    stats.observed_collisions += collisions_observed;
+    stats.observed_empties += empties_observed;
+    // The coordinator resizes from its *observations* of this round.
+    scheduler.ReportRound(singles_observed, collisions_observed,
+                          empties_observed);
+  }
+
+  double total_payload_bits = 0.0;
+  std::vector<double> per_tag(config.num_tags);
+  for (std::size_t t = 0; t < config.num_tags; ++t) {
+    per_tag[t] = static_cast<double>(stats.per_tag_deliveries[t]);
+    total_payload_bits +=
+        per_tag[t] * static_cast<double>(config.tag_payload_bytes) * 8.0;
+  }
+  stats.goodput_bps =
+      stats.airtime_s > 0.0 ? total_payload_bits / stats.airtime_s : 0.0;
+  stats.jain_fairness = JainFairnessIndex(per_tag);
+  return stats;
+}
+
+}  // namespace freerider::sim

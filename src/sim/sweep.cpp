@@ -1,0 +1,145 @@
+#include "sim/sweep.h"
+
+#include <cmath>
+
+#include "core/redundancy.h"
+#include <cstdio>
+#include <sstream>
+
+namespace freerider::sim {
+
+std::vector<DistancePoint> DistanceSweep(core::RadioType radio,
+                                         const channel::Deployment& deployment,
+                                         const std::vector<double>& distances,
+                                         std::size_t packets,
+                                         std::uint64_t seed) {
+  std::vector<DistancePoint> points;
+  points.reserve(distances.size());
+  Rng rng(seed);
+  for (double d : distances) {
+    LinkConfig config;
+    config.radio = radio;
+    config.deployment = deployment;
+    config.tag_to_rx_m = d;
+    config.num_packets = packets;
+    config.profile = DefaultProfile(radio);
+    Rng point_rng = rng.Split();
+    points.push_back({d, SimulateTagLinkAdaptive(config, point_rng)});
+  }
+  return points;
+}
+
+std::vector<RangePoint> RangeSweep(core::RadioType radio,
+                                   const std::vector<double>& tx_tag_distances,
+                                   double max_search_m, std::size_t packets,
+                                   std::uint64_t seed, double prr_floor) {
+  std::vector<RangePoint> points;
+  Rng rng(seed);
+  for (double d1 : tx_tag_distances) {
+    auto sustained = [&](double d2) {
+      LinkConfig config;
+      config.radio = radio;
+      config.deployment = channel::LosDeployment(d1);
+      config.tag_to_rx_m = d2;
+      config.num_packets = packets;
+      config.profile = DefaultProfile(radio);
+      // The range limit is header detection, not tag BER: use the
+      // largest redundancy.
+      config.redundancy = core::RedundancyLadder(radio).back();
+      Rng trial_rng = rng.Split();
+      const LinkStats stats = SimulateTagLink(config, trial_rng);
+      return stats.packet_reception_rate >= prr_floor;
+    };
+    // Exponential bracket then bisection on the sustained range.
+    double lo = 0.5;
+    if (!sustained(lo)) {
+      points.push_back({d1, 0.0});
+      continue;
+    }
+    double hi = 1.0;
+    while (hi < max_search_m && sustained(hi)) hi *= 1.6;
+    hi = std::min(hi, max_search_m);
+    for (int iter = 0; iter < 7 && hi - lo > 0.25; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (sustained(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    points.push_back({d1, lo});
+  }
+  return points;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Sci(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1e", value);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << "  " << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      // Quote cells containing commas or quotes; double inner quotes.
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"") != std::string::npos) {
+        out << '"';
+        for (char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace freerider::sim

@@ -1,0 +1,59 @@
+// Experiment sweeps for the evaluation figures: distance sweeps
+// (Figs. 10-13), the 2-D operational-regime sweep (Fig. 14), and small
+// table-printing helpers shared by the benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/link.h"
+
+namespace freerider::sim {
+
+struct DistancePoint {
+  double tag_to_rx_m = 0.0;
+  LinkStats stats;
+};
+
+/// Sweep the tag→receiver distance with adaptive redundancy (rate
+/// adaptation on), `packets` excitation frames per point.
+std::vector<DistancePoint> DistanceSweep(core::RadioType radio,
+                                         const channel::Deployment& deployment,
+                                         const std::vector<double>& distances,
+                                         std::size_t packets,
+                                         std::uint64_t seed);
+
+struct RangePoint {
+  double tx_to_tag_m = 0.0;
+  double max_tag_to_rx_m = 0.0;
+};
+
+/// Fig. 14: for each TX→tag distance, the largest tag→RX distance at
+/// which the link sustains (packet reception rate >= `prr_floor`).
+std::vector<RangePoint> RangeSweep(core::RadioType radio,
+                                   const std::vector<double>& tx_tag_distances,
+                                   double max_search_m, std::size_t packets,
+                                   std::uint64_t seed, double prr_floor = 0.5);
+
+/// Render a fixed-width table (benches print the paper's rows/series).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(const std::vector<std::string>& cells);
+  /// Format helper: fixed precision double.
+  static std::string Num(double value, int precision = 2);
+  /// Scientific notation (for BER columns).
+  static std::string Sci(double value);
+
+  std::string ToString() const;
+
+  /// Machine-readable CSV (quoted cells, header row first).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace freerider::sim

@@ -1,0 +1,45 @@
+#include "tag/envelope_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freerider::tag {
+
+double EnvelopeDetector::DetectionProbability(double power_dbm) const {
+  // Logistic in dB around the threshold; the 2 dB scale reflects the
+  // envelope noise riding on the comparator input (a soft edge is what
+  // slowly erodes Fig. 4's message accuracy with distance).
+  const double margin_db = power_dbm - config_.threshold_dbm;
+  return 1.0 / (1.0 + std::exp(-margin_db / 2.0));
+}
+
+std::optional<MeasuredPulse> EnvelopeDetector::Detect(const AirPulse& pulse,
+                                                      Rng& rng) const {
+  if (rng.NextDouble() >= DetectionProbability(pulse.power_dbm)) {
+    return std::nullopt;
+  }
+  // Duration jitter: each comparator edge wobbles more as the envelope
+  // SNR shrinks (the edge crosses the threshold on a shallower slope).
+  const double snr_db = pulse.power_dbm - config_.noise_dbm;
+  const double snr_lin = std::pow(10.0, std::max(snr_db, 0.0) / 10.0);
+  const double edge_sigma =
+      config_.base_jitter_s * (1.0 + 24.0 / std::sqrt(snr_lin + 1.0));
+  const double jitter = (rng.NextGaussian() + rng.NextGaussian()) * edge_sigma;
+
+  MeasuredPulse measured;
+  measured.start_s = pulse.start_s + config_.rise_delay_s;
+  measured.duration_s = std::max(0.0, pulse.duration_s + jitter);
+  return measured;
+}
+
+std::vector<MeasuredPulse> EnvelopeDetector::DetectAll(
+    std::span<const AirPulse> pulses, Rng& rng) const {
+  std::vector<MeasuredPulse> out;
+  out.reserve(pulses.size());
+  for (const AirPulse& p : pulses) {
+    if (auto m = Detect(p, rng)) out.push_back(*m);
+  }
+  return out;
+}
+
+}  // namespace freerider::tag

@@ -1,0 +1,53 @@
+#include "tag/harvester.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace freerider::tag {
+
+double HarvestEfficiency(double incident_dbm, const HarvesterConfig& config) {
+  if (incident_dbm <= config.dead_zone_dbm) return 0.0;
+  // Logistic roll-off below the knee; flat at peak above it.
+  const double margin = incident_dbm - config.knee_dbm;
+  const double scale =
+      1.0 / (1.0 + std::exp(-margin / (config.rolloff_db / 2.0)));
+  return config.peak_efficiency * std::min(1.0, 2.0 * scale);
+}
+
+double HarvestedPowerUw(double incident_dbm, const HarvesterConfig& config) {
+  return DbmToWatts(incident_dbm) * 1e6 * HarvestEfficiency(incident_dbm, config);
+}
+
+double SustainableDutyCycle(double incident_dbm, double load_uw,
+                            const HarvesterConfig& config) {
+  if (load_uw <= 0.0) return 1.0;
+  const double harvested = HarvestedPowerUw(incident_dbm, config);
+  return std::clamp(harvested / load_uw, 0.0, 1.0);
+}
+
+double SelfPoweredRangeM(double tx_eirp_dbm, double load_uw, double pl0_db,
+                         double exponent, const HarvesterConfig& config) {
+  // Bisect on distance; harvested power decreases monotonically.
+  auto sustains = [&](double d) {
+    const double incident =
+        tx_eirp_dbm - (pl0_db + 10.0 * exponent * std::log10(std::max(d, 0.01)));
+    return HarvestedPowerUw(incident, config) >= load_uw;
+  };
+  if (!sustains(0.01)) return 0.0;
+  double lo = 0.01;
+  double hi = 0.02;
+  while (hi < 1000.0 && sustains(hi)) hi *= 2.0;
+  for (int i = 0; i < 50; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (sustains(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace freerider::tag

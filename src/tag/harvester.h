@@ -1,0 +1,47 @@
+// RF energy harvesting feasibility: can the ~30 µW FreeRider tag
+// (paper §3.3) run battery-free off the excitation signal itself?
+//
+// The paper leaves the power source open (its prototype has a "power
+// source" block, Fig. 5). This model answers the natural follow-on:
+// harvested power = incident RF power × rectifier efficiency, where the
+// efficiency itself collapses at low input power (real CMOS rectifiers
+// are ~20-30 % at -10 dBm but single digits below -25 dBm). Combined
+// with the power model it yields the self-powered operating radius and
+// the duty cycle a capacitor-buffered tag could sustain beyond it.
+#pragma once
+
+#include "tag/power_model.h"
+
+namespace freerider::tag {
+
+struct HarvesterConfig {
+  /// Peak rectifier efficiency (achieved at/above `knee_dbm`).
+  double peak_efficiency = 0.28;
+  /// Input power of peak efficiency.
+  double knee_dbm = -10.0;
+  /// Efficiency roll-off below the knee, per dB (logistic scale).
+  double rolloff_db = 6.0;
+  /// Rectifier dead zone: below this input, output is zero.
+  double dead_zone_dbm = -32.0;
+};
+
+/// Rectifier efficiency at a given incident power.
+double HarvestEfficiency(double incident_dbm, const HarvesterConfig& config = {});
+
+/// Harvested power (µW) from `incident_dbm` of RF at the tag antenna.
+double HarvestedPowerUw(double incident_dbm, const HarvesterConfig& config = {});
+
+/// Sustainable duty cycle for a load of `load_uw` given harvest power
+/// (capacitor-buffered): min(1, harvested / load). Zero when the
+/// harvester is in its dead zone.
+double SustainableDutyCycle(double incident_dbm, double load_uw,
+                            const HarvesterConfig& config = {});
+
+/// Largest TX-to-tag distance (m) at which the tag sustains `load_uw`
+/// continuously, for a transmitter EIRP of `tx_eirp_dbm` under
+/// free-space reference loss `pl0_db` at 1 m and exponent `exponent`.
+double SelfPoweredRangeM(double tx_eirp_dbm, double load_uw,
+                         double pl0_db = 40.0, double exponent = 1.9,
+                         const HarvesterConfig& config = {});
+
+}  // namespace freerider::tag

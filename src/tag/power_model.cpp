@@ -1,0 +1,26 @@
+#include "tag/power_model.h"
+
+namespace freerider::tag {
+
+PowerBreakdownUw EstimatePower(TranslatorKind kind, double shift_freq_hz,
+                               const PowerModelConfig& config) {
+  PowerBreakdownUw p;
+  p.clock = config.clock_static_uw +
+            (config.clock_uw_at_20mhz - config.clock_static_uw) *
+                (shift_freq_hz / 20e6);
+  p.rf_switch = config.rf_switch_uw;
+  switch (kind) {
+    case TranslatorKind::kWifiPhase:
+      p.control_logic = config.logic_wifi_uw;
+      break;
+    case TranslatorKind::kZigbeePhase:
+      p.control_logic = config.logic_zigbee_uw;
+      break;
+    case TranslatorKind::kBluetoothFsk:
+      p.control_logic = config.logic_bluetooth_uw;
+      break;
+  }
+  return p;
+}
+
+}  // namespace freerider::tag

@@ -1,0 +1,97 @@
+#include "tag/rf_frontend.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/signal_ops.h"
+
+namespace freerider::tag {
+
+IqBuffer ApplyPhasePlan(std::span<const Cplx> excitation, const PhasePlan& plan,
+                        double conversion_amplitude) {
+  if (plan.samples_per_window == 0 && !plan.window_phases.empty()) {
+    throw std::invalid_argument("PhasePlan: zero-length windows");
+  }
+  IqBuffer out(excitation.size());
+  for (std::size_t n = 0; n < excitation.size(); ++n) {
+    double phase = 0.0;
+    if (n >= plan.start_sample && !plan.window_phases.empty()) {
+      const std::size_t w = (n - plan.start_sample) / plan.samples_per_window;
+      if (w < plan.window_phases.size()) phase = plan.window_phases[w];
+    }
+    out[n] = excitation[n] * conversion_amplitude *
+             Cplx{std::cos(phase), std::sin(phase)};
+  }
+  return out;
+}
+
+IqBuffer ApplyFskTogglePlan(std::span<const Cplx> excitation,
+                            std::size_t start_sample,
+                            std::size_t samples_per_window,
+                            std::span<const Bit> window_flags,
+                            double delta_f_hz, double sample_rate_hz,
+                            double conversion_amplitude) {
+  if (samples_per_window == 0 && !window_flags.empty()) {
+    throw std::invalid_argument("FskTogglePlan: zero-length windows");
+  }
+  IqBuffer out(excitation.size());
+  const double dphi = kTwoPi * delta_f_hz / sample_rate_hz;
+  double phase = 0.0;
+  for (std::size_t n = 0; n < excitation.size(); ++n) {
+    double gate = 1.0;
+    if (n >= start_sample && !window_flags.empty()) {
+      const std::size_t w = (n - start_sample) / samples_per_window;
+      if (w < window_flags.size() && window_flags[w]) {
+        // The Δf square wave runs continuously in the tag's oscillator;
+        // the window only gates whether it reaches the switch.
+        gate = (std::sin(phase) >= 0.0) ? 1.0 : -1.0;
+      }
+    }
+    out[n] = excitation[n] * conversion_amplitude * gate;
+    phase += dphi;
+    if (phase > kTwoPi) phase -= kTwoPi;
+  }
+  return out;
+}
+
+ImpedanceBank::ImpedanceBank(std::vector<double> reflection_amplitudes)
+    : amplitudes_(std::move(reflection_amplitudes)) {
+  if (amplitudes_.empty()) {
+    throw std::invalid_argument("ImpedanceBank: no levels");
+  }
+  for (double a : amplitudes_) {
+    if (a <= 0.0 || a > 1.0) {
+      throw std::invalid_argument("ImpedanceBank: |Γ| must be in (0, 1]");
+    }
+  }
+}
+
+double ImpedanceBank::AmplitudeFor(std::size_t level) const {
+  if (level >= amplitudes_.size()) {
+    throw std::out_of_range("ImpedanceBank level");
+  }
+  return amplitudes_[level];
+}
+
+IqBuffer ApplyAmplitudePlan(std::span<const Cplx> excitation,
+                            std::size_t start_sample,
+                            std::size_t samples_per_window,
+                            std::span<const std::size_t> window_levels,
+                            const ImpedanceBank& bank,
+                            double conversion_amplitude) {
+  if (samples_per_window == 0 && !window_levels.empty()) {
+    throw std::invalid_argument("AmplitudePlan: zero-length windows");
+  }
+  IqBuffer out(excitation.size());
+  for (std::size_t n = 0; n < excitation.size(); ++n) {
+    double amp = 1.0;
+    if (n >= start_sample && !window_levels.empty()) {
+      const std::size_t w = (n - start_sample) / samples_per_window;
+      if (w < window_levels.size()) amp = bank.AmplitudeFor(window_levels[w]);
+    }
+    out[n] = excitation[n] * conversion_amplitude * amp;
+  }
+  return out;
+}
+
+}  // namespace freerider::tag

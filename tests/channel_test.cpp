@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "channel/deployment.h"
+#include "channel/link_budget.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "dsp/signal_ops.h"
+
+namespace freerider::channel {
+namespace {
+
+TEST(PathLoss, MonotoneInDistance) {
+  const PathLossModel m = LosModel();
+  double prev = m.LossDb(0.5);
+  for (double d = 1.0; d < 50.0; d += 1.0) {
+    const double loss = m.LossDb(d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLoss, ReferenceLossAtOneMeter) {
+  const PathLossModel m = LosModel();
+  EXPECT_NEAR(m.LossDb(1.0), m.reference_loss_db, 1e-9);
+}
+
+TEST(PathLoss, TenXDistanceAddsTenNdb) {
+  const PathLossModel m = LosModel();
+  EXPECT_NEAR(m.LossDb(10.0) - m.LossDb(1.0), 10.0 * m.exponent, 1e-9);
+}
+
+TEST(PathLoss, WallsAddLoss) {
+  const PathLossModel m = NlosModel();
+  EXPECT_NEAR(m.LossDb(5.0, 2) - m.LossDb(5.0, 0), 2.0 * m.wall_loss_db, 1e-9);
+}
+
+TEST(PathLoss, ClampsNearField) {
+  const PathLossModel m = LosModel();
+  EXPECT_DOUBLE_EQ(m.LossDb(0.0), m.LossDb(0.05));
+}
+
+TEST(LinkBudget, BackscatterWeakerThanDirect) {
+  BackscatterBudget b;
+  b.path = LosModel();
+  // A backscatter path TX-1m-tag-10m-RX must be far weaker than a
+  // direct 11 m link.
+  EXPECT_LT(b.ReceivedDbm(1.0, 10.0), b.DirectDbm(11.0));
+}
+
+TEST(LinkBudget, MonotoneInBothSegments) {
+  BackscatterBudget b;
+  b.path = LosModel();
+  EXPECT_GT(b.ReceivedDbm(1.0, 5.0), b.ReceivedDbm(1.0, 10.0));
+  EXPECT_GT(b.ReceivedDbm(1.0, 5.0), b.ReceivedDbm(2.0, 5.0));
+}
+
+TEST(LinkBudget, SidebandLossToggle) {
+  BackscatterBudget b;
+  b.path = LosModel();
+  const double with = b.ReceivedDbm(1.0, 5.0, 0, 0, true);
+  const double without = b.ReceivedDbm(1.0, 5.0, 0, 0, false);
+  EXPECT_NEAR(without - with, b.sideband_conversion_loss_db, 1e-9);
+}
+
+TEST(LinkBudget, NoiseFloor20MHz) {
+  // -174 + 73 + NF(4) = -97 dBm.
+  EXPECT_NEAR(NoiseFloorDbm(20e6, 4.0), -96.99, 0.05);
+}
+
+TEST(LinkBudget, NoiseFloorNarrowbandLower) {
+  EXPECT_LT(NoiseFloorDbm(1e6, 4.0), NoiseFloorDbm(20e6, 4.0));
+}
+
+TEST(Awgn, ToAbsolutePowerScalesCorrectly) {
+  IqBuffer x(1000, Cplx{3.0, 4.0});
+  const IqBuffer y = ToAbsolutePower(x, -40.0);
+  EXPECT_NEAR(dsp::PowerDbm(y), -40.0, 1e-6);
+}
+
+TEST(Awgn, NoiseFloorPowerMatchesConfig) {
+  Rng rng(55);
+  ReceiverFrontEnd fe;
+  fe.sample_rate_hz = 20e6;
+  fe.noise_figure_db = 4.0;
+  IqBuffer silence(20000, Cplx{0.0, 0.0});
+  const IqBuffer noisy = AddThermalNoise(silence, fe, rng);
+  EXPECT_NEAR(dsp::PowerDbm(noisy), fe.NoiseFloorDbm(), 0.2);
+}
+
+TEST(Awgn, SnrMatchesAppliedLink) {
+  Rng rng(56);
+  ReceiverFrontEnd fe;
+  fe.sample_rate_hz = 20e6;
+  fe.noise_figure_db = 4.0;
+  const double rx_dbm = -80.0;
+  IqBuffer tone(20000, Cplx{1.0, 0.0});
+  const IqBuffer rx = ApplyLink(tone, rx_dbm, fe, rng);
+  const double measured_dbm = dsp::PowerDbm(rx);
+  const double expected_total =
+      WattsToDbm(DbmToWatts(rx_dbm) + fe.NoiseFloorWatts());
+  EXPECT_NEAR(measured_dbm, expected_total, 0.3);
+  EXPECT_NEAR(SnrDb(rx_dbm, fe), rx_dbm - fe.NoiseFloorDbm(), 1e-9);
+}
+
+TEST(Awgn, CfoRotatesSignal) {
+  Rng rng(57);
+  ReceiverFrontEnd fe;
+  fe.sample_rate_hz = 20e6;
+  fe.noise_figure_db = 4.0;
+  fe.cfo_hz = 1e6;
+  IqBuffer tone(64, Cplx{1.0, 0.0});
+  // With a strong signal, the phase should advance by 2π·cfo/fs per
+  // sample.
+  const IqBuffer rx = ApplyLink(tone, 0.0, fe, rng);
+  const double dphi = std::arg(rx[20] * std::conj(rx[19]));
+  EXPECT_NEAR(dphi, kTwoPi * 1e6 / 20e6, 0.05);
+}
+
+TEST(Deployment, LosHasNoWalls) {
+  const Deployment d = LosDeployment();
+  EXPECT_EQ(d.WallsTagToRx(5.0), 0);
+  EXPECT_EQ(d.WallsTagToRx(40.0), 0);
+}
+
+TEST(Deployment, NlosAddsSecondWallBeyond22m) {
+  const Deployment d = NlosDeployment();
+  EXPECT_EQ(d.WallsTagToRx(10.0), 1);
+  EXPECT_EQ(d.WallsTagToRx(22.0), 1);
+  EXPECT_EQ(d.WallsTagToRx(23.0), 2);
+}
+
+TEST(Deployment, PathModelsDiffer) {
+  EXPECT_LT(LosDeployment().path_model().exponent,
+            NlosDeployment().path_model().exponent);
+}
+
+}  // namespace
+}  // namespace freerider::channel

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/crc.h"
+#include "common/ring_buffer.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace freerider {
+namespace {
+
+// ---------------------------------------------------------------- bits
+
+TEST(Bits, BytesToBitsLsbFirst) {
+  const Bytes bytes = {0x01, 0x80, 0xA5};
+  const BitVector bits = BytesToBits(bytes);
+  ASSERT_EQ(bits.size(), 24u);
+  EXPECT_EQ(BitsToString(bits), "100000000000000110100101");
+}
+
+TEST(Bits, RoundTripBytesBits) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bytes original = RandomBytes(rng, 1 + trial * 7);
+    EXPECT_EQ(BitsToBytes(BytesToBits(original)), original);
+  }
+}
+
+TEST(Bits, BitsToBytesPadsPartialByte) {
+  const BitVector bits = BitsFromString("101");
+  const Bytes bytes = BitsToBytes(bits);
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x05);
+}
+
+TEST(Bits, BitsFromStringSkipsNoise) {
+  EXPECT_EQ(BitsFromString("10 1_1"), BitsFromString("1011"));
+}
+
+TEST(Bits, HammingDistance) {
+  const BitVector a = BitsFromString("10101");
+  const BitVector b = BitsFromString("10011");
+  EXPECT_EQ(HammingDistance(a, b), 2u);
+  EXPECT_EQ(HammingDistance(a, a), 0u);
+}
+
+TEST(Bits, XorBits) {
+  const BitVector a = BitsFromString("1100");
+  const BitVector b = BitsFromString("1010");
+  EXPECT_EQ(BitsToString(XorBits(a, b)), "0110");
+}
+
+TEST(Bits, XorSelfInverse) {
+  Rng rng(2);
+  const BitVector a = RandomBits(rng, 100);
+  const BitVector b = RandomBits(rng, 100);
+  EXPECT_EQ(XorBits(XorBits(a, b), b), a);
+}
+
+TEST(Bits, RepeatBits) {
+  EXPECT_EQ(BitsToString(RepeatBits(BitsFromString("10"), 3)), "111000");
+}
+
+TEST(Bits, BitErrorRateEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(BitErrorRate({}, {}), 1.0);
+}
+
+TEST(Bits, BitErrorRateCounts) {
+  const BitVector a = BitsFromString("1111");
+  const BitVector b = BitsFromString("1010");
+  EXPECT_DOUBLE_EQ(BitErrorRate(a, b), 0.5);
+}
+
+// ----------------------------------------------------------------- crc
+
+TEST(Crc, Crc32KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (classic check value).
+  const Bytes data = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc, Crc32DetectsSingleBitFlip) {
+  Rng rng(3);
+  Bytes data = RandomBytes(rng, 64);
+  const std::uint32_t original = Crc32(data);
+  data[10] ^= 0x04;
+  EXPECT_NE(Crc32(data), original);
+}
+
+TEST(Crc, Crc16CcittStable) {
+  const Bytes data = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  // X.25-family reflected CRC-16 with init 0: check value 0x6E90 for
+  // KERMIT variant. We assert self-consistency + error detection.
+  const std::uint16_t c = Crc16Ccitt(data);
+  Bytes mutated = data;
+  mutated[0] ^= 1;
+  EXPECT_NE(Crc16Ccitt(mutated), c);
+}
+
+TEST(Crc, Crc24DetectsErrors) {
+  Rng rng(4);
+  BitVector bits = RandomBits(rng, 128);
+  const std::uint32_t c = Crc24Ble(bits);
+  EXPECT_LT(c, 1u << 24);
+  bits[77] ^= 1;
+  EXPECT_NE(Crc24Ble(bits), c);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextBit() == b.NextBit());
+  EXPECT_LT(same, 55);
+  EXPECT_GT(same, 9);
+}
+
+TEST(Rng, UniformMean) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.NextDouble());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.05);
+}
+
+TEST(Rng, ComplexGaussianUnitPower) {
+  Rng rng(7);
+  double power = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) power += std::norm(rng.NextComplexGaussian());
+  EXPECT_NEAR(power / n, 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+// ---------------------------------------------------------- ring buffer
+
+TEST(RingBuffer, PushAndRead) {
+  RingBuffer<int> rb(3);
+  rb.Push(1);
+  rb.Push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.At(0), 1);
+  EXPECT_EQ(rb.FromNewest(0), 2);
+}
+
+TEST(RingBuffer, EvictsOldest) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.Push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.At(0), 3);
+  EXPECT_EQ(rb.FromNewest(0), 5);
+}
+
+TEST(RingBuffer, EndsWithMatchesPreamble) {
+  RingBuffer<int> rb(8);
+  for (int v : {9, 9, 1, 0, 1, 1}) rb.Push(v);
+  EXPECT_TRUE(rb.EndsWith({1, 0, 1, 1}));
+  EXPECT_FALSE(rb.EndsWith({0, 0, 1, 1}));
+  EXPECT_FALSE(rb.EndsWith({9, 9, 9, 9, 9, 9, 9, 9, 9}));  // longer than size
+}
+
+TEST(RingBuffer, ThrowsOnBadAccess) {
+  RingBuffer<int> rb(2);
+  rb.Push(1);
+  EXPECT_THROW(rb.At(1), std::out_of_range);
+  EXPECT_THROW(rb.FromNewest(1), std::out_of_range);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  Rng rng(9);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.NextDouble());
+  const auto cdf = EmpiricalCdf(v);
+  ASSERT_EQ(cdf.size(), v.size());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].cumulative_probability, cdf[i - 1].cumulative_probability);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_probability, 1.0);
+}
+
+TEST(Stats, JainFairnessEqualFlowsIsOne) {
+  const std::vector<double> v = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(v), 1.0);
+}
+
+TEST(Stats, JainFairnessSingleHogIsOneOverN) {
+  const std::vector<double> v = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(v), 0.25);
+}
+
+TEST(Stats, JainFairnessBounds) {
+  Rng rng(10);
+  std::vector<double> v;
+  for (int i = 0; i < 20; ++i) v.push_back(rng.NextDouble());
+  const double j = JainFairnessIndex(v);
+  EXPECT_GT(j, 1.0 / 20.0);
+  EXPECT_LE(j, 1.0);
+}
+
+TEST(Stats, HistogramPdfSumsToOne) {
+  Rng rng(11);
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.NextDouble() * 10.0);
+  const auto pdf = HistogramPdf(v, 0.0, 10.0, 20);
+  double sum = 0.0;
+  for (double p : pdf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// --------------------------------------------------------------- units
+
+TEST(Units, DbRoundTrip) {
+  EXPECT_NEAR(DbToLinear(LinearToDb(123.0)), 123.0, 1e-9);
+  EXPECT_NEAR(LinearToDb(100.0), 20.0, 1e-12);
+}
+
+TEST(Units, DbmWatts) {
+  EXPECT_NEAR(DbmToWatts(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(DbmToWatts(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(WattsToDbm(1e-6), -30.0, 1e-9);
+}
+
+TEST(Units, AmplitudeDb) {
+  EXPECT_NEAR(AmplitudeToDb(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(DbToAmplitude(6.0206), 2.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace freerider

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "tag/harvester.h"
+#include "tag/power_model.h"
+
+namespace freerider::tag {
+namespace {
+
+TEST(Harvester, EfficiencyMonotoneAndBounded) {
+  double prev = 0.0;
+  for (double p = -40.0; p <= 0.0; p += 1.0) {
+    const double eff = HarvestEfficiency(p);
+    EXPECT_GE(eff, prev - 1e-12);
+    EXPECT_LE(eff, 0.28 + 1e-12);
+    prev = eff;
+  }
+}
+
+TEST(Harvester, DeadZoneYieldsNothing) {
+  EXPECT_DOUBLE_EQ(HarvestEfficiency(-40.0), 0.0);
+  EXPECT_DOUBLE_EQ(HarvestedPowerUw(-35.0), 0.0);
+  EXPECT_DOUBLE_EQ(SustainableDutyCycle(-35.0, 30.0), 0.0);
+}
+
+TEST(Harvester, PeakEfficiencyAboveKnee) {
+  EXPECT_NEAR(HarvestEfficiency(0.0), 0.28, 0.02);
+  EXPECT_NEAR(HarvestEfficiency(-10.0), 0.28 / 2.0 * 2.0 * 0.5 * 2.0, 0.15);
+}
+
+TEST(Harvester, HarvestedPowerScalesWithInput) {
+  // +10 dB of input is 10x the power; efficiency saturates above the
+  // knee so harvested power grows ~10x there.
+  const double a = HarvestedPowerUw(-5.0);
+  const double b = HarvestedPowerUw(5.0);
+  EXPECT_NEAR(b / a, 10.0, 1.5);
+}
+
+TEST(Harvester, DutyCycleClamped) {
+  EXPECT_DOUBLE_EQ(SustainableDutyCycle(10.0, 1.0), 1.0);   // plenty
+  EXPECT_GT(SustainableDutyCycle(-20.0, 30.0), 0.0);
+  EXPECT_LT(SustainableDutyCycle(-20.0, 30.0), 0.2);
+}
+
+TEST(Harvester, SelfPoweredRangeOrdering) {
+  const double load = EstimatePower(TranslatorKind::kWifiPhase, 20e6).total();
+  const double weak = SelfPoweredRangeM(3.0, load);
+  const double ap = SelfPoweredRangeM(14.0, load);
+  const double strong = SelfPoweredRangeM(33.0, load);
+  EXPECT_LE(weak, ap);
+  EXPECT_LT(ap, strong);
+  // A 30+ dBm EIRP source powers the tag out to meter scale; an AP at
+  // ~14 dBm only to tens of centimeters.
+  EXPECT_LT(ap, 1.0);
+  EXPECT_GT(strong, 1.0);
+}
+
+TEST(Harvester, ZeroLoadAlwaysSustained) {
+  EXPECT_DOUBLE_EQ(SustainableDutyCycle(-50.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace freerider::tag

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "mac/repacketizer.h"
+#include "phy80211/mpdu.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+
+namespace freerider {
+namespace {
+
+using phy80211::FrameType;
+using phy80211::MakeAddress;
+using phy80211::MpduHeader;
+
+// ----------------------------------------------------------------- mpdu
+
+TEST(Mpdu, DataFrameRoundTrip) {
+  Rng rng(1);
+  MpduHeader header;
+  header.type = FrameType::kData;
+  header.duration_us = 44;
+  header.addr1 = MakeAddress(1);
+  header.addr2 = MakeAddress(2);
+  header.addr3 = MakeAddress(3);
+  header.sequence = 1234;
+  header.to_ds = true;
+  const Bytes payload = RandomBytes(rng, 100);
+  const Bytes mpdu = phy80211::BuildMpdu(header, payload);
+  EXPECT_EQ(mpdu.size(), 24u + payload.size());
+
+  const auto parsed = phy80211::ParseMpdu(mpdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.type, FrameType::kData);
+  EXPECT_EQ(parsed->header.duration_us, 44);
+  EXPECT_EQ(parsed->header.addr1, MakeAddress(1));
+  EXPECT_EQ(parsed->header.addr2, MakeAddress(2));
+  EXPECT_EQ(parsed->header.addr3, MakeAddress(3));
+  EXPECT_EQ(parsed->header.sequence, 1234);
+  EXPECT_TRUE(parsed->header.to_ds);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(Mpdu, QosDataHasLargerHeader) {
+  MpduHeader header;
+  header.type = FrameType::kQosData;
+  const Bytes mpdu = phy80211::BuildMpdu(header, Bytes(10, 0xAB));
+  EXPECT_EQ(mpdu.size(), 26u + 10u);
+  const auto parsed = phy80211::ParseMpdu(mpdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.type, FrameType::kQosData);
+}
+
+TEST(Mpdu, ControlFramesRoundTrip) {
+  for (FrameType type : {FrameType::kRts, FrameType::kCts, FrameType::kAck}) {
+    MpduHeader header;
+    header.type = type;
+    header.duration_us = 300;
+    header.addr1 = MakeAddress(9);
+    if (type == FrameType::kRts) header.addr2 = MakeAddress(8);
+    const Bytes mpdu = phy80211::BuildMpdu(header, {});
+    EXPECT_EQ(mpdu.size(), phy80211::MpduHeaderBytes(type));
+    const auto parsed = phy80211::ParseMpdu(mpdu);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.type, type);
+    EXPECT_EQ(parsed->header.duration_us, 300);
+    EXPECT_EQ(parsed->header.addr1, MakeAddress(9));
+  }
+}
+
+TEST(Mpdu, ControlFramesRejectPayload) {
+  MpduHeader header;
+  header.type = FrameType::kCts;
+  EXPECT_THROW(phy80211::BuildMpdu(header, Bytes(4, 0)), std::invalid_argument);
+}
+
+TEST(Mpdu, ParseRejectsGarbage) {
+  EXPECT_FALSE(phy80211::ParseMpdu(Bytes{}).has_value());
+  EXPECT_FALSE(phy80211::ParseMpdu(Bytes(5, 0xFF)).has_value());
+  // Valid length but bogus frame control type.
+  Bytes junk(24, 0);
+  junk[0] = 0xFC;
+  EXPECT_FALSE(phy80211::ParseMpdu(junk).has_value());
+}
+
+TEST(Mpdu, RidesThroughThePhy) {
+  // An MPDU survives the full PHY chain: build → OFDM TX → RX → parse.
+  Rng rng(2);
+  MpduHeader header;
+  header.type = FrameType::kData;
+  header.addr1 = MakeAddress(1);
+  header.addr2 = MakeAddress(2);
+  header.addr3 = MakeAddress(3);
+  header.sequence = 77;
+  const Bytes payload = RandomBytes(rng, 64);
+  const Bytes mpdu = phy80211::BuildMpdu(header, payload);
+  const phy80211::TxFrame frame = phy80211::BuildFrame(mpdu, {});
+  IqBuffer padded(100, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), frame.waveform.begin(), frame.waveform.end());
+  const phy80211::RxResult rx = phy80211::ReceiveFrame(padded);
+  ASSERT_TRUE(rx.fcs_ok);
+  // Strip the PHY's FCS and re-parse.
+  const auto parsed = phy80211::ParseMpdu(
+      std::span<const std::uint8_t>(rx.psdu).subspan(0, rx.psdu.size() - 4));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.sequence, 77);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+// --------------------------------------------------------- repacketizer
+
+TEST(Repacketizer, FrameAirtimesEncodeTheBits) {
+  const mac::RepacketizerConfig config;
+  const BitVector bits = BitsFromString("0110");
+  const auto plan = mac::PlanFrames(1 << 20, bits, config);
+  ASSERT_EQ(plan.frames.size(), 4u);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(plan.frames[i].plm_bit, bits[i]);
+    // Check the airtime a frame of that size actually has.
+    const phy80211::TxFrame frame = phy80211::BuildFrame(
+        Bytes(plan.frames[i].payload_bytes, 0xAA), {});
+    const double target = bits[i] ? config.plm.l1_s : config.plm.l0_s;
+    EXPECT_NEAR(phy80211::FrameDurationS(frame), target, 6e-6) << i;
+  }
+}
+
+TEST(Repacketizer, CarriesRealTrafficWhenQueueIsDeep) {
+  const BitVector bits = BitsFromString("10101010");
+  const auto plan = mac::PlanFrames(1 << 20, bits);
+  EXPECT_EQ(plan.pad_bytes, 0u);
+  EXPECT_GT(plan.user_bytes_carried, 4000u);
+  EXPECT_DOUBLE_EQ(mac::ProductiveFraction(plan), 1.0);
+}
+
+TEST(Repacketizer, PadsWhenQueueRunsDry) {
+  const BitVector bits = BitsFromString("1111");
+  const auto plan = mac::PlanFrames(100, bits);
+  EXPECT_EQ(plan.user_bytes_carried, 100u);
+  EXPECT_GT(plan.pad_bytes, 0u);
+  EXPECT_LT(mac::ProductiveFraction(plan), 0.1);
+  // All four frames still exist — the control message must go out.
+  EXPECT_EQ(plan.frames.size(), 4u);
+}
+
+TEST(Repacketizer, BitLengthsDiffer) {
+  const mac::RepacketizerConfig config;
+  EXPECT_GT(mac::PayloadBytesForBit(1, config),
+            mac::PayloadBytesForBit(0, config));
+}
+
+TEST(Repacketizer, HigherRateCarriesMoreBytesPerBit) {
+  mac::RepacketizerConfig slow;
+  mac::RepacketizerConfig fast;
+  fast.rate = phy80211::Rate::k54Mbps;
+  EXPECT_GT(mac::PayloadBytesForBit(0, fast), mac::PayloadBytesForBit(0, slow));
+}
+
+}  // namespace
+}  // namespace freerider

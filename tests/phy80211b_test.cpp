@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/hitchhike.h"
+#include "dsp/signal_ops.h"
+#include "phy80211b/dsss.h"
+#include "phy80211b/frame11b.h"
+#include "phy80211b/scrambler11b.h"
+
+namespace freerider::phy80211b {
+namespace {
+
+// -------------------------------------------------------- scrambler 11b
+
+TEST(Scrambler11b, SelfSynchronizingRoundTrip) {
+  Rng rng(1);
+  const BitVector data = RandomBits(rng, 300);
+  EXPECT_EQ(Descramble11b(Scramble11b(data)), data);
+}
+
+TEST(Scrambler11b, DescramblerSyncsWithWrongSeed) {
+  // Self-synchronization: after 7 bits the descrambler output is
+  // correct regardless of its initial register.
+  Rng rng(2);
+  const BitVector data = RandomBits(rng, 100);
+  const BitVector scrambled = Scramble11b(data, 0x1B);
+  const BitVector plain = Descramble11b(scrambled, 0x55);
+  for (std::size_t i = 7; i < data.size(); ++i) {
+    EXPECT_EQ(plain[i], data[i]) << i;
+  }
+}
+
+TEST(Scrambler11b, FlippedWindowDescramblesToFlippedWindowPlusTail) {
+  // The property HitchHike relies on: flipping scrambled bits in a
+  // window flips the descrambled bits in that window plus at most 7
+  // trailing bits (the register flush).
+  Rng rng(3);
+  const BitVector data = RandomBits(rng, 200);
+  BitVector scrambled = Scramble11b(data);
+  for (std::size_t i = 50; i < 90; ++i) scrambled[i] ^= 1;
+  const BitVector plain = Descramble11b(scrambled);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i < 50 || i >= 97) {
+      EXPECT_EQ(plain[i], data[i]) << i;
+    } else if (i < 90) {
+      // In-window: flipped XOR the scrambler's own feedback of flips.
+      // At minimum the first 4 bits of the window are exact flips.
+      if (i < 54) {
+        EXPECT_EQ(plain[i], data[i] ^ 1) << i;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- dsss
+
+TEST(Dsss, RoundTripCleanBits) {
+  Rng rng(4);
+  const BitVector bits = RandomBits(rng, 120);
+  const IqBuffer wave = ModulateDbpsk(bits);
+  const BitVector demod = DemodulateDbpsk(wave, kSamplesPerSymbol, bits.size());
+  EXPECT_EQ(demod, bits);
+}
+
+TEST(Dsss, DifferentialIsPhaseInvariant) {
+  Rng rng(5);
+  const BitVector bits = RandomBits(rng, 80);
+  IqBuffer wave = ModulateDbpsk(bits);
+  wave = dsp::RotatePhase(wave, 2.1);
+  EXPECT_EQ(DemodulateDbpsk(wave, kSamplesPerSymbol, bits.size()), bits);
+}
+
+TEST(Dsss, DespreadGainIsEleven) {
+  const BitVector one_bit = {0};
+  const IqBuffer wave = ModulateDbpsk(one_bit);
+  EXPECT_NEAR(std::abs(DespreadSymbol(wave, 0)), 11.0, 1e-9);
+}
+
+// -------------------------------------------------------------- frame
+
+TEST(Frame11b, RoundTripNoiseless) {
+  Rng rng(6);
+  const Bytes payload = RandomBytes(rng, 60);
+  const TxFrame frame = BuildFrame(payload);
+  IqBuffer padded(40, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), frame.waveform.begin(), frame.waveform.end());
+  padded.insert(padded.end(), 40, Cplx{0.0, 0.0});
+  const RxResult rx = ReceiveFrame(padded);
+  ASSERT_TRUE(rx.detected);
+  ASSERT_TRUE(rx.header_ok);
+  EXPECT_TRUE(rx.fcs_ok);
+  EXPECT_EQ(rx.psdu, frame.psdu);
+  EXPECT_EQ(rx.psdu_bits, frame.psdu_bits);
+  EXPECT_EQ(rx.raw_psdu_bits, frame.raw_psdu_bits);
+}
+
+TEST(Frame11b, DecodesAtModerateSnr) {
+  Rng rng(7);
+  const Bytes payload = RandomBytes(rng, 40);
+  const TxFrame frame = BuildFrame(payload);
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = kSampleRateHz;
+  fe.noise_figure_db = 6.0;
+  IqBuffer padded(60, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), frame.waveform.begin(), frame.waveform.end());
+  // Barker despreading gives ~10.4 dB of gain, so -92 dBm works.
+  const IqBuffer rx_wave = channel::ApplyLink(padded, -92.0, fe, rng);
+  const RxResult rx = ReceiveFrame(rx_wave);
+  ASSERT_TRUE(rx.detected);
+  EXPECT_TRUE(rx.fcs_ok);
+  EXPECT_EQ(rx.psdu, frame.psdu);
+}
+
+TEST(Frame11b, FailsDeepBelowNoise) {
+  Rng rng(8);
+  const TxFrame frame = BuildFrame(RandomBytes(rng, 40));
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = kSampleRateHz;
+  fe.noise_figure_db = 6.0;
+  const IqBuffer rx_wave = channel::ApplyLink(frame.waveform, -125.0, fe, rng);
+  EXPECT_FALSE(ReceiveFrame(rx_wave).fcs_ok);
+}
+
+TEST(Frame11b, EmptyAndTinyBuffersSafe) {
+  EXPECT_FALSE(ReceiveFrame(IqBuffer{}).detected);
+  EXPECT_FALSE(ReceiveFrame(IqBuffer(100, Cplx{1.0, 0.0})).detected);
+}
+
+TEST(Dsss, DqpskRoundTrip) {
+  Rng rng(20);
+  const BitVector bits = RandomBits(rng, 160);
+  const IqBuffer wave = ModulateDqpsk(bits);
+  const BitVector demod =
+      DemodulateDqpsk(wave, kSamplesPerSymbol, bits.size() / 2);
+  EXPECT_EQ(demod, bits);
+}
+
+TEST(Dsss, DqpskPhaseInvariant) {
+  Rng rng(21);
+  const BitVector bits = RandomBits(rng, 100);
+  IqBuffer wave = ModulateDqpsk(bits);
+  wave = dsp::RotatePhase(wave, 0.9);
+  EXPECT_EQ(DemodulateDqpsk(wave, kSamplesPerSymbol, bits.size() / 2), bits);
+}
+
+TEST(Frame11b, TwoMbpsRoundTripNoiseless) {
+  Rng rng(22);
+  const Bytes payload = RandomBytes(rng, 80);
+  const TxFrame frame = BuildFrame(payload, Rate11b::k2Mbps);
+  IqBuffer padded(44, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), frame.waveform.begin(), frame.waveform.end());
+  padded.insert(padded.end(), 44, Cplx{0.0, 0.0});
+  const RxResult rx = ReceiveFrame(padded);
+  ASSERT_TRUE(rx.detected);
+  ASSERT_TRUE(rx.header_ok);
+  EXPECT_EQ(rx.rate, Rate11b::k2Mbps);
+  EXPECT_TRUE(rx.fcs_ok);
+  EXPECT_EQ(rx.psdu, frame.psdu);
+  EXPECT_EQ(rx.raw_psdu_bits, frame.raw_psdu_bits);
+}
+
+TEST(Frame11b, TwoMbpsHalvesAirtime) {
+  Rng rng(23);
+  const Bytes payload = RandomBytes(rng, 100);
+  const TxFrame slow = BuildFrame(payload, Rate11b::k1Mbps);
+  const TxFrame fast = BuildFrame(payload, Rate11b::k2Mbps);
+  // Preamble/header airtime is shared; the PSDU part halves.
+  EXPECT_LT(FrameDurationS(fast), FrameDurationS(slow));
+  const double psdu_slow =
+      FrameDurationS(slow) - static_cast<double>(slow.psdu_start_sample) /
+                                 kSampleRateHz;
+  const double psdu_fast =
+      FrameDurationS(fast) - static_cast<double>(fast.psdu_start_sample) /
+                                 kSampleRateHz;
+  EXPECT_NEAR(psdu_fast, psdu_slow / 2.0, 20e-6);
+}
+
+TEST(Frame11b, TwoMbpsDecodesAtModerateSnr) {
+  Rng rng(24);
+  const Bytes payload = RandomBytes(rng, 60);
+  const TxFrame frame = BuildFrame(payload, Rate11b::k2Mbps);
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = kSampleRateHz;
+  fe.noise_figure_db = 6.0;
+  IqBuffer padded(60, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), frame.waveform.begin(), frame.waveform.end());
+  // DQPSK needs ~3 dB more than DBPSK; -89 dBm still decodes.
+  const IqBuffer rx_wave = channel::ApplyLink(padded, -89.0, fe, rng);
+  const RxResult rx = ReceiveFrame(rx_wave);
+  ASSERT_TRUE(rx.detected);
+  EXPECT_TRUE(rx.fcs_ok);
+  EXPECT_EQ(rx.psdu, frame.psdu);
+}
+
+// ------------------------------------------------------------ hitchhike
+
+TEST(Hitchhike, TagBitsRecoveredNoiseless) {
+  Rng rng(9);
+  const TxFrame frame = BuildFrame(RandomBytes(rng, 80));
+  core::HitchhikeConfig cfg;
+  const std::size_t capacity = core::HitchhikeCapacity(frame, cfg);
+  ASSERT_GT(capacity, 50u);
+  const BitVector tag_bits = RandomBits(rng, capacity);
+  const IqBuffer bs =
+      core::HitchhikeTranslate(frame, frame.waveform, tag_bits, cfg);
+  IqBuffer padded(40, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), bs.begin(), bs.end());
+  padded.insert(padded.end(), 40, Cplx{0.0, 0.0});
+  const RxResult rx = ReceiveFrame(padded);
+  ASSERT_TRUE(rx.detected);
+  ASSERT_TRUE(rx.header_ok);
+  const core::TagDecodeResult decoded =
+      core::HitchhikeDecode(frame.raw_psdu_bits, rx.raw_psdu_bits, cfg.redundancy);
+  ASSERT_GE(decoded.bits.size(), tag_bits.size());
+  EXPECT_EQ(BitVector(decoded.bits.begin(),
+                      decoded.bits.begin() +
+                          static_cast<std::ptrdiff_t>(tag_bits.size())),
+            tag_bits);
+}
+
+TEST(Hitchhike, ZeroTagBitsLeaveFcsValid) {
+  Rng rng(10);
+  const TxFrame frame = BuildFrame(RandomBytes(rng, 50));
+  core::HitchhikeConfig cfg;
+  const BitVector zeros(core::HitchhikeCapacity(frame, cfg), 0);
+  const IqBuffer bs = core::HitchhikeTranslate(frame, frame.waveform, zeros, cfg);
+  IqBuffer padded(40, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), bs.begin(), bs.end());
+  const RxResult rx = ReceiveFrame(padded);
+  ASSERT_TRUE(rx.detected);
+  EXPECT_TRUE(rx.fcs_ok);
+}
+
+TEST(Hitchhike, RateMatchesRedundancy) {
+  core::HitchhikeConfig cfg;
+  cfg.redundancy = 4;
+  EXPECT_NEAR(core::HitchhikeBitRateBps(cfg), 250e3, 1.0);
+  cfg.redundancy = 8;
+  EXPECT_NEAR(core::HitchhikeBitRateBps(cfg), 125e3, 1.0);
+}
+
+TEST(Hitchhike, RecoversAtModerateSnr) {
+  Rng rng(11);
+  const TxFrame frame = BuildFrame(RandomBytes(rng, 60));
+  core::HitchhikeConfig cfg;
+  cfg.redundancy = 8;
+  const std::size_t capacity = core::HitchhikeCapacity(frame, cfg);
+  const BitVector tag_bits = RandomBits(rng, capacity);
+  const IqBuffer bs = core::HitchhikeTranslate(
+      frame, channel::ToAbsolutePower(frame.waveform, -88.0), tag_bits, cfg);
+  channel::ReceiverFrontEnd fe;
+  fe.sample_rate_hz = kSampleRateHz;
+  fe.noise_figure_db = 6.0;
+  IqBuffer padded(60, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), bs.begin(), bs.end());
+  const RxResult rx = ReceiveFrame(channel::AddThermalNoise(padded, fe, rng));
+  ASSERT_TRUE(rx.header_ok);
+  const core::TagDecodeResult decoded =
+      core::HitchhikeDecode(frame.raw_psdu_bits, rx.raw_psdu_bits, cfg.redundancy);
+  EXPECT_LT(BitErrorRate(tag_bits, decoded.bits), 0.05);
+}
+
+}  // namespace
+}  // namespace freerider::phy80211b

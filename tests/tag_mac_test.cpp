@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "mac/ambient_traffic.h"
+#include "mac/tag_mac.h"
+#include "mac/tdm.h"
+#include "tag/envelope_detector.h"
+
+namespace freerider::mac {
+namespace {
+
+// -------------------------------------------------------- announcement
+
+TEST(Announcement, RoundTrip) {
+  const RoundAnnouncement a{23, 7};
+  const auto parsed = ParseAnnouncement(BuildAnnouncement(a));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->slots, 23u);
+  EXPECT_EQ(parsed->sequence, 7);
+}
+
+TEST(Announcement, RejectsZeroSlots) {
+  EXPECT_FALSE(ParseAnnouncement(BuildAnnouncement({0, 3})).has_value());
+}
+
+TEST(Announcement, RejectsWrongLength) {
+  EXPECT_FALSE(ParseAnnouncement(BitVector(8, 1)).has_value());
+}
+
+// ------------------------------------------------------- tag controller
+
+/// Drive a controller with the pulses of one announcement.
+void DeliverAnnouncement(TagController& controller,
+                         const RoundAnnouncement& round, Rng& rng) {
+  const tag::EnvelopeDetector detector;
+  const BitVector message = BuildPlmMessage(BuildAnnouncement(round));
+  const auto pulses = EncodePlm(message, 0.0, -35.0);
+  for (const auto& p : pulses) {
+    if (auto m = detector.Detect(p, rng)) controller.OnPulse(*m);
+  }
+}
+
+TEST(TagController, FollowsAnnouncementAndPicksValidSlot) {
+  Rng rng(1);
+  TagController controller(42);
+  EXPECT_EQ(controller.state(), TagState::kListening);
+  DeliverAnnouncement(controller, {12, 1}, rng);
+  ASSERT_EQ(controller.state(), TagState::kSlotWait);
+  EXPECT_LT(controller.chosen_slot(), 12u);
+}
+
+TEST(TagController, TransmitsExactlyOncePerRound) {
+  Rng rng(2);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    TagController controller(seed);
+    DeliverAnnouncement(controller, {8, 0}, rng);
+    ASSERT_EQ(controller.state(), TagState::kSlotWait);
+    int transmissions = 0;
+    for (int slot = 0; slot < 8; ++slot) {
+      transmissions += controller.OnSlotBoundary();
+    }
+    EXPECT_EQ(transmissions, 1);
+    EXPECT_EQ(controller.state(), TagState::kListening);
+  }
+}
+
+TEST(TagController, SitsOutWithoutAnnouncement) {
+  TagController controller(7);
+  for (int slot = 0; slot < 20; ++slot) {
+    EXPECT_FALSE(controller.OnSlotBoundary());
+  }
+  EXPECT_EQ(controller.state(), TagState::kListening);
+}
+
+TEST(TagController, IgnoresAmbientPulses) {
+  Rng rng(3);
+  TagController controller(9);
+  // Feed plausible ambient durations (none match L0/L1).
+  const AmbientTrafficConfig ambient;
+  for (int i = 0; i < 500; ++i) {
+    controller.OnPulse({0.0, SampleAmbientDuration(ambient, rng)});
+  }
+  EXPECT_EQ(controller.state(), TagState::kListening);
+}
+
+TEST(TagController, DifferentSeedsSpreadAcrossSlots) {
+  Rng rng(4);
+  std::set<std::size_t> slots;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    TagController controller(seed);
+    DeliverAnnouncement(controller, {16, 2}, rng);
+    if (controller.state() == TagState::kSlotWait) {
+      slots.insert(controller.chosen_slot());
+    }
+  }
+  // 24 tags over 16 slots should occupy a good fraction of them.
+  EXPECT_GT(slots.size(), 8u);
+}
+
+TEST(TagController, ReArmsForNextRound) {
+  Rng rng(5);
+  TagController controller(11);
+  for (int round = 0; round < 3; ++round) {
+    DeliverAnnouncement(controller,
+                        {8, static_cast<std::uint8_t>(round)}, rng);
+    ASSERT_EQ(controller.state(), TagState::kSlotWait) << round;
+    int transmissions = 0;
+    for (int slot = 0; slot < 8; ++slot) {
+      transmissions += controller.OnSlotBoundary();
+    }
+    EXPECT_EQ(transmissions, 1) << round;
+  }
+}
+
+// ----------------------------------------------------------------- tdm
+
+TEST(Tdm, AssociatesAllTagsQuickly) {
+  Rng rng(6);
+  TdmSimulator sim;
+  const TdmCampaignStats stats = sim.RunCampaign(12, 100, rng);
+  EXPECT_GT(stats.rounds_to_full_association, 0u);
+  EXPECT_LT(stats.rounds_to_full_association, 40u);
+  EXPECT_EQ(sim.associated_count(), 12u);
+}
+
+TEST(Tdm, SteadyStateBeatsAloha) {
+  Rng rng(7);
+  TdmConfig config;
+  TdmSimulator sim(config);
+  const TdmCampaignStats tdm = sim.RunCampaign(20, 600, rng);
+  CampaignConfig aloha_config;
+  FramedSlottedAlohaSimulator aloha(aloha_config);
+  Rng aloha_rng = rng.Split();
+  const CampaignStats al = aloha.RunCampaign(20, 600, aloha_rng);
+  EXPECT_GT(tdm.aggregate_throughput_bps, al.aggregate_throughput_bps * 1.5);
+}
+
+TEST(Tdm, ApproachesAnalyticSteadyState) {
+  Rng rng(8);
+  TdmConfig config;
+  config.plm_delivery_probability = 1.0;
+  TdmSimulator sim(config);
+  const TdmCampaignStats stats = sim.RunCampaign(16, 800, rng);
+  const double expected = SteadyStateTdmThroughputBps(16, config);
+  EXPECT_NEAR(stats.aggregate_throughput_bps, expected, expected * 0.1);
+}
+
+TEST(Tdm, FairnessNearOneInSteadyState) {
+  Rng rng(9);
+  TdmSimulator sim;
+  const TdmCampaignStats stats = sim.RunCampaign(10, 500, rng);
+  EXPECT_GT(stats.jain_fairness, 0.97);
+}
+
+TEST(Tdm, NoCollisionsAmongAssociatedTags) {
+  Rng rng(10);
+  TdmConfig config;
+  config.plm_delivery_probability = 1.0;
+  TdmSimulator sim(config);
+  // Associate everyone first.
+  for (int r = 0; r < 50 && sim.associated_count() < 10; ++r) {
+    sim.RunRound(10, rng);
+  }
+  ASSERT_EQ(sim.associated_count(), 10u);
+  const TdmRoundResult round = sim.RunRound(10, rng);
+  EXPECT_EQ(round.data_successes, 10u);
+}
+
+}  // namespace
+}  // namespace freerider::mac

@@ -1,0 +1,172 @@
+// Tests for the "real traffic" framing layers of the non-WiFi radios:
+// 802.15.4 MAC headers and BLE advertising payloads, including the
+// full ride through their PHYs alongside a FreeRider tag.
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/translator.h"
+#include "core/xor_decoder.h"
+#include "phy802154/frame.h"
+#include "phy802154/mhr.h"
+#include "phyble/advertising.h"
+#include "phyble/frame.h"
+
+namespace freerider {
+namespace {
+
+// ----------------------------------------------------------- 802.15.4
+
+TEST(Mhr, DataFrameRoundTrip) {
+  Rng rng(1);
+  phy802154::MacHeader header;
+  header.sequence = 42;
+  header.dest_pan = 0xBEEF;
+  header.dest_short = 0x0001;
+  header.src_short = 0x0002;
+  header.ack_request = true;
+  const Bytes payload = RandomBytes(rng, 30);
+  const Bytes frame = phy802154::BuildMacFrame(header, payload);
+  EXPECT_EQ(frame.size(), 9u + payload.size());
+
+  const auto parsed = phy802154::ParseMacFrame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.type, phy802154::MacFrameType::kData);
+  EXPECT_EQ(parsed->header.sequence, 42);
+  EXPECT_EQ(parsed->header.dest_pan, 0xBEEF);
+  EXPECT_EQ(parsed->header.dest_short, 0x0001);
+  EXPECT_EQ(parsed->header.src_short, 0x0002);
+  EXPECT_TRUE(parsed->header.ack_request);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(Mhr, AckFrameIsThreeBytes) {
+  phy802154::MacHeader header;
+  header.type = phy802154::MacFrameType::kAck;
+  header.sequence = 7;
+  const Bytes frame = phy802154::BuildMacFrame(header, {});
+  EXPECT_EQ(frame.size(), 3u);
+  const auto parsed = phy802154::ParseMacFrame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.type, phy802154::MacFrameType::kAck);
+  EXPECT_EQ(parsed->header.sequence, 7);
+}
+
+TEST(Mhr, NoPanCompressionAddsTwoBytes) {
+  phy802154::MacHeader header;
+  header.pan_id_compression = false;
+  const Bytes frame = phy802154::BuildMacFrame(header, Bytes(4, 0));
+  EXPECT_EQ(frame.size(), 11u + 4u);
+  const auto parsed = phy802154::ParseMacFrame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->header.pan_id_compression);
+}
+
+TEST(Mhr, ParseRejectsGarbage) {
+  EXPECT_FALSE(phy802154::ParseMacFrame(Bytes{}).has_value());
+  EXPECT_FALSE(phy802154::ParseMacFrame(Bytes(2, 0xFF)).has_value());
+  // Long addressing (mode 3) unsupported -> reject.
+  Bytes frame(12, 0);
+  frame[1] = 0xCC;  // both addressing modes = 3
+  frame[0] = 0x01;
+  EXPECT_FALSE(phy802154::ParseMacFrame(frame).has_value());
+}
+
+TEST(Mhr, RidesThroughZigbeePhyWithTag) {
+  // A real 802.15.4 data frame as the excitation, tag riding it.
+  Rng rng(2);
+  phy802154::MacHeader header;
+  header.sequence = 9;
+  const Bytes mac_frame =
+      phy802154::BuildMacFrame(header, RandomBytes(rng, 40));
+  const phy802154::TxFrame frame = phy802154::BuildFrame(mac_frame);
+
+  core::TranslateConfig tcfg;
+  tcfg.radio = core::RadioType::kZigbee;
+  const BitVector tag_bits =
+      RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+  const IqBuffer bs = core::Translate(frame.waveform, tag_bits, tcfg);
+  IqBuffer padded(100, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), bs.begin(), bs.end());
+  const phy802154::RxResult rx = phy802154::ReceiveFrame(padded);
+  ASSERT_TRUE(rx.detected);
+  // Tag bits decode...
+  const auto decoded =
+      core::DecodeZigbee(frame.data_symbols, rx.data_symbols, tcfg.redundancy);
+  EXPECT_EQ(BitVector(decoded.bits.begin(),
+                      decoded.bits.begin() +
+                          static_cast<std::ptrdiff_t>(tag_bits.size())),
+            tag_bits);
+}
+
+// ------------------------------------------------------ BLE advertising
+
+TEST(Advertising, BuildParseRoundTrip) {
+  std::vector<phyble::AdStructure> structures;
+  structures.push_back({phyble::AdType::kFlags, Bytes{0x06}});
+  structures.push_back(
+      {phyble::AdType::kCompleteLocalName, Bytes{'t', 'a', 'g'}});
+  const Bytes payload = phyble::BuildAdvertisingPayload(structures);
+  const auto parsed = phyble::ParseAdvertisingPayload(payload);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].type, phyble::AdType::kFlags);
+  EXPECT_EQ((*parsed)[1].data, (Bytes{'t', 'a', 'g'}));
+}
+
+TEST(Advertising, BeaconPayloadParses) {
+  const Bytes data = {0x15, 0x09};  // 23.25 C as 0x0915 centidegrees
+  const Bytes payload = phyble::MakeBeaconPayload("thermo", 0x181A, data);
+  const auto parsed = phyble::ParseAdvertisingPayload(payload);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[1].type, phyble::AdType::kCompleteLocalName);
+  EXPECT_EQ((*parsed)[2].type, phyble::AdType::kServiceData16);
+  EXPECT_EQ((*parsed)[2].data[0], 0x1A);
+  EXPECT_EQ((*parsed)[2].data[1], 0x18);
+}
+
+TEST(Advertising, TruncatedStructureRejected) {
+  Bytes bad = {0x05, 0x09, 'a'};  // claims 5 bytes, has 2
+  EXPECT_FALSE(phyble::ParseAdvertisingPayload(bad).has_value());
+}
+
+TEST(Advertising, ZeroLengthTerminates) {
+  Bytes padded = {0x02, 0x01, 0x06, 0x00, 0xAA, 0xBB};
+  const auto parsed = phyble::ParseAdvertisingPayload(padded);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(Advertising, RidesThroughBlePhyWithTag) {
+  Rng rng(3);
+  const Bytes beacon =
+      phyble::MakeBeaconPayload("door-1", 0x181A, Bytes{0x01});
+  const phyble::TxFrame frame = phyble::BuildFrame(beacon);
+
+  core::TranslateConfig tcfg;
+  tcfg.radio = core::RadioType::kBluetooth;
+  const BitVector tag_bits =
+      RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
+  const IqBuffer bs = core::Translate(frame.waveform, tag_bits, tcfg);
+  IqBuffer padded(100, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), bs.begin(), bs.end());
+  padded.insert(padded.end(), 100, Cplx{0.0, 0.0});
+  const phyble::RxResult rx = phyble::ReceiveFrame(padded);
+  ASSERT_TRUE(rx.detected);
+  const auto decoded =
+      core::DecodeBluetooth(frame.stream_bits, rx.stream_bits, tcfg.redundancy);
+  EXPECT_EQ(BitVector(decoded.bits.begin(),
+                      decoded.bits.begin() +
+                          static_cast<std::ptrdiff_t>(tag_bits.size())),
+            tag_bits);
+  // And the intended client still reads the beacon (from receiver 1's
+  // stream, i.e. the unmodified frame).
+  const auto structures = phyble::ParseAdvertisingPayload(frame.payload);
+  ASSERT_TRUE(structures.has_value());
+  EXPECT_EQ(structures->size(), 3u);
+}
+
+}  // namespace
+}  // namespace freerider

@@ -1,0 +1,43 @@
+// Compilation guard for the umbrella header: `#include "freerider.h"`
+// must pull in the entire public API without conflicts.
+#include "freerider.h"
+
+#include <gtest/gtest.h>
+
+namespace freerider {
+namespace {
+
+TEST(Umbrella, VersionAndBasicSymbolsVisible) {
+  EXPECT_GE(kVersionMajor, 1);
+  // One symbol per layer proves the includes resolved.
+  EXPECT_EQ(core::DefaultRedundancy(core::RadioType::kWifi), 4u);
+  EXPECT_EQ(phy80211::kFftSize, 64u);
+  EXPECT_EQ(phy802154::kChipsPerSymbol, 32u);
+  EXPECT_NEAR(phyble::kModulationIndex, 0.5, 1e-12);
+  EXPECT_EQ(phy80211b::kChipsPerSymbol, 11u);
+  EXPECT_NEAR(tag::kSidebandAmplitude, 2.0 / kPi, 1e-12);
+  EXPECT_GT(mac::PlmBitRateBps(), 0.0);
+  EXPECT_GT(channel::NoiseFloorDbm(20e6, 4.0), -100.0);
+}
+
+TEST(Umbrella, EndToEndSmokeThroughUmbrellaOnly) {
+  // The quickstart flow, written against freerider.h alone.
+  Rng rng(99);
+  const phy80211::TxFrame frame =
+      phy80211::BuildFrame(RandomBytes(rng, 300), {});
+  core::TranslateConfig cfg;
+  const BitVector tag_bits =
+      RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), cfg));
+  const IqBuffer bs = core::Translate(frame.waveform, tag_bits, cfg);
+  IqBuffer padded(100, Cplx{0.0, 0.0});
+  padded.insert(padded.end(), bs.begin(), bs.end());
+  const phy80211::RxResult rx = phy80211::ReceiveFrame(padded);
+  ASSERT_TRUE(rx.signal_ok);
+  const core::TagDecodeResult decoded = core::DecodeWifi(
+      frame.data_bits, rx.data_bits,
+      phy80211::ParamsFor(rx.rate).data_bits_per_symbol, cfg.redundancy);
+  EXPECT_EQ(decoded.bits, tag_bits);
+}
+
+}  // namespace
+}  // namespace freerider

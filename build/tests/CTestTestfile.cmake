@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/phy80211_test[1]_include.cmake")
+include("/root/repo/build/tests/phy802154_test[1]_include.cmake")
+include("/root/repo/build/tests/phyble_test[1]_include.cmake")
+include("/root/repo/build/tests/tag_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/phy80211b_test[1]_include.cmake")
+include("/root/repo/build/tests/quaternary_test[1]_include.cmake")
+include("/root/repo/build/tests/tag_mac_test[1]_include.cmake")
+include("/root/repo/build/tests/multitag_test[1]_include.cmake")
+include("/root/repo/build/tests/mpdu_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build/tests/harvester_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_framing_test[1]_include.cmake")

@@ -1,0 +1,132 @@
+// Robustness: graceful degradation of the end-to-end link under each
+// injected fault class, and the recovery machinery's cost/benefit in
+// the full multi-tag stack.
+//
+// The seed pipeline runs under idealized conditions; this bench turns
+// each impairment knob (src/impair/) up from zero and reports how the
+// link actually dies — gradually, with the adaptive controller sliding
+// down the redundancy ladder and the MAC recovering rounds, never with
+// a crash or an optimistic number from zero decoded packets.
+#include <cstdio>
+#include <string>
+
+#include "sim/link.h"
+#include "sim/multitag.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+sim::LinkConfig BaseLink() {
+  sim::LinkConfig config;
+  config.radio = core::RadioType::kWifi;
+  config.deployment = channel::LosDeployment();
+  config.tag_to_rx_m = 5.0;
+  config.num_packets = 12;
+  config.profile = sim::DefaultProfile(config.radio);
+  return config;
+}
+
+void Row(sim::TablePrinter& table, const std::string& label,
+         const sim::LinkConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
+  const sim::LinkStats stats = sim::SimulateTagLinkAdaptive(config, rng, 4);
+  table.AddRow({label, sim::TablePrinter::Num(stats.packet_reception_rate, 2),
+                sim::TablePrinter::Num(stats.tag_ber, 3),
+                sim::TablePrinter::Num(stats.tag_throughput_bps, 0),
+                std::to_string(stats.redundancy_used),
+                std::to_string(stats.faults_injected)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Robustness: link degradation under injected faults ===\n");
+  std::printf("WiFi LOS at 5 m, adaptive redundancy, 12 packets per row\n\n");
+
+  sim::TablePrinter table(
+      {"fault class", "PRR", "tag BER", "goodput (bps)", "N", "faults"});
+
+  Row(table, "none (baseline)", BaseLink(), 70);
+
+  {
+    sim::LinkConfig config = BaseLink();
+    config.impairments.cfo.enabled = true;
+    config.impairments.cfo.cfo_hz = 5e3;
+    config.impairments.cfo.cfo_sigma_hz = 1e3;
+    Row(table, "CFO 5 kHz", config, 70);
+  }
+  {
+    sim::LinkConfig config = BaseLink();
+    config.impairments.cfo.enabled = true;
+    config.impairments.cfo.tag_clock_ppm = 10000.0;
+    config.impairments.cfo.start_slip_sigma_samples = 20.0;
+    Row(table, "tag clock 1% + slip", config, 70);
+  }
+  {
+    sim::LinkConfig config = BaseLink();
+    config.impairments.interferer.enabled = true;
+    config.impairments.interferer.burst_probability = 0.6;
+    config.impairments.interferer.burst_power_dbm = -65.0;
+    Row(table, "interferer bursts", config, 70);
+  }
+  {
+    sim::LinkConfig config = BaseLink();
+    config.impairments.dropout.enabled = true;
+    config.impairments.dropout.dropout_probability = 0.5;
+    config.impairments.dropout.min_keep_fraction = 0.2;
+    config.impairments.dropout.max_keep_fraction = 0.6;
+    Row(table, "excitation dropout", config, 70);
+  }
+  {
+    sim::LinkConfig config = BaseLink();
+    config.impairments.cfo.enabled = true;
+    config.impairments.cfo.cfo_hz = 3e3;
+    config.impairments.cfo.tag_clock_ppm = 5000.0;
+    config.impairments.interferer.enabled = true;
+    config.impairments.interferer.burst_probability = 0.4;
+    config.impairments.interferer.burst_power_dbm = -70.0;
+    config.impairments.dropout.enabled = true;
+    config.impairments.dropout.dropout_probability = 0.3;
+    Row(table, "all combined", config, 70);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("=== Robustness: MAC recovery in the full stack ===\n");
+  std::printf("3 tags, 8 rounds, envelope faults + excitation dropout\n\n");
+  sim::TablePrinter mac_table({"impairment", "deliveries", "desyncs",
+                               "seq gaps", "reannounce", "recovered",
+                               "backoff (ms)", "goodput (bps)"});
+  for (double severity : {0.0, 0.2, 0.5}) {
+    sim::FullStackConfig config;
+    config.num_tags = 3;
+    config.rounds = 8;
+    if (severity > 0.0) {
+      config.impairments.envelope.enabled = true;
+      config.impairments.envelope.miss_probability = severity;
+      config.impairments.envelope.spurious_probability = severity / 2.0;
+      config.impairments.dropout.enabled = true;
+      config.impairments.dropout.dropout_probability = severity;
+      config.impairments.dropout.min_keep_fraction = 0.1;
+      config.impairments.dropout.max_keep_fraction = 0.4;
+    }
+    Rng rng(71);
+    const sim::FullStackStats stats = sim::RunFullStackCampaign(config, rng);
+    mac_table.AddRow({sim::TablePrinter::Num(severity, 1),
+                      std::to_string(stats.deliveries),
+                      std::to_string(stats.desync_events),
+                      std::to_string(stats.sequence_gaps),
+                      std::to_string(stats.reannouncements),
+                      std::to_string(stats.rounds_recovered),
+                      sim::TablePrinter::Num(stats.backoff_airtime_s * 1e3, 2),
+                      sim::TablePrinter::Num(stats.goodput_bps, 0)});
+  }
+  std::printf("%s\n", mac_table.ToString().c_str());
+  std::printf(
+      "Reading: faults cost goodput gradually (the adaptive controller\n"
+      "slides down the redundancy ladder, the coordinator backs off and\n"
+      "recovers rounds) — no fault class crashes the chain or yields\n"
+      "NaN/inf statistics.\n");
+  return 0;
+}

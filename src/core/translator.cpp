@@ -1,5 +1,6 @@
 #include "core/translator.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "phy80211/params.h"
@@ -19,6 +20,15 @@ double SampleRate(RadioType radio) {
       return phyble::kSampleRateHz;
   }
   return 0.0;
+}
+
+/// Modulation start after the tag's timing slip, clamped to the frame.
+std::size_t SlippedStart(std::size_t nominal_start, double slip_samples,
+                         std::size_t frame_samples) {
+  const double slipped = static_cast<double>(nominal_start) + slip_samples;
+  if (slipped <= 0.0) return 0;
+  const auto start = static_cast<std::size_t>(slipped + 0.5);
+  return std::min(start, frame_samples);
 }
 
 }  // namespace
@@ -103,35 +113,77 @@ IqBuffer Translate(std::span<const Cplx> excitation,
   }
   const std::size_t start = ModulationStartSamples(config.radio);
   const std::size_t window = SamplesPerCodeword(config.radio) * config.redundancy;
+  // The tag believes its clock is nominal: it always programs the
+  // nominal number of windows. Drift only moves where the boundaries
+  // actually land on the air.
   const std::size_t num_windows =
       excitation.size() > start ? (excitation.size() - start) / window : 0;
+  const bool drifted =
+      config.tag_clock_ppm != 0.0 || config.start_slip_samples != 0.0;
+  const double rate_factor = 1.0 + config.tag_clock_ppm * 1e-6;
 
   if (config.radio == RadioType::kBluetooth) {
     BitVector flags(num_windows, 0);
     for (std::size_t w = 0; w < num_windows && w < tag_bits.size(); ++w) {
       flags[w] = tag_bits[w];
     }
-    return tag::ApplyFskTogglePlan(excitation, start, window, flags,
-                                   phyble::kTagDeltaFHz, SampleRate(config.radio),
+    if (!drifted) {
+      return tag::ApplyFskTogglePlan(excitation, start, window, flags,
+                                     phyble::kTagDeltaFHz,
+                                     SampleRate(config.radio),
+                                     config.conversion_amplitude);
+    }
+    // A fast/slow ring oscillator scales the Δf toggle and the window
+    // clock together; the slip shifts where modulation begins.
+    const std::size_t start_eff =
+        SlippedStart(start, config.start_slip_samples, excitation.size());
+    const auto window_eff = static_cast<std::size_t>(std::max(
+        1.0, static_cast<double>(window) * std::max(rate_factor, 1e-3) + 0.5));
+    return tag::ApplyFskTogglePlan(excitation, start_eff, window_eff, flags,
+                                   phyble::kTagDeltaFHz * rate_factor,
+                                   SampleRate(config.radio),
                                    config.conversion_amplitude);
   }
 
-  tag::PhasePlan plan;
-  plan.start_sample = start;
-  plan.samples_per_window = window;
-  plan.window_phases.resize(num_windows, 0.0);
+  std::vector<double> phases(num_windows, 0.0);
   if (config.quaternary) {
     for (std::size_t w = 0; w < num_windows; ++w) {
       const std::size_t b0 = 2 * w;
       const Bit hi = b0 < tag_bits.size() ? tag_bits[b0] : 0;
       const Bit lo = b0 + 1 < tag_bits.size() ? tag_bits[b0 + 1] : 0;
       const int dibit = (hi << 1) | lo;  // Eq. 5: theta = dibit * 90°
-      plan.window_phases[w] = static_cast<double>(dibit) * (kPi / 2.0);
+      phases[w] = static_cast<double>(dibit) * (kPi / 2.0);
     }
   } else {
     for (std::size_t w = 0; w < num_windows && w < tag_bits.size(); ++w) {
-      if (tag_bits[w]) plan.window_phases[w] = kPi;  // Eq. 4
+      if (tag_bits[w]) phases[w] = kPi;  // Eq. 4
     }
+  }
+
+  tag::PhasePlan plan;
+  if (!drifted) {
+    plan.start_sample = start;
+    plan.samples_per_window = window;
+    plan.window_phases = std::move(phases);
+    return tag::ApplyPhasePlan(excitation, plan, config.conversion_amplitude);
+  }
+  // Drifted boundaries: express the plan per-sample (window length 1)
+  // so fractional boundary positions survive — window w of the tag's
+  // program covers air samples [w·W·r, (w+1)·W·r) past the slipped
+  // start, r = 1 + ppm·1e-6. Rounding per window would swallow
+  // sub-sample drift that only matters because it accumulates.
+  const std::size_t start_eff =
+      SlippedStart(start, config.start_slip_samples, excitation.size());
+  const double window_eff =
+      std::max(1e-3, static_cast<double>(window) * rate_factor);
+  plan.start_sample = start_eff;
+  plan.samples_per_window = 1;
+  plan.window_phases.assign(
+      excitation.size() > start_eff ? excitation.size() - start_eff : 0, 0.0);
+  for (std::size_t i = 0; i < plan.window_phases.size(); ++i) {
+    const auto w =
+        static_cast<std::size_t>(static_cast<double>(i) / window_eff);
+    if (w < phases.size()) plan.window_phases[i] = phases[w];
   }
   return tag::ApplyPhasePlan(excitation, plan, config.conversion_amplitude);
 }

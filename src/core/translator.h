@@ -59,6 +59,16 @@ struct TranslateConfig {
   bool quaternary = false;
   /// Conversion amplitude of the channel-shift toggle.
   double conversion_amplitude = tag::kSidebandAmplitude;
+  /// Tag ring-oscillator rate error (ppm). The AGLN250's clock has no
+  /// crystal; a nonzero value stretches/compresses every codeword
+  /// window so boundaries slip across the frame, and scales the
+  /// Bluetooth Δf toggle off its nominal frequency (the impair
+  /// subsystem's CFO/drift fault drives this). 0 = ideal oscillator,
+  /// and the 0 path is bit-identical to the pre-drift implementation.
+  double tag_clock_ppm = 0.0;
+  /// Signed mis-alignment (samples) of the tag's modulation start —
+  /// envelope turn-on delay variance shifting the first boundary.
+  double start_slip_samples = 0.0;
 };
 
 /// Translate `excitation` (one frame's waveform at the radio's rate)

@@ -8,6 +8,7 @@
 //   channel/  link budgets, AWGN, multipath, deployments
 //   phy*/     the four commodity PHYs (802.11a/g, 802.11b, 802.15.4, BLE)
 //   tag/      the tag's RF hardware model and power budget
+//   impair/   seeded fault injection (CFO/drift, bursts, dropouts)
 //   core/     codeword translation and tag-data decoding (the paper)
 //   mac/      PLM downlink, tag controller FSM, Aloha/TDM coordination
 //   sim/      end-to-end link and multi-tag campaign simulators
@@ -34,6 +35,7 @@
 #include "dsp/fir.h"
 #include "dsp/signal_ops.h"
 #include "dsp/spectrum.h"
+#include "impair/impair.h"
 #include "mac/ambient_traffic.h"
 #include "mac/coexistence.h"
 #include "mac/plm.h"

@@ -1,5 +1,6 @@
 #include "mac/plm.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bits.h"
@@ -53,7 +54,9 @@ BitVector BuildPlmMessage(std::span<const Bit> payload) {
 }
 
 PlmMessageReceiver::PlmMessageReceiver(std::size_t payload_bits)
-    : payload_bits_(payload_bits), history_(PlmPreamble().size()) {}
+    : payload_bits_(std::clamp<std::size_t>(payload_bits, 1,
+                                            kMaxPlmPayloadBits)),
+      history_(PlmPreamble().size()) {}
 
 std::optional<BitVector> PlmMessageReceiver::PushBit(Bit bit) {
   if (collecting_) {

@@ -48,9 +48,15 @@ BitVector DecodePlm(std::span<const tag::MeasuredPulse> pulses,
 /// The PLM message preamble (8 bits).
 const BitVector& PlmPreamble();
 
+/// Upper bound on a PLM message payload. The control payload is 16
+/// bits; anything beyond this is a corrupt or hostile configuration
+/// and is clamped so the receiver can never be parked collecting an
+/// unbounded (or never-completing zero-length) message.
+inline constexpr std::size_t kMaxPlmPayloadBits = 1024;
+
 /// Tag-side message receiver: push decoded bits one at a time; when the
 /// newest bits match the preamble, the following `payload_bits` bits
-/// form a message.
+/// form a message. `payload_bits` is clamped to [1, kMaxPlmPayloadBits].
 class PlmMessageReceiver {
  public:
   explicit PlmMessageReceiver(std::size_t payload_bits);

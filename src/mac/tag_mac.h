@@ -11,6 +11,17 @@
 //
 // After the round the controller returns to LISTENING, matching the
 // Framed-Slotted-Aloha coordinator on the transmitter side.
+//
+// Recovery machinery (the impair subsystem exercises all of it): the
+// envelope detector keeps running during SLOT_WAIT (the FPGA is only
+// deaf for its own backscatter slot), so a tag that lost the round —
+// missed slot boundaries, a spurious announcement, a corrupted slot
+// count — re-synchronizes on the next announcement it hears instead of
+// hanging. Announcements are sequence-numbered; gaps tell the tag how
+// many rounds it slept through, duplicates are ignored, implausible
+// slot counts are rejected as malformed, and a bounded slot-wait
+// timeout (from the tag's own pulse-timestamp clock) forces a return
+// to LISTENING when the round has clearly moved on without it.
 #pragma once
 
 #include <cstdint>
@@ -30,15 +41,37 @@ struct RoundAnnouncement {
 };
 
 /// Parse a 16-bit PLM control payload: slot count (8) | sequence (8).
+/// Hardened: anything but exactly 16 bits, a zero slot count, or
+/// non-binary bit values yields std::nullopt — never an out-of-bounds
+/// read or a fabricated announcement.
 std::optional<RoundAnnouncement> ParseAnnouncement(const BitVector& payload);
 
 /// Build the 16-bit control payload the coordinator sends.
 BitVector BuildAnnouncement(const RoundAnnouncement& announcement);
 
+/// Knobs of the tag-side recovery machinery.
+struct TagRecoveryConfig {
+  /// Announcements claiming more slots than this are malformed (the
+  /// coordinator's scheduler is clamped far below it) — a corrupted
+  /// slot count must not park the tag in a bogus multi-second wait.
+  std::size_t max_announced_slots = 256;
+  /// Keep decoding PLM during SLOT_WAIT and re-sync on a fresh
+  /// announcement (desync recovery). Off reproduces the fragile
+  /// fire-and-forget behaviour.
+  bool listen_during_slot_wait = true;
+  /// The tag's notion of one slot's duration (protocol constant,
+  /// mirrors MacTimingConfig::slot_s) for the slot-wait timeout.
+  double slot_duration_s = 6e-3;
+  /// Timeout factor: give up on a round after grace × slots × slot
+  /// duration without reaching our slot (measured on pulse
+  /// timestamps, the only clock the tag has).
+  double slot_wait_grace = 2.0;
+};
+
 class TagController {
  public:
-  explicit TagController(std::uint64_t seed,
-                         PlmConfig plm_config = {});
+  explicit TagController(std::uint64_t seed, PlmConfig plm_config = {},
+                         TagRecoveryConfig recovery = {});
 
   /// Feed one measured pulse from the envelope detector.
   void OnPulse(const tag::MeasuredPulse& pulse);
@@ -54,14 +87,42 @@ class TagController {
   }
   std::size_t chosen_slot() const { return chosen_slot_; }
 
+  // Recovery accounting --------------------------------------------
+  /// Rounds abandoned mid-wait (resync on a newer announcement or
+  /// slot-wait timeout).
+  std::size_t desync_events() const { return desync_events_; }
+  /// Announcement sequence gaps observed (rounds slept through).
+  std::size_t sequence_gaps() const { return sequence_gaps_; }
+  /// Completed messages that failed announcement parsing.
+  std::size_t malformed_rejected() const { return malformed_rejected_; }
+  /// Duplicate/stale announcements ignored.
+  std::size_t stale_rejected() const { return stale_rejected_; }
+  /// Valid announcements adopted.
+  std::size_t announcements_accepted() const {
+    return announcements_accepted_;
+  }
+
  private:
+  /// Handle a completed PLM message; returns true if a round was
+  /// adopted.
+  bool OnMessage(const BitVector& message, double pulse_time_s);
+
   PlmConfig plm_config_;
+  TagRecoveryConfig recovery_;
   PlmMessageReceiver receiver_;
   Rng rng_;
   TagState state_ = TagState::kListening;
   std::optional<RoundAnnouncement> round_;
   std::size_t chosen_slot_ = 0;
   std::size_t slot_cursor_ = 0;
+  std::optional<std::uint8_t> last_sequence_;
+  double slot_wait_deadline_s_ = 0.0;
+
+  std::size_t desync_events_ = 0;
+  std::size_t sequence_gaps_ = 0;
+  std::size_t malformed_rejected_ = 0;
+  std::size_t stale_rejected_ = 0;
+  std::size_t announcements_accepted_ = 0;
 };
 
 }  // namespace freerider::mac

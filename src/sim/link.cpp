@@ -80,11 +80,18 @@ void ChunkAccount(std::span<const Bit> sent, std::span<const Bit> decoded,
 }
 
 PacketOutcome RunOnePacket(const LinkConfig& config, std::size_t redundancy,
-                           double rx_power_dbm, Rng& rng) {
+                           double rx_power_dbm, Rng& rng,
+                           impair::FaultInjector& injector) {
   PacketOutcome outcome;
+  const impair::FrameFaults faults = injector.DrawFrame();
   core::TranslateConfig tcfg;
   tcfg.radio = config.radio;
   tcfg.redundancy = redundancy;
+  tcfg.tag_clock_ppm = faults.tag_clock_ppm;
+  tcfg.start_slip_samples = faults.start_slip_samples;
+  if (faults.tag_clock_ppm != 0.0 || faults.start_slip_samples != 0.0) {
+    injector.CountWindowSlip();
+  }
 
   channel::ReceiverFrontEnd fe;
   fe.sample_rate_hz = SampleRate(config.radio);
@@ -99,11 +106,14 @@ PacketOutcome RunOnePacket(const LinkConfig& config, std::size_t redundancy,
       outcome.airtime_s = phy80211::FrameDurationS(frame);
       const BitVector tag_bits =
           RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
-      const IqBuffer scaled =
-          channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
-      const IqBuffer backscattered = core::Translate(scaled, tag_bits, tcfg);
-      const IqBuffer rx =
+      IqBuffer scaled = channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
+      injector.ApplyDropout(scaled, faults);
+      const IqBuffer backscattered = injector.ApplyCfo(
+          core::Translate(scaled, tag_bits, tcfg), faults.cfo_hz,
+          fe.sample_rate_hz);
+      IqBuffer rx =
           channel::AddThermalNoise(PadBuffer(backscattered, 150), fe, rng);
+      injector.ApplyInterferer(rx, faults);
       const phy80211::RxResult result = phy80211::ReceiveFrame(rx);
       if (!result.signal_ok) return outcome;
       outcome.decoded = true;
@@ -122,12 +132,15 @@ PacketOutcome RunOnePacket(const LinkConfig& config, std::size_t redundancy,
       outcome.airtime_s = phy802154::FrameDurationS(frame);
       const BitVector tag_bits =
           RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
-      const IqBuffer scaled =
-          channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
-      const IqBuffer backscattered = core::Translate(scaled, tag_bits, tcfg);
-      const IqBuffer rx = ApplyPhaseDrift(
+      IqBuffer scaled = channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
+      injector.ApplyDropout(scaled, faults);
+      const IqBuffer backscattered = injector.ApplyCfo(
+          core::Translate(scaled, tag_bits, tcfg), faults.cfo_hz,
+          fe.sample_rate_hz);
+      IqBuffer rx = ApplyPhaseDrift(
           channel::AddThermalNoise(PadBuffer(backscattered, 200), fe, rng),
           config.profile.phase_noise_rw_rad_per_sample, rng);
+      injector.ApplyInterferer(rx, faults);
       const phy802154::RxResult result = phy802154::ReceiveFrame(rx);
       if (!result.detected || result.data_symbols.empty()) return outcome;
       outcome.decoded = true;
@@ -145,11 +158,14 @@ PacketOutcome RunOnePacket(const LinkConfig& config, std::size_t redundancy,
       outcome.airtime_s = phyble::FrameDurationS(frame);
       const BitVector tag_bits =
           RandomBits(rng, core::TagBitCapacity(frame.waveform.size(), tcfg));
-      const IqBuffer scaled =
-          channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
-      const IqBuffer backscattered = core::Translate(scaled, tag_bits, tcfg);
-      const IqBuffer rx =
+      IqBuffer scaled = channel::ToAbsolutePower(frame.waveform, rx_power_dbm);
+      injector.ApplyDropout(scaled, faults);
+      const IqBuffer backscattered = injector.ApplyCfo(
+          core::Translate(scaled, tag_bits, tcfg), faults.cfo_hz,
+          fe.sample_rate_hz);
+      IqBuffer rx =
           channel::AddThermalNoise(PadBuffer(backscattered, 200), fe, rng);
+      injector.ApplyInterferer(rx, faults);
       const phyble::RxResult result = phyble::ReceiveFrame(rx);
       if (!result.detected || result.stream_bits.empty()) return outcome;
       outcome.decoded = true;
@@ -164,7 +180,8 @@ PacketOutcome RunOnePacket(const LinkConfig& config, std::size_t redundancy,
 }
 
 LinkStats Aggregate(const LinkConfig& config, std::size_t redundancy,
-                    double rx_power_dbm, std::size_t packets, Rng& rng) {
+                    double rx_power_dbm, std::size_t packets, Rng& rng,
+                    impair::FaultInjector& injector) {
   LinkStats stats;
   stats.redundancy_used = redundancy;
   stats.packets_attempted = packets;
@@ -183,7 +200,8 @@ LinkStats Aggregate(const LinkConfig& config, std::size_t redundancy,
       total_airtime += 1e-3 + config.profile.inter_frame_gap_s;
       continue;
     }
-    const PacketOutcome o = RunOnePacket(config, redundancy, faded_dbm, rng);
+    const PacketOutcome o =
+        RunOnePacket(config, redundancy, faded_dbm, rng, injector);
     total_airtime += o.airtime_s + config.profile.inter_frame_gap_s;
     if (o.decoded) {
       ++stats.packets_decoded;
@@ -193,17 +211,60 @@ LinkStats Aggregate(const LinkConfig& config, std::size_t redundancy,
       rssi_sum += o.rssi_dbm;
     }
   }
-  stats.packet_reception_rate =
-      static_cast<double>(stats.packets_decoded) / static_cast<double>(packets);
+  // Every ratio below is guarded: a zero-packet batch, zero decoded
+  // packets, or zero airtime must yield the pessimistic defaults, not
+  // NaN/inf — injected faults make all three reachable.
+  if (packets > 0) {
+    stats.packet_reception_rate =
+        static_cast<double>(stats.packets_decoded) /
+        static_cast<double>(packets);
+  }
   if (total_bits > 0) {
     stats.tag_ber =
         static_cast<double>(total_errors) / static_cast<double>(total_bits);
-    stats.tag_throughput_bps =
-        static_cast<double>(total_good_bits) / total_airtime;
+    if (total_airtime > 0.0) {
+      stats.tag_throughput_bps =
+          static_cast<double>(total_good_bits) / total_airtime;
+    }
   }
   if (stats.packets_decoded > 0) {
     stats.rssi_dbm = rssi_sum / static_cast<double>(stats.packets_decoded);
   }
+  return stats;
+}
+
+/// One injector serves a whole simulate call (probes + final batch) so
+/// its counters report total fault exposure. Seeded from the master
+/// stream ONLY when faults are enabled — a disabled config must not
+/// advance `rng`, keeping un-impaired runs bit-identical.
+impair::FaultInjector MakeInjector(const LinkConfig& config, Rng& rng) {
+  return impair::FaultInjector(
+      config.impairments,
+      config.impairments.AnyEnabled() ? rng.NextU64() : 0);
+}
+
+void FinalizeFaultStats(LinkStats& stats,
+                        const impair::FaultInjector& injector) {
+  stats.fault_counters = injector.counters();
+  stats.faults_injected = stats.fault_counters.total();
+}
+
+LinkStats SimulateTagLinkWith(const LinkConfig& config, Rng& rng,
+                              impair::FaultInjector& injector) {
+  const std::size_t redundancy = config.redundancy != 0
+                                     ? config.redundancy
+                                     : core::DefaultRedundancy(config.radio);
+  const channel::BackscatterBudget budget = MakeBudget(config);
+  // Power excluding the sideband loss: the tag waveform model applies it.
+  const double rx_power = budget.ReceivedDbm(
+      config.deployment.tx_to_tag_m, config.tag_to_rx_m,
+      config.deployment.WallsTxToTag(),
+      config.deployment.WallsTagToRx(config.tag_to_rx_m),
+      /*include_sideband_loss=*/false);
+  LinkStats stats =
+      Aggregate(config, redundancy, rx_power, config.num_packets, rng,
+                injector);
+  stats.snr_db = BackscatterSnrDb(config);
   return stats;
 }
 
@@ -255,19 +316,9 @@ double BackscatterSnrDb(const LinkConfig& config) {
 }
 
 LinkStats SimulateTagLink(const LinkConfig& config, Rng& rng) {
-  const std::size_t redundancy = config.redundancy != 0
-                                     ? config.redundancy
-                                     : core::DefaultRedundancy(config.radio);
-  const channel::BackscatterBudget budget = MakeBudget(config);
-  // Power excluding the sideband loss: the tag waveform model applies it.
-  const double rx_power = budget.ReceivedDbm(
-      config.deployment.tx_to_tag_m, config.tag_to_rx_m,
-      config.deployment.WallsTxToTag(),
-      config.deployment.WallsTagToRx(config.tag_to_rx_m),
-      /*include_sideband_loss=*/false);
-  LinkStats stats =
-      Aggregate(config, redundancy, rx_power, config.num_packets, rng);
-  stats.snr_db = BackscatterSnrDb(config);
+  impair::FaultInjector injector = MakeInjector(config, rng);
+  LinkStats stats = SimulateTagLinkWith(config, rng, injector);
+  FinalizeFaultStats(stats, injector);
   return stats;
 }
 
@@ -281,18 +332,33 @@ LinkStats SimulateTagLinkAdaptive(const LinkConfig& config, Rng& rng,
       config.deployment.WallsTagToRx(config.tag_to_rx_m),
       /*include_sideband_loss=*/false);
 
+  impair::FaultInjector injector = MakeInjector(config, rng);
+  // Probe the ladder, but only trust rungs that actually decoded
+  // something: a probe with zero decoded packets has no goodput signal,
+  // only the absence of one. If every rung comes back empty the link is
+  // marginal or fault-swamped — degrade gracefully to the most
+  // redundant rung (the slowest, most decodable rate) instead of
+  // defaulting to the fastest and reporting optimistic numbers.
   std::size_t best_n = ladder.back();
   double best_goodput = -1.0;
+  bool any_decoded = false;
   for (std::size_t n : ladder) {
-    const LinkStats probe = Aggregate(config, n, rx_power, probe_packets, rng);
+    const LinkStats probe =
+        Aggregate(config, n, rx_power, probe_packets, rng, injector);
+    if (probe.packets_decoded == 0) continue;
+    any_decoded = true;
     if (probe.tag_throughput_bps > best_goodput) {
       best_goodput = probe.tag_throughput_bps;
       best_n = n;
     }
   }
+  if (!any_decoded) best_n = ladder.back();
+
   LinkConfig final_config = config;
   final_config.redundancy = best_n;
-  return SimulateTagLink(final_config, rng);
+  LinkStats stats = SimulateTagLinkWith(final_config, rng, injector);
+  FinalizeFaultStats(stats, injector);
+  return stats;
 }
 
 }  // namespace freerider::sim

@@ -20,6 +20,7 @@
 #include "channel/link_budget.h"
 #include "common/rng.h"
 #include "core/translator.h"
+#include "impair/impair.h"
 
 namespace freerider::sim {
 
@@ -60,6 +61,10 @@ struct LinkConfig {
   std::size_t redundancy = 0;  ///< 0 = DefaultRedundancy(radio).
   std::size_t num_packets = 20;
   RadioProfile profile;        ///< Fill from DefaultProfile().
+  /// Fault injection (default: everything off). A fully-disabled
+  /// config leaves the simulation stream untouched, so un-impaired
+  /// runs reproduce the pre-impairment results bit-for-bit.
+  impair::ImpairmentConfig impairments;
 };
 
 struct LinkStats {
@@ -74,6 +79,12 @@ struct LinkStats {
   double rssi_dbm = -300.0;          ///< Mean backscatter RSSI at the receiver.
   double snr_db = -100.0;            ///< Budget SNR at the backscatter RX.
   std::size_t redundancy_used = 0;
+  /// Fault-injection accounting (zero on un-impaired runs). For the
+  /// adaptive simulator these cover probes and the final batch alike.
+  std::size_t faults_injected = 0;   ///< Total injected fault events.
+  std::size_t desync_events = 0;     ///< Tag desync/resync (multi-tag MAC).
+  std::size_t rounds_recovered = 0;  ///< Coordinator backoff recoveries.
+  impair::FaultCounters fault_counters;
 };
 
 /// Run one link at a fixed redundancy.

@@ -52,10 +52,32 @@ FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
   fe.sample_rate_hz = phy80211::kSampleRateHz;
   fe.noise_figure_db = 5.0;
   const mac::PlmConfig plm;
+  // Seed the injector from the master stream only when something is
+  // enabled: a disabled config must not advance `rng`, so un-impaired
+  // campaigns stay bit-identical to the pre-impairment simulator.
+  impair::FaultInjector injector(
+      config.impairments,
+      config.impairments.AnyEnabled() ? rng.NextU64() : 0);
+
+  // Consecutive rounds with zero decodable slots drive the
+  // coordinator's re-announcement backoff.
+  std::size_t consecutive_failed_rounds = 0;
 
   for (std::size_t round = 0; round < config.rounds; ++round) {
     ++stats.rounds;
     const std::size_t slots = scheduler.current_slots();
+
+    if (config.recovery.enabled && consecutive_failed_rounds > 0) {
+      // Last round decoded nothing: this announcement is a re-try
+      // after an exponentially growing idle gap.
+      const std::size_t exponent = std::min<std::size_t>(
+          consecutive_failed_rounds - 1, config.recovery.max_exponent);
+      const double backoff = config.recovery.backoff_base_s *
+                             static_cast<double>(std::size_t{1} << exponent);
+      stats.backoff_airtime_s += backoff;
+      stats.airtime_s += backoff;
+      ++stats.reannouncements;
+    }
 
     // 1. PLM announcement through each tag's envelope detector.
     mac::RoundAnnouncement announcement;
@@ -68,8 +90,15 @@ FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
     stats.airtime_s +=
         pulses.back().start_s + pulses.back().duration_s + plm.gap_s;
     for (SimTag& t : tags) {
+      // The physical detector model first (misses, jitter — main rng),
+      // then the injected envelope faults (injector's own rng).
+      std::vector<tag::MeasuredPulse> detected;
+      detected.reserve(pulses.size());
       for (const auto& p : pulses) {
-        if (auto m = detector.Detect(p, rng)) t.controller.OnPulse(*m);
+        if (auto m = detector.Detect(p, rng)) detected.push_back(*m);
+      }
+      for (const auto& m : injector.ImpairPulses(std::move(detected))) {
+        t.controller.OnPulse(m);
       }
     }
 
@@ -83,11 +112,17 @@ FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
           RandomBytes(rng, config.excitation_payload_bytes), {});
       stats.airtime_s += phy80211::FrameDurationS(excitation) + 60e-6;
 
+      // One fault realization per slot: the excitation, the channel
+      // burst, and the (shared) tag-oscillator drift for this exchange.
+      const impair::FrameFaults faults = injector.DrawFrame();
       core::TranslateConfig tcfg;
+      tcfg.tag_clock_ppm = faults.tag_clock_ppm;
+      tcfg.start_slip_samples = faults.start_slip_samples;
       const std::size_t capacity =
           core::TagBitCapacity(excitation.waveform.size(), tcfg);
-      const IqBuffer scaled = channel::ToAbsolutePower(
-          excitation.waveform, config.backscatter_rx_dbm);
+      IqBuffer scaled = channel::ToAbsolutePower(excitation.waveform,
+                                                 config.backscatter_rx_dbm);
+      injector.ApplyDropout(scaled, faults);
 
       // Superpose every firing tag's reflection.
       IqBuffer composite;
@@ -98,6 +133,9 @@ FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
         BitVector bits = TagSlotBits(tags[t]);
         bits.resize(capacity, 0);
         const IqBuffer reflection = core::Translate(scaled, bits, tcfg);
+        if (faults.tag_clock_ppm != 0.0 || faults.start_slip_samples != 0.0) {
+          injector.CountWindowSlip();
+        }
         composite = composite.empty()
                         ? reflection
                         : dsp::AddSignals(composite, reflection);
@@ -107,11 +145,15 @@ FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
         ++empties_observed;
         continue;
       }
+      composite =
+          injector.ApplyCfo(std::move(composite), faults.cfo_hz,
+                            fe.sample_rate_hz);
 
       IqBuffer padded(150, Cplx{0.0, 0.0});
       padded.insert(padded.end(), composite.begin(), composite.end());
-      const phy80211::RxResult rx =
-          phy80211::ReceiveFrame(channel::AddThermalNoise(padded, fe, rng));
+      IqBuffer rx_wave = channel::AddThermalNoise(padded, fe, rng);
+      injector.ApplyInterferer(rx_wave, faults);
+      const phy80211::RxResult rx = phy80211::ReceiveFrame(rx_wave);
 
       bool delivered = false;
       if (rx.signal_ok) {
@@ -144,6 +186,15 @@ FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
     // The coordinator resizes from its *observations* of this round.
     scheduler.ReportRound(singles_observed, collisions_observed,
                           empties_observed);
+    // Recovery bookkeeping: a round with zero decodable slots arms the
+    // backoff; the first decodable round afterwards counts as a
+    // recovery.
+    if (singles_observed == 0) {
+      ++consecutive_failed_rounds;
+    } else {
+      if (consecutive_failed_rounds > 0) ++stats.rounds_recovered;
+      consecutive_failed_rounds = 0;
+    }
   }
 
   double total_payload_bits = 0.0;
@@ -156,6 +207,12 @@ FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
   stats.goodput_bps =
       stats.airtime_s > 0.0 ? total_payload_bits / stats.airtime_s : 0.0;
   stats.jain_fairness = JainFairnessIndex(per_tag);
+  for (const SimTag& t : tags) {
+    stats.desync_events += t.controller.desync_events();
+    stats.sequence_gaps += t.controller.sequence_gaps();
+  }
+  stats.fault_counters = injector.counters();
+  stats.faults_injected = stats.fault_counters.total();
   return stats;
 }
 

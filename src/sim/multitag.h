@@ -25,9 +25,25 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "impair/impair.h"
 #include "mac/slotted_aloha.h"
 
 namespace freerider::sim {
+
+/// Coordinator-side recovery: when a round yields zero decodable slots
+/// the coordinator cannot tell "nobody joined" from "everything
+/// collided or was jammed", so it re-announces after an exponentially
+/// growing idle gap — cheap when the outage is transient (an
+/// interferer burst), and it stops the coordinator from spinning
+/// full-rate announcements into a dead or jammed channel.
+struct CoordinatorRecoveryConfig {
+  bool enabled = true;
+  /// Idle gap before the first re-announcement.
+  double backoff_base_s = 2e-3;
+  /// Backoff doubles per consecutive failed round, capped at
+  /// base × 2^max_exponent.
+  std::size_t max_exponent = 5;
+};
 
 struct FullStackConfig {
   std::size_t num_tags = 6;
@@ -41,6 +57,10 @@ struct FullStackConfig {
   /// Tag frame payload (id + sequence).
   std::size_t tag_payload_bytes = 2;
   mac::SlotAdjustConfig adjust;
+  CoordinatorRecoveryConfig recovery;
+  /// Fault injection (default: everything off; off = bit-identical to
+  /// the un-impaired simulator).
+  impair::ImpairmentConfig impairments;
 };
 
 struct FullStackStats {
@@ -53,6 +73,14 @@ struct FullStackStats {
   double airtime_s = 0.0;
   double goodput_bps = 0.0;  ///< Tag payload bits delivered per second.
   double jain_fairness = 0.0;
+  // Robustness accounting ------------------------------------------
+  std::size_t faults_injected = 0;   ///< Total injected fault events.
+  std::size_t desync_events = 0;     ///< Tag-side desync/resync events.
+  std::size_t sequence_gaps = 0;     ///< Announcement gaps tags observed.
+  std::size_t reannouncements = 0;   ///< Rounds entered under backoff.
+  std::size_t rounds_recovered = 0;  ///< Deliveries resumed after failures.
+  double backoff_airtime_s = 0.0;    ///< Idle time spent backing off.
+  impair::FaultCounters fault_counters;
 };
 
 FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng);

@@ -3,8 +3,11 @@
 // frames out of noise at meaningful rates.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "core/tag_frame.h"
+#include "impair/impair.h"
 #include "mac/plm.h"
 #include "mac/tag_mac.h"
 #include "phy80211/mpdu.h"
@@ -12,6 +15,8 @@
 #include "phy80211b/frame11b.h"
 #include "phy802154/frame.h"
 #include "phyble/frame.h"
+#include "sim/link.h"
+#include "sim/multitag.h"
 #include "sim/sweep.h"
 
 namespace freerider {
@@ -109,6 +114,106 @@ TEST(Fuzz, TagControllerOnRandomPulses) {
   }
   // Must end in a sane state whatever arrived.
   SUCCEED();
+}
+
+// Draw a random point in the impairment-config space: random subset of
+// fault classes enabled, parameters spanning benign to absurd.
+impair::ImpairmentConfig RandomImpairments(Rng& rng) {
+  impair::ImpairmentConfig config;
+  config.cfo.enabled = rng.NextBit();
+  config.cfo.cfo_hz = (rng.NextDouble() - 0.5) * 100e3;
+  config.cfo.cfo_sigma_hz = rng.NextDouble() * 10e3;
+  config.cfo.tag_clock_ppm = (rng.NextDouble() - 0.5) * 60000.0;
+  config.cfo.tag_clock_ppm_sigma = rng.NextDouble() * 5000.0;
+  config.cfo.start_slip_sigma_samples = rng.NextDouble() * 200.0;
+  config.interferer.enabled = rng.NextBit();
+  config.interferer.burst_probability = rng.NextDouble();
+  config.interferer.burst_power_dbm = -100.0 + rng.NextDouble() * 60.0;
+  config.interferer.min_fraction = rng.NextDouble() * 0.5;
+  config.interferer.max_fraction =
+      config.interferer.min_fraction + rng.NextDouble() * 0.5;
+  config.dropout.enabled = rng.NextBit();
+  config.dropout.dropout_probability = rng.NextDouble();
+  config.dropout.min_keep_fraction = rng.NextDouble() * 0.5;
+  config.dropout.max_keep_fraction =
+      config.dropout.min_keep_fraction + rng.NextDouble() * 0.5;
+  config.envelope.enabled = rng.NextBit();
+  config.envelope.miss_probability = rng.NextDouble();
+  config.envelope.spurious_probability = rng.NextDouble();
+  config.envelope.extra_jitter_s = rng.NextDouble() * 100e-6;
+  return config;
+}
+
+TEST(Fuzz, FaultInjectorOnRandomConfigs) {
+  Rng rng(20);
+  for (int i = 0; i < 200; ++i) {
+    impair::FaultInjector injector(RandomImpairments(rng), rng.NextU64());
+    IqBuffer wave = RandomIq(rng, 200 + rng.NextBelow(800), 1e-4);
+    for (int f = 0; f < 20; ++f) {
+      const impair::FrameFaults faults = injector.DrawFrame();
+      EXPECT_TRUE(std::isfinite(faults.cfo_hz));
+      EXPECT_TRUE(std::isfinite(faults.tag_clock_ppm));
+      EXPECT_GE(faults.keep_fraction, 0.0);
+      EXPECT_LE(faults.keep_fraction, 1.0);
+      injector.ApplyDropout(wave, faults);
+      wave = injector.ApplyCfo(std::move(wave), faults.cfo_hz,
+                               20e6);
+      injector.ApplyInterferer(wave, faults);
+      for (const Cplx& x : wave) {
+        ASSERT_TRUE(std::isfinite(x.real()) && std::isfinite(x.imag()));
+      }
+    }
+    std::vector<tag::MeasuredPulse> pulses;
+    for (int p = 0; p < 30; ++p) {
+      pulses.push_back({rng.NextDouble(), rng.NextDouble() * 2e-3});
+    }
+    for (const auto& m : injector.ImpairPulses(std::move(pulses))) {
+      EXPECT_TRUE(std::isfinite(m.start_s));
+      EXPECT_TRUE(std::isfinite(m.duration_s));
+    }
+  }
+}
+
+TEST(Fuzz, LinkSimulatorOnRandomImpairments) {
+  Rng rng(21);
+  for (int i = 0; i < 6; ++i) {
+    sim::LinkConfig config;
+    config.radio = core::RadioType::kWifi;
+    config.deployment = channel::LosDeployment();
+    config.tag_to_rx_m = 1.0 + rng.NextDouble() * 10.0;
+    config.num_packets = 2;
+    config.profile = sim::DefaultProfile(config.radio);
+    config.profile.excitation_payload_bytes = 120;
+    config.impairments = RandomImpairments(rng);
+    Rng sim_rng(rng.NextU64());
+    const sim::LinkStats stats = sim::SimulateTagLink(config, sim_rng);
+    EXPECT_TRUE(std::isfinite(stats.packet_reception_rate));
+    EXPECT_TRUE(std::isfinite(stats.tag_ber));
+    EXPECT_TRUE(std::isfinite(stats.tag_throughput_bps));
+    EXPECT_GE(stats.packet_reception_rate, 0.0);
+    EXPECT_LE(stats.packet_reception_rate, 1.0);
+    EXPECT_GE(stats.tag_ber, 0.0);
+    EXPECT_LE(stats.tag_ber, 1.0);
+  }
+}
+
+TEST(Fuzz, FullStackOnRandomImpairments) {
+  Rng rng(22);
+  for (int i = 0; i < 3; ++i) {
+    sim::FullStackConfig config;
+    config.num_tags = 1 + rng.NextBelow(3);
+    config.rounds = 2;
+    config.excitation_payload_bytes = 120;
+    config.impairments = RandomImpairments(rng);
+    Rng sim_rng(rng.NextU64());
+    const sim::FullStackStats stats =
+        sim::RunFullStackCampaign(config, sim_rng);
+    EXPECT_EQ(stats.rounds, 2u);
+    EXPECT_TRUE(std::isfinite(stats.goodput_bps));
+    EXPECT_TRUE(std::isfinite(stats.airtime_s));
+    EXPECT_TRUE(std::isfinite(stats.jain_fairness));
+    EXPECT_GE(stats.goodput_bps, 0.0);
+  }
 }
 
 TEST(Fuzz, CsvEscapesQuotesAndCommas) {

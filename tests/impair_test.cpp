@@ -1,0 +1,322 @@
+// Fault-injection subsystem tests: every fault class must (a) leave a
+// disabled run bit-for-bit identical to the un-impaired simulator,
+// (b) be deterministic from the simulation seed, and (c) degrade the
+// link without ever crashing or producing NaN/inf statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/redundancy.h"
+#include "impair/impair.h"
+#include "sim/link.h"
+#include "sim/multitag.h"
+
+namespace freerider::sim {
+namespace {
+
+LinkConfig BaseLink(core::RadioType radio = core::RadioType::kWifi,
+                    double distance = 5.0, std::size_t packets = 5) {
+  LinkConfig config;
+  config.radio = radio;
+  config.deployment = channel::LosDeployment();
+  config.tag_to_rx_m = distance;
+  config.num_packets = packets;
+  config.profile = DefaultProfile(radio);
+  config.profile.excitation_payload_bytes = 200;  // keep tests fast
+  return config;
+}
+
+void ExpectSaneStats(const LinkStats& stats) {
+  EXPECT_TRUE(std::isfinite(stats.packet_reception_rate));
+  EXPECT_TRUE(std::isfinite(stats.tag_ber));
+  EXPECT_TRUE(std::isfinite(stats.tag_throughput_bps));
+  EXPECT_TRUE(std::isfinite(stats.rssi_dbm));
+  EXPECT_TRUE(std::isfinite(stats.snr_db));
+  EXPECT_GE(stats.packet_reception_rate, 0.0);
+  EXPECT_LE(stats.packet_reception_rate, 1.0);
+  EXPECT_GE(stats.tag_ber, 0.0);
+  EXPECT_LE(stats.tag_ber, 1.0);
+  EXPECT_GE(stats.tag_throughput_bps, 0.0);
+  EXPECT_LE(stats.packets_decoded, stats.packets_attempted);
+}
+
+void ExpectIdentical(const LinkStats& a, const LinkStats& b) {
+  EXPECT_EQ(a.packets_attempted, b.packets_attempted);
+  EXPECT_EQ(a.packets_decoded, b.packets_decoded);
+  EXPECT_EQ(a.redundancy_used, b.redundancy_used);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  // Doubles compared bit-for-bit on purpose: same seed, same code
+  // path, same arithmetic — anything else is nondeterminism.
+  EXPECT_EQ(a.packet_reception_rate, b.packet_reception_rate);
+  EXPECT_EQ(a.tag_ber, b.tag_ber);
+  EXPECT_EQ(a.tag_throughput_bps, b.tag_throughput_bps);
+  EXPECT_EQ(a.rssi_dbm, b.rssi_dbm);
+  EXPECT_EQ(a.snr_db, b.snr_db);
+}
+
+// ------------------------------------------------ baseline preservation
+
+TEST(Impair, DisabledConfigIsBitForBitBaseline) {
+  // A config whose fault classes carry aggressive parameters but are
+  // all *disabled* must not draw a single random number: the result
+  // equals the default (no impairment structure at all).
+  LinkConfig plain = BaseLink();
+  LinkConfig armed_but_off = BaseLink();
+  armed_but_off.impairments.cfo.cfo_hz = 50e3;
+  armed_but_off.impairments.cfo.tag_clock_ppm = 20000.0;
+  armed_but_off.impairments.interferer.burst_probability = 1.0;
+  armed_but_off.impairments.dropout.dropout_probability = 1.0;
+  armed_but_off.impairments.envelope.miss_probability = 1.0;
+  ASSERT_FALSE(armed_but_off.impairments.AnyEnabled());
+
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const LinkStats a = SimulateTagLink(plain, rng_a);
+  const LinkStats b = SimulateTagLink(armed_but_off, rng_b);
+  ExpectIdentical(a, b);
+  EXPECT_EQ(a.faults_injected, 0u);
+  EXPECT_EQ(a.fault_counters.total(), 0u);
+}
+
+TEST(Impair, DisabledConfigAdaptiveBaseline) {
+  LinkConfig plain = BaseLink(core::RadioType::kWifi, 3.0, 4);
+  LinkConfig off = plain;
+  off.impairments.dropout.dropout_probability = 1.0;  // disabled anyway
+  Rng rng_a(5);
+  Rng rng_b(5);
+  ExpectIdentical(SimulateTagLinkAdaptive(plain, rng_a, 3),
+                  SimulateTagLinkAdaptive(off, rng_b, 3));
+}
+
+TEST(Impair, FullStackDisabledConfigBaseline) {
+  FullStackConfig plain;
+  plain.num_tags = 2;
+  plain.rounds = 2;
+  plain.excitation_payload_bytes = 150;
+  FullStackConfig off = plain;
+  off.impairments.interferer.burst_probability = 1.0;  // not enabled
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const FullStackStats a = RunFullStackCampaign(plain, rng_a);
+  const FullStackStats b = RunFullStackCampaign(off, rng_b);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.goodput_bps, b.goodput_bps);
+  EXPECT_EQ(a.observed_collisions, b.observed_collisions);
+  EXPECT_EQ(a.faults_injected, 0u);
+  EXPECT_EQ(b.faults_injected, 0u);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(Impair, IdenticalSeedsIdenticalStatsUnderInjection) {
+  LinkConfig config = BaseLink();
+  config.impairments.cfo.enabled = true;
+  config.impairments.cfo.cfo_hz = 2e3;
+  config.impairments.cfo.cfo_sigma_hz = 500.0;
+  config.impairments.cfo.tag_clock_ppm = 5000.0;
+  config.impairments.interferer.enabled = true;
+  config.impairments.interferer.burst_probability = 0.5;
+  config.impairments.dropout.enabled = true;
+  config.impairments.dropout.dropout_probability = 0.4;
+
+  Rng rng_a(123);
+  Rng rng_b(123);
+  const LinkStats a = SimulateTagLink(config, rng_a);
+  const LinkStats b = SimulateTagLink(config, rng_b);
+  ExpectIdentical(a, b);
+  EXPECT_EQ(a.fault_counters.cfo_rotations, b.fault_counters.cfo_rotations);
+  EXPECT_EQ(a.fault_counters.interferer_bursts,
+            b.fault_counters.interferer_bursts);
+  EXPECT_EQ(a.fault_counters.excitation_dropouts,
+            b.fault_counters.excitation_dropouts);
+}
+
+TEST(Impair, FullStackDeterministicUnderInjection) {
+  FullStackConfig config;
+  config.num_tags = 2;
+  config.rounds = 3;
+  config.excitation_payload_bytes = 150;
+  config.impairments.envelope.enabled = true;
+  config.impairments.envelope.miss_probability = 0.2;
+  config.impairments.envelope.spurious_probability = 0.2;
+  config.impairments.dropout.enabled = true;
+  config.impairments.dropout.dropout_probability = 0.3;
+
+  Rng rng_a(31);
+  Rng rng_b(31);
+  const FullStackStats a = RunFullStackCampaign(config, rng_a);
+  const FullStackStats b = RunFullStackCampaign(config, rng_b);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.desync_events, b.desync_events);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.goodput_bps, b.goodput_bps);
+}
+
+// ----------------------------------------------- fault classes: link
+
+TEST(Impair, CfoAndDriftInjectsAndStaysSane) {
+  LinkConfig config = BaseLink();
+  config.impairments.cfo.enabled = true;
+  config.impairments.cfo.cfo_hz = 10e3;
+  config.impairments.cfo.tag_clock_ppm = 20000.0;  // 2% ring oscillator
+  config.impairments.cfo.start_slip_sigma_samples = 40.0;
+  Rng rng(11);
+  const LinkStats stats = SimulateTagLink(config, rng);
+  ExpectSaneStats(stats);
+  EXPECT_GT(stats.fault_counters.cfo_rotations, 0u);
+  EXPECT_GT(stats.fault_counters.window_slips, 0u);
+  EXPECT_GT(stats.faults_injected, 0u);
+}
+
+TEST(Impair, HeavyClockDriftCorruptsTagBits) {
+  // 2% clock error slides the window boundaries by whole windows over
+  // a frame: the decoded tag stream must be visibly worse than the
+  // clean run's (which is error-free at 5 m).
+  LinkConfig clean = BaseLink();
+  LinkConfig drifted = BaseLink();
+  drifted.impairments.cfo.enabled = true;
+  drifted.impairments.cfo.tag_clock_ppm = 20000.0;
+  Rng rng_a(13);
+  Rng rng_b(13);
+  const LinkStats clean_stats = SimulateTagLink(clean, rng_a);
+  const LinkStats drift_stats = SimulateTagLink(drifted, rng_b);
+  ExpectSaneStats(drift_stats);
+  EXPECT_GT(drift_stats.tag_ber, clean_stats.tag_ber);
+}
+
+TEST(Impair, InterfererBurstInjectsAndStaysSane) {
+  LinkConfig config = BaseLink();
+  config.impairments.interferer.enabled = true;
+  config.impairments.interferer.burst_probability = 1.0;
+  config.impairments.interferer.burst_power_dbm = -65.0;
+  config.impairments.interferer.min_fraction = 0.2;
+  config.impairments.interferer.max_fraction = 0.5;
+  Rng rng(17);
+  const LinkStats stats = SimulateTagLink(config, rng);
+  ExpectSaneStats(stats);
+  EXPECT_EQ(stats.fault_counters.interferer_bursts, stats.packets_attempted);
+}
+
+TEST(Impair, ExcitationDropoutCorruptsTagStreamGracefully) {
+  // The frame's head (preamble, header) survives a mid-frame dropout,
+  // so the receiver still syncs — the damage lands on the tag bits
+  // riding the silenced tail, which decode from pure noise.
+  LinkConfig clean = BaseLink();
+  LinkConfig config = BaseLink();
+  config.impairments.dropout.enabled = true;
+  config.impairments.dropout.dropout_probability = 1.0;
+  config.impairments.dropout.min_keep_fraction = 0.1;
+  config.impairments.dropout.max_keep_fraction = 0.3;
+  Rng rng_a(19);
+  Rng rng_b(19);
+  const LinkStats clean_stats = SimulateTagLink(clean, rng_a);
+  const LinkStats stats = SimulateTagLink(config, rng_b);
+  ExpectSaneStats(stats);
+  EXPECT_EQ(stats.fault_counters.excitation_dropouts,
+            stats.packets_attempted);
+  EXPECT_GT(stats.tag_ber, clean_stats.tag_ber);
+  EXPECT_LT(stats.tag_throughput_bps, clean_stats.tag_throughput_bps);
+}
+
+TEST(Impair, AllFaultClassesAtOnceOnEveryRadio) {
+  for (core::RadioType radio :
+       {core::RadioType::kWifi, core::RadioType::kZigbee,
+        core::RadioType::kBluetooth}) {
+    LinkConfig config = BaseLink(radio, 4.0, 4);
+    config.impairments.cfo.enabled = true;
+    config.impairments.cfo.cfo_hz = 5e3;
+    config.impairments.cfo.tag_clock_ppm = 8000.0;
+    config.impairments.cfo.start_slip_sigma_samples = 20.0;
+    config.impairments.interferer.enabled = true;
+    config.impairments.interferer.burst_probability = 0.6;
+    config.impairments.dropout.enabled = true;
+    config.impairments.dropout.dropout_probability = 0.4;
+    Rng rng(23);
+    const LinkStats stats = SimulateTagLink(config, rng);
+    ExpectSaneStats(stats);
+    EXPECT_GT(stats.faults_injected, 0u) << "radio " << static_cast<int>(radio);
+  }
+}
+
+// ------------------------------------- graceful adaptive degradation
+
+TEST(Impair, AdaptiveFallsBackToMaxRedundancyWhenNothingDecodes) {
+  // Way past the sensitivity gate nothing ever decodes; the adaptive
+  // probe must degrade to the most redundant rung instead of the
+  // fastest, and every statistic must stay finite.
+  LinkConfig config = BaseLink(core::RadioType::kBluetooth, 60.0, 4);
+  Rng rng(29);
+  const LinkStats stats = SimulateTagLinkAdaptive(config, rng, 2);
+  ExpectSaneStats(stats);
+  EXPECT_EQ(stats.packets_decoded, 0u);
+  EXPECT_DOUBLE_EQ(stats.tag_throughput_bps, 0.0);
+  EXPECT_EQ(stats.redundancy_used,
+            core::RedundancyLadder(core::RadioType::kBluetooth).back());
+}
+
+TEST(Impair, AdaptiveSurvivesTotalDropout) {
+  LinkConfig config = BaseLink(core::RadioType::kWifi, 3.0, 4);
+  config.impairments.dropout.enabled = true;
+  config.impairments.dropout.dropout_probability = 1.0;
+  config.impairments.dropout.min_keep_fraction = 0.02;
+  config.impairments.dropout.max_keep_fraction = 0.05;
+  Rng rng(37);
+  const LinkStats stats = SimulateTagLinkAdaptive(config, rng, 2);
+  ExpectSaneStats(stats);
+  // With 95-98% of every frame gone, nothing should decode — and the
+  // controller must fall to the safest rung without dividing by zero.
+  EXPECT_EQ(stats.packets_decoded, 0u);
+  EXPECT_EQ(stats.redundancy_used,
+            core::RedundancyLadder(core::RadioType::kWifi).back());
+}
+
+// -------------------------------------------- fault classes: full stack
+
+TEST(Impair, EnvelopeFaultsPerturbPlmButCampaignCompletes) {
+  FullStackConfig config;
+  config.num_tags = 3;
+  config.rounds = 4;
+  config.excitation_payload_bytes = 150;
+  config.impairments.envelope.enabled = true;
+  config.impairments.envelope.miss_probability = 0.3;
+  config.impairments.envelope.spurious_probability = 0.3;
+  config.impairments.envelope.extra_jitter_s = 10e-6;
+  Rng rng(41);
+  const FullStackStats stats = RunFullStackCampaign(config, rng);
+  EXPECT_EQ(stats.rounds, 4u);
+  EXPECT_TRUE(std::isfinite(stats.goodput_bps));
+  EXPECT_GE(stats.goodput_bps, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.jain_fairness));
+  EXPECT_GT(stats.fault_counters.pulses_dropped +
+                stats.fault_counters.pulses_spurious +
+                stats.fault_counters.pulses_jittered,
+            0u);
+}
+
+TEST(Impair, FullStackSurvivesCombinedFaults) {
+  FullStackConfig config;
+  config.num_tags = 3;
+  config.rounds = 5;
+  config.excitation_payload_bytes = 150;
+  config.impairments.envelope.enabled = true;
+  config.impairments.envelope.miss_probability = 0.4;
+  config.impairments.dropout.enabled = true;
+  config.impairments.dropout.dropout_probability = 0.5;
+  config.impairments.interferer.enabled = true;
+  config.impairments.interferer.burst_probability = 0.5;
+  config.impairments.interferer.burst_power_dbm = -60.0;
+  config.impairments.cfo.enabled = true;
+  config.impairments.cfo.tag_clock_ppm = 5000.0;
+  Rng rng(43);
+  const FullStackStats stats = RunFullStackCampaign(config, rng);
+  EXPECT_EQ(stats.rounds, 5u);
+  EXPECT_TRUE(std::isfinite(stats.goodput_bps));
+  EXPECT_TRUE(std::isfinite(stats.airtime_s));
+  EXPECT_GT(stats.faults_injected, 0u);
+  for (std::size_t d : stats.per_tag_deliveries) {
+    EXPECT_LE(d, config.rounds * 2);
+  }
+}
+
+}  // namespace
+}  // namespace freerider::sim

@@ -1,0 +1,281 @@
+// Adversarial and recovery tests for the tag-side MAC: malformed
+// announcement handling, desync detection, bounded slot-wait, stale
+// rejection, and the coordinator's re-announcement backoff.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "mac/plm.h"
+#include "mac/tag_mac.h"
+#include "sim/multitag.h"
+
+namespace freerider::mac {
+namespace {
+
+// Feed a perfectly-received announcement into a controller: encode it
+// as PLM and hand each pulse over verbatim (zero-loss detector).
+void Deliver(TagController& controller, const RoundAnnouncement& announcement,
+             double start_s = 0.0) {
+  const BitVector message = BuildPlmMessage(BuildAnnouncement(announcement));
+  for (const auto& p : EncodePlm(message, start_s, -30.0)) {
+    controller.OnPulse(tag::MeasuredPulse{p.start_s, p.duration_s});
+  }
+}
+
+// Run a full round of slot boundaries; returns how often the tag fired.
+std::size_t RunRound(TagController& controller, std::size_t slots) {
+  std::size_t fires = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (controller.OnSlotBoundary()) ++fires;
+  }
+  return fires;
+}
+
+// --------------------------------------------- ParseAnnouncement hardening
+
+TEST(ParseAnnouncement, RejectsEveryWrongSize) {
+  for (std::size_t size : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                           std::size_t{15}, std::size_t{17}, std::size_t{64},
+                           std::size_t{1000}}) {
+    const BitVector payload(size, 1);
+    EXPECT_FALSE(ParseAnnouncement(payload).has_value()) << "size " << size;
+  }
+}
+
+TEST(ParseAnnouncement, RejectsZeroSlots) {
+  const BitVector payload(16, 0);
+  EXPECT_FALSE(ParseAnnouncement(payload).has_value());
+}
+
+TEST(ParseAnnouncement, MasksNonBinaryCells) {
+  // A corrupted producer can hand cells > 1; only the LSB may count,
+  // otherwise eight 0xFF cells would smear into a gigantic slot count.
+  const BitVector payload(16, 0xFF);
+  const auto a = ParseAnnouncement(payload);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->slots, 255u);
+  EXPECT_EQ(a->sequence, 255u);
+}
+
+TEST(ParseAnnouncement, RoundTripsBuildAnnouncement) {
+  for (std::size_t slots : {std::size_t{1}, std::size_t{8}, std::size_t{255}}) {
+    RoundAnnouncement in;
+    in.slots = slots;
+    in.sequence = static_cast<std::uint8_t>(slots * 7);
+    const auto out = ParseAnnouncement(BuildAnnouncement(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->slots, in.slots);
+    EXPECT_EQ(out->sequence, in.sequence);
+  }
+}
+
+// ----------------------------------------------------- PLM hardening
+
+TEST(PlmReceiver, ClampsDegeneratePayloadSizes) {
+  // Zero payload bits would make the receiver emit empty messages
+  // forever; a huge request would park it collecting until heat death.
+  PlmMessageReceiver zero(0);
+  const BitVector& preamble = PlmPreamble();
+  for (Bit b : preamble) EXPECT_FALSE(zero.PushBit(b).has_value());
+  const auto message = zero.PushBit(1);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->size(), 1u);
+
+  PlmMessageReceiver huge(std::numeric_limits<std::size_t>::max());
+  for (Bit b : preamble) EXPECT_FALSE(huge.PushBit(b).has_value());
+  std::optional<BitVector> out;
+  for (std::size_t i = 0; i < kMaxPlmPayloadBits; ++i) {
+    out = huge.PushBit(static_cast<Bit>(i & 1u));
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), kMaxPlmPayloadBits);
+}
+
+TEST(Plm, ClassifyPulseRejectsGarbageDurations) {
+  const PlmConfig config;
+  for (double duration : {-1.0, 0.0, 1e9, std::nan(""),
+                          std::numeric_limits<double>::infinity()}) {
+    EXPECT_FALSE(
+        ClassifyPulse(tag::MeasuredPulse{0.0, duration}, config).has_value())
+        << "duration " << duration;
+  }
+}
+
+// --------------------------------------------- TagController recovery
+
+TEST(TagRecovery, RejectsImplausibleSlotCounts) {
+  TagRecoveryConfig recovery;
+  recovery.max_announced_slots = 16;
+  TagController controller(1, {}, recovery);
+  Deliver(controller, {.slots = 100, .sequence = 0});
+  EXPECT_EQ(controller.state(), TagState::kListening);
+  EXPECT_EQ(controller.malformed_rejected(), 1u);
+  EXPECT_EQ(controller.announcements_accepted(), 0u);
+}
+
+TEST(TagRecovery, DesyncsAndRejoinsOnNewerAnnouncement) {
+  TagController controller(2);
+  Deliver(controller, {.slots = 8, .sequence = 0});
+  ASSERT_EQ(controller.state(), TagState::kSlotWait);
+  // The round moves on without this tag ever seeing its slot
+  // boundaries (it only saw 3 of 8)...
+  for (int s = 0; s < 3; ++s) controller.OnSlotBoundary();
+  // ...and the next round's announcement arrives. The tag must abandon
+  // the dead round and rejoin instead of hanging.
+  Deliver(controller, {.slots = 8, .sequence = 1}, 0.05);
+  EXPECT_EQ(controller.desync_events(), 1u);
+  EXPECT_EQ(controller.state(), TagState::kSlotWait);
+  ASSERT_TRUE(controller.current_round().has_value());
+  EXPECT_EQ(controller.current_round()->sequence, 1u);
+  // And it transmits exactly once in the new round.
+  EXPECT_EQ(RunRound(controller, 8), 1u);
+  EXPECT_EQ(controller.state(), TagState::kListening);
+}
+
+TEST(TagRecovery, HoldsSlotOnSameSequenceReannouncement) {
+  TagController controller(3);
+  Deliver(controller, {.slots = 8, .sequence = 4});
+  const std::size_t slot = controller.chosen_slot();
+  // Coordinator backoff re-announces the same round: re-drawing the
+  // slot would make the tag transmit twice (or miss its draw).
+  Deliver(controller, {.slots = 8, .sequence = 4}, 0.05);
+  EXPECT_EQ(controller.stale_rejected(), 1u);
+  EXPECT_EQ(controller.desync_events(), 0u);
+  EXPECT_EQ(controller.chosen_slot(), slot);
+  EXPECT_EQ(RunRound(controller, 8), 1u);
+}
+
+TEST(TagRecovery, IgnoresReplayOfCompletedRound) {
+  TagController controller(4);
+  Deliver(controller, {.slots = 4, .sequence = 9});
+  EXPECT_EQ(RunRound(controller, 4), 1u);
+  ASSERT_EQ(controller.state(), TagState::kListening);
+  // A replay of the round we already served must not trigger a second
+  // transmission.
+  Deliver(controller, {.slots = 4, .sequence = 9}, 0.05);
+  EXPECT_EQ(controller.stale_rejected(), 1u);
+  EXPECT_EQ(controller.state(), TagState::kListening);
+}
+
+TEST(TagRecovery, CountsSequenceGaps) {
+  TagController controller(5);
+  Deliver(controller, {.slots = 4, .sequence = 0});
+  RunRound(controller, 4);
+  // Rounds 1 and 2 were slept through (announcements lost); round 3's
+  // announcement reveals the gap.
+  Deliver(controller, {.slots = 4, .sequence = 3}, 0.05);
+  EXPECT_EQ(controller.sequence_gaps(), 1u);
+  EXPECT_EQ(controller.announcements_accepted(), 2u);
+  EXPECT_EQ(controller.state(), TagState::kSlotWait);
+}
+
+TEST(TagRecovery, SequenceGapAcrossWraparound) {
+  TagController controller(6);
+  Deliver(controller, {.slots = 4, .sequence = 254});
+  RunRound(controller, 4);
+  // 254 -> 1 wraps the uint8 sequence; the gap (3) must still be seen
+  // as a gap, not as a huge negative jump.
+  Deliver(controller, {.slots = 4, .sequence = 1}, 0.05);
+  EXPECT_EQ(controller.sequence_gaps(), 1u);
+  EXPECT_EQ(controller.state(), TagState::kSlotWait);
+}
+
+TEST(TagRecovery, BoundedSlotWaitTimesOut) {
+  TagController controller(7);
+  Deliver(controller, {.slots = 8, .sequence = 0});
+  ASSERT_EQ(controller.state(), TagState::kSlotWait);
+  // Way past the round's worst-case end an ambient pulse goes by. The
+  // slot boundaries are never coming — the tag must give up on the
+  // round rather than wait forever.
+  controller.OnPulse(tag::MeasuredPulse{1.0, 300e-6});
+  EXPECT_EQ(controller.state(), TagState::kListening);
+  EXPECT_EQ(controller.desync_events(), 1u);
+  EXPECT_FALSE(controller.current_round().has_value());
+}
+
+TEST(TagRecovery, AmbientPulsesDuringSlotWaitAreHarmless) {
+  TagController controller(8);
+  Deliver(controller, {.slots = 8, .sequence = 0});
+  const std::size_t slot = controller.chosen_slot();
+  // Ambient traffic (durations outside both PLM bit lengths) within
+  // the round's deadline: no state change, no counters.
+  for (int i = 0; i < 20; ++i) {
+    controller.OnPulse(tag::MeasuredPulse{0.03 + 1e-3 * i, 200e-6});
+  }
+  EXPECT_EQ(controller.state(), TagState::kSlotWait);
+  EXPECT_EQ(controller.chosen_slot(), slot);
+  EXPECT_EQ(controller.desync_events(), 0u);
+  EXPECT_EQ(RunRound(controller, 8), 1u);
+}
+
+TEST(TagRecovery, DisabledListeningReproducesFireAndForget) {
+  TagRecoveryConfig recovery;
+  recovery.listen_during_slot_wait = false;
+  TagController controller(9, {}, recovery);
+  Deliver(controller, {.slots = 8, .sequence = 0});
+  ASSERT_EQ(controller.state(), TagState::kSlotWait);
+  // With recovery off the tag is deaf mid-round: a newer announcement
+  // changes nothing (the fragile baseline behaviour).
+  Deliver(controller, {.slots = 8, .sequence = 1}, 0.05);
+  EXPECT_EQ(controller.desync_events(), 0u);
+  ASSERT_TRUE(controller.current_round().has_value());
+  EXPECT_EQ(controller.current_round()->sequence, 0u);
+}
+
+// ------------------------------------------- coordinator backoff (E2E)
+
+TEST(CoordinatorRecovery, BacksOffWhenNoTagEverJoins) {
+  sim::FullStackConfig config;
+  config.num_tags = 2;
+  config.rounds = 4;
+  config.excitation_payload_bytes = 150;
+  // PLM pulses arrive 30 dB under the envelope detector threshold: no
+  // tag ever hears an announcement, every round decodes nothing.
+  config.plm_power_at_tag_dbm = -90.0;
+  Rng rng(51);
+  const sim::FullStackStats stats = sim::RunFullStackCampaign(config, rng);
+  EXPECT_EQ(stats.deliveries, 0u);
+  EXPECT_EQ(stats.rounds, 4u);
+  // Backoff precedes every announcement after the first failed round.
+  EXPECT_EQ(stats.reannouncements, 3u);
+  EXPECT_GT(stats.backoff_airtime_s, 0.0);
+  EXPECT_EQ(stats.rounds_recovered, 0u);
+  EXPECT_TRUE(std::isfinite(stats.goodput_bps));
+}
+
+TEST(CoordinatorRecovery, BackoffDisabledAddsNoIdleTime) {
+  sim::FullStackConfig config;
+  config.num_tags = 2;
+  config.rounds = 3;
+  config.excitation_payload_bytes = 150;
+  config.plm_power_at_tag_dbm = -90.0;
+  config.recovery.enabled = false;
+  Rng rng(52);
+  const sim::FullStackStats stats = sim::RunFullStackCampaign(config, rng);
+  EXPECT_EQ(stats.reannouncements, 0u);
+  EXPECT_DOUBLE_EQ(stats.backoff_airtime_s, 0.0);
+}
+
+TEST(CoordinatorRecovery, RecoversAfterTransientOutage) {
+  // Heavy mid-frame excitation dropout makes some rounds decode
+  // nothing; when a later round delivers again it must be counted as a
+  // recovery (backoff armed, then released).
+  sim::FullStackConfig config;
+  config.num_tags = 1;
+  config.rounds = 10;
+  config.impairments.dropout.enabled = true;
+  config.impairments.dropout.dropout_probability = 0.7;
+  config.impairments.dropout.min_keep_fraction = 0.05;
+  config.impairments.dropout.max_keep_fraction = 0.15;
+  Rng rng(53);
+  const sim::FullStackStats stats = sim::RunFullStackCampaign(config, rng);
+  EXPECT_EQ(stats.rounds, 10u);
+  EXPECT_GT(stats.deliveries, 0u);
+  EXPECT_GT(stats.reannouncements, 0u);
+  EXPECT_GE(stats.rounds_recovered, 1u);
+  EXPECT_TRUE(std::isfinite(stats.goodput_bps));
+}
+
+}  // namespace
+}  // namespace freerider::mac

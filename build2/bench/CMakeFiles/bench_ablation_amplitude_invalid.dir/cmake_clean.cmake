@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_amplitude_invalid.dir/bench_ablation_amplitude_invalid.cpp.o"
+  "CMakeFiles/bench_ablation_amplitude_invalid.dir/bench_ablation_amplitude_invalid.cpp.o.d"
+  "bench_ablation_amplitude_invalid"
+  "bench_ablation_amplitude_invalid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_amplitude_invalid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

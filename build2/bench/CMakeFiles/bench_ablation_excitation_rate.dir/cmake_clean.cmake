@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_excitation_rate.dir/bench_ablation_excitation_rate.cpp.o"
+  "CMakeFiles/bench_ablation_excitation_rate.dir/bench_ablation_excitation_rate.cpp.o.d"
+  "bench_ablation_excitation_rate"
+  "bench_ablation_excitation_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_excitation_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

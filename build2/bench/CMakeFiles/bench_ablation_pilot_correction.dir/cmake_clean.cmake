@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pilot_correction.dir/bench_ablation_pilot_correction.cpp.o"
+  "CMakeFiles/bench_ablation_pilot_correction.dir/bench_ablation_pilot_correction.cpp.o.d"
+  "bench_ablation_pilot_correction"
+  "bench_ablation_pilot_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pilot_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quaternary.dir/bench_ablation_quaternary.cpp.o"
+  "CMakeFiles/bench_ablation_quaternary.dir/bench_ablation_quaternary.cpp.o.d"
+  "bench_ablation_quaternary"
+  "bench_ablation_quaternary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quaternary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

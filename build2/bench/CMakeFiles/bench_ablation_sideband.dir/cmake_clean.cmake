@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sideband.dir/bench_ablation_sideband.cpp.o"
+  "CMakeFiles/bench_ablation_sideband.dir/bench_ablation_sideband.cpp.o.d"
+  "bench_ablation_sideband"
+  "bench_ablation_sideband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sideband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

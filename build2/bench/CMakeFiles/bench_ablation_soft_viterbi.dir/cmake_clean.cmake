@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_soft_viterbi.dir/bench_ablation_soft_viterbi.cpp.o"
+  "CMakeFiles/bench_ablation_soft_viterbi.dir/bench_ablation_soft_viterbi.cpp.o.d"
+  "bench_ablation_soft_viterbi"
+  "bench_ablation_soft_viterbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_soft_viterbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_hitchhike.dir/bench_baseline_hitchhike.cpp.o"
+  "CMakeFiles/bench_baseline_hitchhike.dir/bench_baseline_hitchhike.cpp.o.d"
+  "bench_baseline_hitchhike"
+  "bench_baseline_hitchhike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_hitchhike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

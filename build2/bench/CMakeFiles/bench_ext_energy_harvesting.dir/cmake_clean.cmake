@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_energy_harvesting.dir/bench_ext_energy_harvesting.cpp.o"
+  "CMakeFiles/bench_ext_energy_harvesting.dir/bench_ext_energy_harvesting.cpp.o.d"
+  "bench_ext_energy_harvesting"
+  "bench_ext_energy_harvesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_energy_harvesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

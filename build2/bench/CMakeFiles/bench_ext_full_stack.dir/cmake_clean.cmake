@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_full_stack.dir/bench_ext_full_stack.cpp.o"
+  "CMakeFiles/bench_ext_full_stack.dir/bench_ext_full_stack.cpp.o.d"
+  "bench_ext_full_stack"
+  "bench_ext_full_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_full_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tdm_mac.dir/bench_ext_tdm_mac.cpp.o"
+  "CMakeFiles/bench_ext_tdm_mac.dir/bench_ext_tdm_mac.cpp.o.d"
+  "bench_ext_tdm_mac"
+  "bench_ext_tdm_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tdm_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

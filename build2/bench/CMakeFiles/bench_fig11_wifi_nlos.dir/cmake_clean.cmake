@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_wifi_nlos.dir/bench_fig11_wifi_nlos.cpp.o"
+  "CMakeFiles/bench_fig11_wifi_nlos.dir/bench_fig11_wifi_nlos.cpp.o.d"
+  "bench_fig11_wifi_nlos"
+  "bench_fig11_wifi_nlos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_wifi_nlos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_zigbee_los.dir/bench_fig12_zigbee_los.cpp.o"
+  "CMakeFiles/bench_fig12_zigbee_los.dir/bench_fig12_zigbee_los.cpp.o.d"
+  "bench_fig12_zigbee_los"
+  "bench_fig12_zigbee_los.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_zigbee_los.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

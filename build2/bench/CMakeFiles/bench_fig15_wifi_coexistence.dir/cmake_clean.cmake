@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_wifi_coexistence.dir/bench_fig15_wifi_coexistence.cpp.o"
+  "CMakeFiles/bench_fig15_wifi_coexistence.dir/bench_fig15_wifi_coexistence.cpp.o.d"
+  "bench_fig15_wifi_coexistence"
+  "bench_fig15_wifi_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_wifi_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

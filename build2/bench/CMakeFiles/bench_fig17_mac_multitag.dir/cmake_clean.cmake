@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_mac_multitag.dir/bench_fig17_mac_multitag.cpp.o"
+  "CMakeFiles/bench_fig17_mac_multitag.dir/bench_fig17_mac_multitag.cpp.o.d"
+  "bench_fig17_mac_multitag"
+  "bench_fig17_mac_multitag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mac_multitag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phy_sensitivity.dir/bench_phy_sensitivity.cpp.o"
+  "CMakeFiles/bench_phy_sensitivity.dir/bench_phy_sensitivity.cpp.o.d"
+  "bench_phy_sensitivity"
+  "bench_phy_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phy_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

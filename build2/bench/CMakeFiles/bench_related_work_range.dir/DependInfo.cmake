@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_related_work_range.cpp" "bench/CMakeFiles/bench_related_work_range.dir/bench_related_work_range.cpp.o" "gcc" "bench/CMakeFiles/bench_related_work_range.dir/bench_related_work_range.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/freerider_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mac/CMakeFiles/freerider_mac.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/freerider_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/channel/CMakeFiles/freerider_channel.dir/DependInfo.cmake"
+  "/root/repo/build2/src/phy80211/CMakeFiles/freerider_phy80211.dir/DependInfo.cmake"
+  "/root/repo/build2/src/phy80211b/CMakeFiles/freerider_phy80211b.dir/DependInfo.cmake"
+  "/root/repo/build2/src/phy802154/CMakeFiles/freerider_phy802154.dir/DependInfo.cmake"
+  "/root/repo/build2/src/phyble/CMakeFiles/freerider_phyble.dir/DependInfo.cmake"
+  "/root/repo/build2/src/impair/CMakeFiles/freerider_impair.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tag/CMakeFiles/freerider_tag.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dsp/CMakeFiles/freerider_dsp.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/freerider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

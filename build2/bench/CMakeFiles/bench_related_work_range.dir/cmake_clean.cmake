@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_work_range.dir/bench_related_work_range.cpp.o"
+  "CMakeFiles/bench_related_work_range.dir/bench_related_work_range.cpp.o.d"
+  "bench_related_work_range"
+  "bench_related_work_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_work_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

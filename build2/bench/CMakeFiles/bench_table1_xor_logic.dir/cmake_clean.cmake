@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_xor_logic.dir/bench_table1_xor_logic.cpp.o"
+  "CMakeFiles/bench_table1_xor_logic.dir/bench_table1_xor_logic.cpp.o.d"
+  "bench_table1_xor_logic"
+  "bench_table1_xor_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_xor_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

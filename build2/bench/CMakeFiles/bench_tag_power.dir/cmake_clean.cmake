@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tag_power.dir/bench_tag_power.cpp.o"
+  "CMakeFiles/bench_tag_power.dir/bench_tag_power.cpp.o.d"
+  "bench_tag_power"
+  "bench_tag_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tag_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

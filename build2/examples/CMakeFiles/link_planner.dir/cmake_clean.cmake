@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_planner.dir/link_planner.cpp.o"
+  "CMakeFiles/link_planner.dir/link_planner.cpp.o.d"
+  "link_planner"
+  "link_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_sensors.dir/smart_home_sensors.cpp.o"
+  "CMakeFiles/smart_home_sensors.dir/smart_home_sensors.cpp.o.d"
+  "smart_home_sensors"
+  "smart_home_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dsp")
+subdirs("channel")
+subdirs("phy80211")
+subdirs("phy80211b")
+subdirs("phy802154")
+subdirs("phyble")
+subdirs("tag")
+subdirs("impair")
+subdirs("core")
+subdirs("mac")
+subdirs("sim")

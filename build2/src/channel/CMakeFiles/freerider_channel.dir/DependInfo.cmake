@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/awgn.cpp" "src/channel/CMakeFiles/freerider_channel.dir/awgn.cpp.o" "gcc" "src/channel/CMakeFiles/freerider_channel.dir/awgn.cpp.o.d"
+  "/root/repo/src/channel/deployment.cpp" "src/channel/CMakeFiles/freerider_channel.dir/deployment.cpp.o" "gcc" "src/channel/CMakeFiles/freerider_channel.dir/deployment.cpp.o.d"
+  "/root/repo/src/channel/link_budget.cpp" "src/channel/CMakeFiles/freerider_channel.dir/link_budget.cpp.o" "gcc" "src/channel/CMakeFiles/freerider_channel.dir/link_budget.cpp.o.d"
+  "/root/repo/src/channel/multipath.cpp" "src/channel/CMakeFiles/freerider_channel.dir/multipath.cpp.o" "gcc" "src/channel/CMakeFiles/freerider_channel.dir/multipath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/freerider_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dsp/CMakeFiles/freerider_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

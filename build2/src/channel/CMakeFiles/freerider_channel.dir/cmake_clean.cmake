@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_channel.dir/awgn.cpp.o"
+  "CMakeFiles/freerider_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/freerider_channel.dir/deployment.cpp.o"
+  "CMakeFiles/freerider_channel.dir/deployment.cpp.o.d"
+  "CMakeFiles/freerider_channel.dir/link_budget.cpp.o"
+  "CMakeFiles/freerider_channel.dir/link_budget.cpp.o.d"
+  "CMakeFiles/freerider_channel.dir/multipath.cpp.o"
+  "CMakeFiles/freerider_channel.dir/multipath.cpp.o.d"
+  "libfreerider_channel.a"
+  "libfreerider_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_common.dir/bits.cpp.o"
+  "CMakeFiles/freerider_common.dir/bits.cpp.o.d"
+  "CMakeFiles/freerider_common.dir/crc.cpp.o"
+  "CMakeFiles/freerider_common.dir/crc.cpp.o.d"
+  "CMakeFiles/freerider_common.dir/stats.cpp.o"
+  "CMakeFiles/freerider_common.dir/stats.cpp.o.d"
+  "libfreerider_common.a"
+  "libfreerider_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_core.dir/hitchhike.cpp.o"
+  "CMakeFiles/freerider_core.dir/hitchhike.cpp.o.d"
+  "CMakeFiles/freerider_core.dir/quaternary.cpp.o"
+  "CMakeFiles/freerider_core.dir/quaternary.cpp.o.d"
+  "CMakeFiles/freerider_core.dir/redundancy.cpp.o"
+  "CMakeFiles/freerider_core.dir/redundancy.cpp.o.d"
+  "CMakeFiles/freerider_core.dir/tag_frame.cpp.o"
+  "CMakeFiles/freerider_core.dir/tag_frame.cpp.o.d"
+  "CMakeFiles/freerider_core.dir/translator.cpp.o"
+  "CMakeFiles/freerider_core.dir/translator.cpp.o.d"
+  "CMakeFiles/freerider_core.dir/xor_decoder.cpp.o"
+  "CMakeFiles/freerider_core.dir/xor_decoder.cpp.o.d"
+  "libfreerider_core.a"
+  "libfreerider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_dsp.dir/fft.cpp.o"
+  "CMakeFiles/freerider_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/freerider_dsp.dir/fir.cpp.o"
+  "CMakeFiles/freerider_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/freerider_dsp.dir/signal_ops.cpp.o"
+  "CMakeFiles/freerider_dsp.dir/signal_ops.cpp.o.d"
+  "CMakeFiles/freerider_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/freerider_dsp.dir/spectrum.cpp.o.d"
+  "libfreerider_dsp.a"
+  "libfreerider_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_impair.dir/impair.cpp.o"
+  "CMakeFiles/freerider_impair.dir/impair.cpp.o.d"
+  "libfreerider_impair.a"
+  "libfreerider_impair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_impair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfreerider_impair.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_mac.dir/ambient_traffic.cpp.o"
+  "CMakeFiles/freerider_mac.dir/ambient_traffic.cpp.o.d"
+  "CMakeFiles/freerider_mac.dir/coexistence.cpp.o"
+  "CMakeFiles/freerider_mac.dir/coexistence.cpp.o.d"
+  "CMakeFiles/freerider_mac.dir/plm.cpp.o"
+  "CMakeFiles/freerider_mac.dir/plm.cpp.o.d"
+  "CMakeFiles/freerider_mac.dir/repacketizer.cpp.o"
+  "CMakeFiles/freerider_mac.dir/repacketizer.cpp.o.d"
+  "CMakeFiles/freerider_mac.dir/slotted_aloha.cpp.o"
+  "CMakeFiles/freerider_mac.dir/slotted_aloha.cpp.o.d"
+  "CMakeFiles/freerider_mac.dir/tag_mac.cpp.o"
+  "CMakeFiles/freerider_mac.dir/tag_mac.cpp.o.d"
+  "CMakeFiles/freerider_mac.dir/tdm.cpp.o"
+  "CMakeFiles/freerider_mac.dir/tdm.cpp.o.d"
+  "libfreerider_mac.a"
+  "libfreerider_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy80211/constellation.cpp" "src/phy80211/CMakeFiles/freerider_phy80211.dir/constellation.cpp.o" "gcc" "src/phy80211/CMakeFiles/freerider_phy80211.dir/constellation.cpp.o.d"
+  "/root/repo/src/phy80211/convolutional.cpp" "src/phy80211/CMakeFiles/freerider_phy80211.dir/convolutional.cpp.o" "gcc" "src/phy80211/CMakeFiles/freerider_phy80211.dir/convolutional.cpp.o.d"
+  "/root/repo/src/phy80211/interleaver.cpp" "src/phy80211/CMakeFiles/freerider_phy80211.dir/interleaver.cpp.o" "gcc" "src/phy80211/CMakeFiles/freerider_phy80211.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy80211/mpdu.cpp" "src/phy80211/CMakeFiles/freerider_phy80211.dir/mpdu.cpp.o" "gcc" "src/phy80211/CMakeFiles/freerider_phy80211.dir/mpdu.cpp.o.d"
+  "/root/repo/src/phy80211/ofdm.cpp" "src/phy80211/CMakeFiles/freerider_phy80211.dir/ofdm.cpp.o" "gcc" "src/phy80211/CMakeFiles/freerider_phy80211.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy80211/receiver.cpp" "src/phy80211/CMakeFiles/freerider_phy80211.dir/receiver.cpp.o" "gcc" "src/phy80211/CMakeFiles/freerider_phy80211.dir/receiver.cpp.o.d"
+  "/root/repo/src/phy80211/scrambler.cpp" "src/phy80211/CMakeFiles/freerider_phy80211.dir/scrambler.cpp.o" "gcc" "src/phy80211/CMakeFiles/freerider_phy80211.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy80211/transmitter.cpp" "src/phy80211/CMakeFiles/freerider_phy80211.dir/transmitter.cpp.o" "gcc" "src/phy80211/CMakeFiles/freerider_phy80211.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/freerider_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dsp/CMakeFiles/freerider_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

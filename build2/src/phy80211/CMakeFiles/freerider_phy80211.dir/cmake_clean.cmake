@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_phy80211.dir/constellation.cpp.o"
+  "CMakeFiles/freerider_phy80211.dir/constellation.cpp.o.d"
+  "CMakeFiles/freerider_phy80211.dir/convolutional.cpp.o"
+  "CMakeFiles/freerider_phy80211.dir/convolutional.cpp.o.d"
+  "CMakeFiles/freerider_phy80211.dir/interleaver.cpp.o"
+  "CMakeFiles/freerider_phy80211.dir/interleaver.cpp.o.d"
+  "CMakeFiles/freerider_phy80211.dir/mpdu.cpp.o"
+  "CMakeFiles/freerider_phy80211.dir/mpdu.cpp.o.d"
+  "CMakeFiles/freerider_phy80211.dir/ofdm.cpp.o"
+  "CMakeFiles/freerider_phy80211.dir/ofdm.cpp.o.d"
+  "CMakeFiles/freerider_phy80211.dir/receiver.cpp.o"
+  "CMakeFiles/freerider_phy80211.dir/receiver.cpp.o.d"
+  "CMakeFiles/freerider_phy80211.dir/scrambler.cpp.o"
+  "CMakeFiles/freerider_phy80211.dir/scrambler.cpp.o.d"
+  "CMakeFiles/freerider_phy80211.dir/transmitter.cpp.o"
+  "CMakeFiles/freerider_phy80211.dir/transmitter.cpp.o.d"
+  "libfreerider_phy80211.a"
+  "libfreerider_phy80211.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_phy80211.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

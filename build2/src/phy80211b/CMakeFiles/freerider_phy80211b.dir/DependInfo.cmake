@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy80211b/dsss.cpp" "src/phy80211b/CMakeFiles/freerider_phy80211b.dir/dsss.cpp.o" "gcc" "src/phy80211b/CMakeFiles/freerider_phy80211b.dir/dsss.cpp.o.d"
+  "/root/repo/src/phy80211b/frame11b.cpp" "src/phy80211b/CMakeFiles/freerider_phy80211b.dir/frame11b.cpp.o" "gcc" "src/phy80211b/CMakeFiles/freerider_phy80211b.dir/frame11b.cpp.o.d"
+  "/root/repo/src/phy80211b/scrambler11b.cpp" "src/phy80211b/CMakeFiles/freerider_phy80211b.dir/scrambler11b.cpp.o" "gcc" "src/phy80211b/CMakeFiles/freerider_phy80211b.dir/scrambler11b.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/freerider_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dsp/CMakeFiles/freerider_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

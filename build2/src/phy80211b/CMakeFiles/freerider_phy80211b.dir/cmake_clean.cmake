@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_phy80211b.dir/dsss.cpp.o"
+  "CMakeFiles/freerider_phy80211b.dir/dsss.cpp.o.d"
+  "CMakeFiles/freerider_phy80211b.dir/frame11b.cpp.o"
+  "CMakeFiles/freerider_phy80211b.dir/frame11b.cpp.o.d"
+  "CMakeFiles/freerider_phy80211b.dir/scrambler11b.cpp.o"
+  "CMakeFiles/freerider_phy80211b.dir/scrambler11b.cpp.o.d"
+  "libfreerider_phy80211b.a"
+  "libfreerider_phy80211b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_phy80211b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy802154/chips.cpp" "src/phy802154/CMakeFiles/freerider_phy802154.dir/chips.cpp.o" "gcc" "src/phy802154/CMakeFiles/freerider_phy802154.dir/chips.cpp.o.d"
+  "/root/repo/src/phy802154/frame.cpp" "src/phy802154/CMakeFiles/freerider_phy802154.dir/frame.cpp.o" "gcc" "src/phy802154/CMakeFiles/freerider_phy802154.dir/frame.cpp.o.d"
+  "/root/repo/src/phy802154/mhr.cpp" "src/phy802154/CMakeFiles/freerider_phy802154.dir/mhr.cpp.o" "gcc" "src/phy802154/CMakeFiles/freerider_phy802154.dir/mhr.cpp.o.d"
+  "/root/repo/src/phy802154/oqpsk.cpp" "src/phy802154/CMakeFiles/freerider_phy802154.dir/oqpsk.cpp.o" "gcc" "src/phy802154/CMakeFiles/freerider_phy802154.dir/oqpsk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/freerider_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dsp/CMakeFiles/freerider_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

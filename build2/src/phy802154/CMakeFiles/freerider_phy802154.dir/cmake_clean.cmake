@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_phy802154.dir/chips.cpp.o"
+  "CMakeFiles/freerider_phy802154.dir/chips.cpp.o.d"
+  "CMakeFiles/freerider_phy802154.dir/frame.cpp.o"
+  "CMakeFiles/freerider_phy802154.dir/frame.cpp.o.d"
+  "CMakeFiles/freerider_phy802154.dir/mhr.cpp.o"
+  "CMakeFiles/freerider_phy802154.dir/mhr.cpp.o.d"
+  "CMakeFiles/freerider_phy802154.dir/oqpsk.cpp.o"
+  "CMakeFiles/freerider_phy802154.dir/oqpsk.cpp.o.d"
+  "libfreerider_phy802154.a"
+  "libfreerider_phy802154.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_phy802154.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

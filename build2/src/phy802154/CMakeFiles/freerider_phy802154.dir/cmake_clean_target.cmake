@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfreerider_phy802154.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phyble/advertising.cpp" "src/phyble/CMakeFiles/freerider_phyble.dir/advertising.cpp.o" "gcc" "src/phyble/CMakeFiles/freerider_phyble.dir/advertising.cpp.o.d"
+  "/root/repo/src/phyble/frame.cpp" "src/phyble/CMakeFiles/freerider_phyble.dir/frame.cpp.o" "gcc" "src/phyble/CMakeFiles/freerider_phyble.dir/frame.cpp.o.d"
+  "/root/repo/src/phyble/gfsk.cpp" "src/phyble/CMakeFiles/freerider_phyble.dir/gfsk.cpp.o" "gcc" "src/phyble/CMakeFiles/freerider_phyble.dir/gfsk.cpp.o.d"
+  "/root/repo/src/phyble/whitening.cpp" "src/phyble/CMakeFiles/freerider_phyble.dir/whitening.cpp.o" "gcc" "src/phyble/CMakeFiles/freerider_phyble.dir/whitening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/freerider_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dsp/CMakeFiles/freerider_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_phyble.dir/advertising.cpp.o"
+  "CMakeFiles/freerider_phyble.dir/advertising.cpp.o.d"
+  "CMakeFiles/freerider_phyble.dir/frame.cpp.o"
+  "CMakeFiles/freerider_phyble.dir/frame.cpp.o.d"
+  "CMakeFiles/freerider_phyble.dir/gfsk.cpp.o"
+  "CMakeFiles/freerider_phyble.dir/gfsk.cpp.o.d"
+  "CMakeFiles/freerider_phyble.dir/whitening.cpp.o"
+  "CMakeFiles/freerider_phyble.dir/whitening.cpp.o.d"
+  "libfreerider_phyble.a"
+  "libfreerider_phyble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_phyble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_sim.dir/link.cpp.o"
+  "CMakeFiles/freerider_sim.dir/link.cpp.o.d"
+  "CMakeFiles/freerider_sim.dir/multitag.cpp.o"
+  "CMakeFiles/freerider_sim.dir/multitag.cpp.o.d"
+  "CMakeFiles/freerider_sim.dir/sweep.cpp.o"
+  "CMakeFiles/freerider_sim.dir/sweep.cpp.o.d"
+  "libfreerider_sim.a"
+  "libfreerider_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tag/envelope_detector.cpp" "src/tag/CMakeFiles/freerider_tag.dir/envelope_detector.cpp.o" "gcc" "src/tag/CMakeFiles/freerider_tag.dir/envelope_detector.cpp.o.d"
+  "/root/repo/src/tag/harvester.cpp" "src/tag/CMakeFiles/freerider_tag.dir/harvester.cpp.o" "gcc" "src/tag/CMakeFiles/freerider_tag.dir/harvester.cpp.o.d"
+  "/root/repo/src/tag/power_model.cpp" "src/tag/CMakeFiles/freerider_tag.dir/power_model.cpp.o" "gcc" "src/tag/CMakeFiles/freerider_tag.dir/power_model.cpp.o.d"
+  "/root/repo/src/tag/rf_frontend.cpp" "src/tag/CMakeFiles/freerider_tag.dir/rf_frontend.cpp.o" "gcc" "src/tag/CMakeFiles/freerider_tag.dir/rf_frontend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/freerider_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dsp/CMakeFiles/freerider_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freerider_tag.dir/envelope_detector.cpp.o"
+  "CMakeFiles/freerider_tag.dir/envelope_detector.cpp.o.d"
+  "CMakeFiles/freerider_tag.dir/harvester.cpp.o"
+  "CMakeFiles/freerider_tag.dir/harvester.cpp.o.d"
+  "CMakeFiles/freerider_tag.dir/power_model.cpp.o"
+  "CMakeFiles/freerider_tag.dir/power_model.cpp.o.d"
+  "CMakeFiles/freerider_tag.dir/rf_frontend.cpp.o"
+  "CMakeFiles/freerider_tag.dir/rf_frontend.cpp.o.d"
+  "libfreerider_tag.a"
+  "libfreerider_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freerider_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

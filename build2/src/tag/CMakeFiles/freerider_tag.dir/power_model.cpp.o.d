@@ -1,0 +1,3 @@
+src/tag/CMakeFiles/freerider_tag.dir/power_model.cpp.o: \
+ /root/repo/src/tag/power_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/tag/power_model.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impair_test.dir/impair_test.cpp.o"
+  "CMakeFiles/impair_test.dir/impair_test.cpp.o.d"
+  "impair_test"
+  "impair_test.pdb"
+  "impair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

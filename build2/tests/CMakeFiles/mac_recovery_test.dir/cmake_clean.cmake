@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_recovery_test.dir/mac_recovery_test.cpp.o"
+  "CMakeFiles/mac_recovery_test.dir/mac_recovery_test.cpp.o.d"
+  "mac_recovery_test"
+  "mac_recovery_test.pdb"
+  "mac_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

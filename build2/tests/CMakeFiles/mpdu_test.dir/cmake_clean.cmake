@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdu_test.dir/mpdu_test.cpp.o"
+  "CMakeFiles/mpdu_test.dir/mpdu_test.cpp.o.d"
+  "mpdu_test"
+  "mpdu_test.pdb"
+  "mpdu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

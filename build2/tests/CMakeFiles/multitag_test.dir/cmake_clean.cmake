@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitag_test.dir/multitag_test.cpp.o"
+  "CMakeFiles/multitag_test.dir/multitag_test.cpp.o.d"
+  "multitag_test"
+  "multitag_test.pdb"
+  "multitag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

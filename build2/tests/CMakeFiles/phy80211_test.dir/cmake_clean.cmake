@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy80211_test.dir/phy80211_test.cpp.o"
+  "CMakeFiles/phy80211_test.dir/phy80211_test.cpp.o.d"
+  "phy80211_test"
+  "phy80211_test.pdb"
+  "phy80211_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy80211_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy80211b_test.dir/phy80211b_test.cpp.o"
+  "CMakeFiles/phy80211b_test.dir/phy80211b_test.cpp.o.d"
+  "phy80211b_test"
+  "phy80211b_test.pdb"
+  "phy80211b_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy80211b_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy802154_test.dir/phy802154_test.cpp.o"
+  "CMakeFiles/phy802154_test.dir/phy802154_test.cpp.o.d"
+  "phy802154_test"
+  "phy802154_test.pdb"
+  "phy802154_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy802154_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phyble_test.dir/phyble_test.cpp.o"
+  "CMakeFiles/phyble_test.dir/phyble_test.cpp.o.d"
+  "phyble_test"
+  "phyble_test.pdb"
+  "phyble_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phyble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

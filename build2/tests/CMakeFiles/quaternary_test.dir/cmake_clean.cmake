@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quaternary_test.dir/quaternary_test.cpp.o"
+  "CMakeFiles/quaternary_test.dir/quaternary_test.cpp.o.d"
+  "quaternary_test"
+  "quaternary_test.pdb"
+  "quaternary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quaternary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

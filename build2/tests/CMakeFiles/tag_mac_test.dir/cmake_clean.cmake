@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_mac_test.dir/tag_mac_test.cpp.o"
+  "CMakeFiles/tag_mac_test.dir/tag_mac_test.cpp.o.d"
+  "tag_mac_test"
+  "tag_mac_test.pdb"
+  "tag_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

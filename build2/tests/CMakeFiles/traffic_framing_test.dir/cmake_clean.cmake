@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_framing_test.dir/traffic_framing_test.cpp.o"
+  "CMakeFiles/traffic_framing_test.dir/traffic_framing_test.cpp.o.d"
+  "traffic_framing_test"
+  "traffic_framing_test.pdb"
+  "traffic_framing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_framing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

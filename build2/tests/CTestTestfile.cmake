@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/common_test[1]_include.cmake")
+include("/root/repo/build2/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build2/tests/channel_test[1]_include.cmake")
+include("/root/repo/build2/tests/phy80211_test[1]_include.cmake")
+include("/root/repo/build2/tests/phy802154_test[1]_include.cmake")
+include("/root/repo/build2/tests/phyble_test[1]_include.cmake")
+include("/root/repo/build2/tests/tag_test[1]_include.cmake")
+include("/root/repo/build2/tests/core_test[1]_include.cmake")
+include("/root/repo/build2/tests/mac_test[1]_include.cmake")
+include("/root/repo/build2/tests/sim_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/property_test[1]_include.cmake")
+include("/root/repo/build2/tests/phy80211b_test[1]_include.cmake")
+include("/root/repo/build2/tests/quaternary_test[1]_include.cmake")
+include("/root/repo/build2/tests/tag_mac_test[1]_include.cmake")
+include("/root/repo/build2/tests/multitag_test[1]_include.cmake")
+include("/root/repo/build2/tests/mpdu_test[1]_include.cmake")
+include("/root/repo/build2/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build2/tests/impair_test[1]_include.cmake")
+include("/root/repo/build2/tests/mac_recovery_test[1]_include.cmake")
+include("/root/repo/build2/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build2/tests/harvester_test[1]_include.cmake")
+include("/root/repo/build2/tests/traffic_framing_test[1]_include.cmake")

@@ -8,6 +8,7 @@
 // down the redundancy ladder and the MAC recovering rounds, never with
 // a crash or an optimistic number from zero decoded packets.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "sim/link.h"
@@ -123,6 +124,11 @@ int main() {
                       sim::TablePrinter::Num(stats.goodput_bps, 0)});
   }
   std::printf("%s\n", mac_table.ToString().c_str());
+  {
+    std::ofstream json("BENCH_impairments.json");
+    json << table.ToJson("link_degradation")
+         << mac_table.ToJson("mac_recovery");
+  }
   std::printf(
       "Reading: faults cost goodput gradually (the adaptive controller\n"
       "slides down the redundancy ladder, the coordinator backs off and\n"

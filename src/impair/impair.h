@@ -158,6 +158,11 @@ class FaultInjector {
   const ImpairmentConfig& config() const { return config_; }
   const FaultCounters& counters() const { return counters_; }
 
+  /// Swap the fault mix mid-run (the chaos-soak harness drives whole
+  /// impairment *schedules*). The rng stream and counters carry over,
+  /// so a schedule replayed from the same seed is bit-identical.
+  void Reconfigure(const ImpairmentConfig& config) { config_ = config; }
+
   /// Draw the fault realization for the next frame. Disabled classes
   /// draw nothing and leave their fields at the no-fault defaults.
   FrameFaults DrawFrame();

@@ -58,10 +58,28 @@ PlmMessageReceiver::PlmMessageReceiver(std::size_t payload_bits)
                                             kMaxPlmPayloadBits)),
       history_(PlmPreamble().size()) {}
 
+PlmMessageReceiver PlmMessageReceiver::ExtendedReceiver() {
+  PlmMessageReceiver receiver(16 + kPlmExtHeaderBits);
+  receiver.extended_ = true;
+  return receiver;
+}
+
 std::optional<BitVector> PlmMessageReceiver::PushBit(Bit bit) {
   if (collecting_) {
     pending_.push_back(bit);
-    if (pending_.size() == payload_bits_) {
+    if (extended_ && pending_.size() == 16 + kPlmExtHeaderBits) {
+      // The fixed extension header is complete: its length field tells
+      // us how much body + CRC still follows. The field is 8 bits, so
+      // the target is bounded by kMaxExtendedPayloadBits whatever a
+      // corrupt header claims.
+      std::size_t body_bits = 0;
+      for (std::size_t i = 0; i < 8; ++i) {
+        body_bits |= static_cast<std::size_t>(pending_[20 + i] & 1u) << i;
+      }
+      target_bits_ = 16 + kPlmExtHeaderBits + body_bits + kPlmExtCrcBits;
+    }
+    const std::size_t target = extended_ ? target_bits_ : payload_bits_;
+    if (pending_.size() >= target) {
       collecting_ = false;
       BitVector message = std::move(pending_);
       pending_.clear();
@@ -74,6 +92,8 @@ std::optional<BitVector> PlmMessageReceiver::PushBit(Bit bit) {
   if (history_.full() && history_.EndsWith(PlmPreamble())) {
     collecting_ = true;
     pending_.clear();
+    // Until the header is in, the extended target is just the header.
+    target_bits_ = extended_ ? 16 + kPlmExtHeaderBits : payload_bits_;
   }
   return std::nullopt;
 }

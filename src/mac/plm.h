@@ -54,12 +54,42 @@ const BitVector& PlmPreamble();
 /// unbounded (or never-completing zero-length) message.
 inline constexpr std::size_t kMaxPlmPayloadBits = 1024;
 
+// Extended (transport-capable) announcement payload layout. The first
+// 16 bits are the legacy announcement — a legacy PlmMessageReceiver(16)
+// collects exactly those and never sees the extension, which is what
+// keeps old tags parsing new announcements' prefix. After the prefix
+// comes a fixed 12-bit extension header whose semantics are version-
+// independent by contract (so receivers can skip extensions they do
+// not understand without losing bit sync):
+//
+//   [0..15]   legacy prefix: slots (8) | sequence (8)
+//   [16..19]  extension version (4 bits, LSB-first)
+//   [20..27]  extension body length in bits (8 bits, LSB-first)
+//   [28..28+len)       version-defined body
+//   [28+len..28+len+8) CRC-8 over bits 16..28+len (header + body)
+inline constexpr std::size_t kPlmExtHeaderBits = 12;
+inline constexpr std::size_t kPlmExtCrcBits = 8;
+/// Longest possible extended payload: prefix + header + 255-bit body +
+/// CRC. Everything a well-formed coordinator emits fits in this.
+inline constexpr std::size_t kMaxExtendedPayloadBits =
+    16 + kPlmExtHeaderBits + 255 + kPlmExtCrcBits;
+
 /// Tag-side message receiver: push decoded bits one at a time; when the
 /// newest bits match the preamble, the following `payload_bits` bits
 /// form a message. `payload_bits` is clamped to [1, kMaxPlmPayloadBits].
+///
+/// The extended mode (ExtendedReceiver()) collects variable-length
+/// announcements instead: prefix + extension header first, then as many
+/// body/CRC bits as the header's length field declares. The length
+/// field is 8 bits, so a hostile header can park the receiver for at
+/// most kMaxExtendedPayloadBits — validation (version, block structure,
+/// CRC) is the parser's job, not this class's.
 class PlmMessageReceiver {
  public:
   explicit PlmMessageReceiver(std::size_t payload_bits);
+
+  /// Variable-length receiver for extended announcements.
+  static PlmMessageReceiver ExtendedReceiver();
 
   /// Returns the completed message payload when one finishes.
   std::optional<BitVector> PushBit(Bit bit);
@@ -68,6 +98,9 @@ class PlmMessageReceiver {
   std::size_t payload_bits_;
   RingBuffer<Bit> history_;
   bool collecting_ = false;
+  bool extended_ = false;
+  /// Extended mode: target grows once the length field is readable.
+  std::size_t target_bits_ = 0;
   BitVector pending_;
 };
 

@@ -4,6 +4,12 @@ namespace freerider::mac {
 
 std::optional<RoundAnnouncement> ParseAnnouncement(const BitVector& payload) {
   if (payload.size() != 16) return std::nullopt;
+  return ParseAnnouncementPrefix(payload);
+}
+
+std::optional<RoundAnnouncement> ParseAnnouncementPrefix(
+    const BitVector& payload) {
+  if (payload.size() < 16) return std::nullopt;
   RoundAnnouncement a;
   for (std::size_t i = 0; i < 8; ++i) {
     // Mask to the LSB: a BitVector cell is a byte, and a corrupted
@@ -33,16 +39,29 @@ TagController::TagController(std::uint64_t seed, PlmConfig plm_config,
                              TagRecoveryConfig recovery)
     : plm_config_(plm_config),
       recovery_(recovery),
-      receiver_(16),
+      receiver_(recovery.extended_announcements
+                    ? PlmMessageReceiver::ExtendedReceiver()
+                    : PlmMessageReceiver(16)),
       rng_(seed) {}
 
+std::optional<BitVector> TagController::TakeAnnouncementPayload() {
+  std::optional<BitVector> payload = std::move(announcement_payload_);
+  announcement_payload_.reset();
+  return payload;
+}
+
 bool TagController::OnMessage(const BitVector& message, double pulse_time_s) {
-  const auto announcement = ParseAnnouncement(message);
+  const auto announcement = recovery_.extended_announcements
+                                ? ParseAnnouncementPrefix(message)
+                                : ParseAnnouncement(message);
   if (!announcement.has_value() ||
       announcement->slots > recovery_.max_announced_slots) {
     ++malformed_rejected_;
     return false;
   }
+  // Prefix-plausible: the ACK extension (if any) is worth handing to
+  // the transport even when the round itself is stale or duplicate.
+  if (recovery_.extended_announcements) announcement_payload_ = message;
   if (state_ == TagState::kSlotWait && round_.has_value() &&
       announcement->sequence == round_->sequence) {
     // The coordinator re-announced the round we are already in (its

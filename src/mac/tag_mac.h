@@ -46,6 +46,14 @@ struct RoundAnnouncement {
 /// read or a fabricated announcement.
 std::optional<RoundAnnouncement> ParseAnnouncement(const BitVector& payload);
 
+/// Prefix rule for extended (transport-capable) announcements: parse
+/// the first 16 bits of a >= 16-bit payload, ignoring whatever
+/// extension follows. This is what an extended-mode tag uses on the
+/// variable-length messages its receiver collects; the strict parser
+/// above keeps guarding the legacy fixed-16 path.
+std::optional<RoundAnnouncement> ParseAnnouncementPrefix(
+    const BitVector& payload);
+
 /// Build the 16-bit control payload the coordinator sends.
 BitVector BuildAnnouncement(const RoundAnnouncement& announcement);
 
@@ -66,6 +74,11 @@ struct TagRecoveryConfig {
   /// duration without reaching our slot (measured on pulse
   /// timestamps, the only clock the tag has).
   double slot_wait_grace = 2.0;
+  /// Expect extended (variable-length) announcements carrying the
+  /// transport's ACK extension. The controller still only acts on the
+  /// 16-bit prefix; the full payload of the newest prefix-valid message
+  /// is stashed for the transport layer (TakeAnnouncementPayload).
+  bool extended_announcements = false;
 };
 
 class TagController {
@@ -86,6 +99,13 @@ class TagController {
     return round_;
   }
   std::size_t chosen_slot() const { return chosen_slot_; }
+
+  /// Extended mode: the full payload of the newest message whose prefix
+  /// parsed as a plausible announcement — even a stale/duplicate one,
+  /// because the piggybacked ACK state is idempotent and fresh either
+  /// way. Consumed on read so one downlink message feeds the transport
+  /// exactly once.
+  std::optional<BitVector> TakeAnnouncementPayload();
 
   // Recovery accounting --------------------------------------------
   /// Rounds abandoned mid-wait (resync on a newer announcement or
@@ -117,6 +137,7 @@ class TagController {
   std::size_t slot_cursor_ = 0;
   std::optional<std::uint8_t> last_sequence_;
   double slot_wait_deadline_s_ = 0.0;
+  std::optional<BitVector> announcement_payload_;
 
   std::size_t desync_events_ = 0;
   std::size_t sequence_gaps_ = 0;

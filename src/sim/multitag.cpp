@@ -1,6 +1,7 @@
 #include "sim/multitag.h"
 
 #include <algorithm>
+#include <set>
 
 #include "channel/awgn.h"
 #include "common/bits.h"
@@ -9,211 +10,383 @@
 #include "core/translator.h"
 #include "core/xor_decoder.h"
 #include "dsp/signal_ops.h"
-#include "mac/tag_mac.h"
 #include "phy80211/receiver.h"
 #include "phy80211/transmitter.h"
 #include "tag/envelope_detector.h"
+#include "transport/ack.h"
 
 namespace freerider::sim {
-namespace {
 
-/// One tag's firmware + identity.
-struct SimTag {
-  explicit SimTag(std::uint64_t seed) : controller(seed) {}
+/// One tag's firmware + identity (+ its transport queue when enabled).
+struct FullStackSim::SimTag {
+  SimTag(std::uint64_t seed, const mac::TagRecoveryConfig& recovery)
+      : controller(seed, {}, recovery) {}
+
+  /// The legacy slot payload: [id, sequence], framed, one fresh
+  /// sequence per transmission (fire-and-forget — nothing ever
+  /// retries).
+  BitVector LegacySlotBits() {
+    Bytes payload = {id, sequence};
+    ++sequence;
+    return core::EncodeTagFrame(payload);
+  }
 
   mac::TagController controller;
   std::uint8_t id = 0;
-  std::uint8_t sequence = 0;
+  std::uint8_t sequence = 0;  ///< Legacy fire-and-forget counter.
+  std::unique_ptr<transport::TagTransport> arq;
 };
 
-/// The tag's slot payload: [id, sequence], framed.
-BitVector TagSlotBits(SimTag& tag) {
-  Bytes payload = {tag.id, tag.sequence};
-  ++tag.sequence;
-  return core::EncodeTagFrame(payload);
+namespace {
+
+mac::TagRecoveryConfig RecoveryFor(const FullStackConfig& config) {
+  mac::TagRecoveryConfig recovery;
+  recovery.extended_announcements = config.transport.enabled;
+  return recovery;
 }
 
 }  // namespace
 
-FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
-  FullStackStats stats;
-  stats.per_tag_deliveries.assign(config.num_tags, 0);
-
+std::vector<FullStackSim::SimTag> FullStackSim::MakeTags(
+    const FullStackConfig& config, Rng& rng) {
   std::vector<SimTag> tags;
   tags.reserve(config.num_tags);
+  const mac::TagRecoveryConfig recovery = RecoveryFor(config);
   for (std::size_t t = 0; t < config.num_tags; ++t) {
-    tags.emplace_back(rng.NextU64());
+    tags.emplace_back(rng.NextU64(), recovery);
     tags.back().id = static_cast<std::uint8_t>(t + 1);
+    if (config.transport.enabled) {
+      tags.back().arq =
+          std::make_unique<transport::TagTransport>(config.transport);
+    }
+  }
+  return tags;
+}
+
+FullStackSim::FullStackSim(const FullStackConfig& config, Rng& rng)
+    : config_(config),
+      rng_(rng),
+      // Init order matters for stream compatibility: tag seeds are
+      // drawn first (tags_ is declared before injector_), then the
+      // injector's seed — exactly the legacy draw order.
+      tags_(MakeTags(config, rng)),
+      scheduler_(config.adjust),
+      // Seed the injector from the master stream only when something is
+      // enabled (or a harness reserved the stream for mid-run schedule
+      // swaps): a disabled config must not advance `rng`, so un-impaired
+      // campaigns stay bit-identical to the pre-impairment simulator.
+      injector_(config.impairments,
+                (config.impairments.AnyEnabled() ||
+                 config.reserve_impairment_stream)
+                    ? rng.NextU64()
+                    : 0) {
+  stats_.per_tag_deliveries.assign(config_.num_tags, 0);
+  if (config_.transport.enabled) {
+    coordinator_ = std::make_unique<transport::CoordinatorTransport>(
+        config_.num_tags, config_.transport);
+  }
+}
+
+FullStackSim::~FullStackSim() = default;
+
+void FullStackSim::SetImpairments(const impair::ImpairmentConfig& impairments) {
+  injector_.Reconfigure(impairments);
+}
+
+const transport::TagTransport* FullStackSim::tag_transport(
+    std::size_t tag) const {
+  return tag < tags_.size() ? tags_[tag].arq.get() : nullptr;
+}
+
+RoundReport FullStackSim::StepRound() {
+  const bool arq = config_.transport.enabled;
+  RoundReport report;
+  report.round = round_;
+
+  ++stats_.rounds;
+  const std::size_t slots = scheduler_.current_slots();
+  report.slots = slots;
+
+  if (config_.recovery.enabled && consecutive_failed_rounds_ > 0) {
+    // Last round decoded nothing: this announcement is a re-try
+    // after an exponentially growing idle gap.
+    const std::size_t exponent = std::min<std::size_t>(
+        consecutive_failed_rounds_ - 1, config_.recovery.max_exponent);
+    const double backoff = config_.recovery.backoff_base_s *
+                           static_cast<double>(std::size_t{1} << exponent);
+    stats_.backoff_airtime_s += backoff;
+    stats_.airtime_s += backoff;
+    ++stats_.reannouncements;
   }
 
+  if (arq) {
+    for (SimTag& t : tags_) {
+      t.arq->OnRoundStart(round_);
+      for (std::size_t i = 0; i < config_.offered_per_round; ++i) {
+        t.arq->Enqueue(round_);
+      }
+    }
+  }
+
+  // 1. PLM announcement through each tag's envelope detector. With the
+  // transport enabled the announcement carries the ACK extension; its
+  // longer pulse train is real airtime, charged below.
   const tag::EnvelopeDetector detector;
-  mac::SlotScheduler scheduler(config.adjust);
-  channel::ReceiverFrontEnd fe;
-  fe.sample_rate_hz = phy80211::kSampleRateHz;
-  fe.noise_figure_db = 5.0;
   const mac::PlmConfig plm;
-  // Seed the injector from the master stream only when something is
-  // enabled: a disabled config must not advance `rng`, so un-impaired
-  // campaigns stay bit-identical to the pre-impairment simulator.
-  impair::FaultInjector injector(
-      config.impairments,
-      config.impairments.AnyEnabled() ? rng.NextU64() : 0);
-
-  // Consecutive rounds with zero decodable slots drive the
-  // coordinator's re-announcement backoff.
-  std::size_t consecutive_failed_rounds = 0;
-
-  for (std::size_t round = 0; round < config.rounds; ++round) {
-    ++stats.rounds;
-    const std::size_t slots = scheduler.current_slots();
-
-    if (config.recovery.enabled && consecutive_failed_rounds > 0) {
-      // Last round decoded nothing: this announcement is a re-try
-      // after an exponentially growing idle gap.
-      const std::size_t exponent = std::min<std::size_t>(
-          consecutive_failed_rounds - 1, config.recovery.max_exponent);
-      const double backoff = config.recovery.backoff_base_s *
-                             static_cast<double>(std::size_t{1} << exponent);
-      stats.backoff_airtime_s += backoff;
-      stats.airtime_s += backoff;
-      ++stats.reannouncements;
+  mac::RoundAnnouncement announcement;
+  announcement.slots = slots;
+  announcement.sequence = static_cast<std::uint8_t>(round_);
+  const BitVector payload =
+      arq ? transport::BuildAnnouncementExtended(announcement,
+                                                 coordinator_->BuildExtension())
+          : mac::BuildAnnouncement(announcement);
+  const BitVector message = mac::BuildPlmMessage(payload);
+  const auto pulses =
+      mac::EncodePlm(message, 0.0, config_.plm_power_at_tag_dbm, plm);
+  stats_.airtime_s +=
+      pulses.back().start_s + pulses.back().duration_s + plm.gap_s;
+  for (SimTag& t : tags_) {
+    // The physical detector model first (misses, jitter — main rng),
+    // then the injected envelope faults (injector's own rng).
+    std::vector<tag::MeasuredPulse> detected;
+    detected.reserve(pulses.size());
+    for (const auto& p : pulses) {
+      if (auto m = detector.Detect(p, rng_)) detected.push_back(*m);
     }
-
-    // 1. PLM announcement through each tag's envelope detector.
-    mac::RoundAnnouncement announcement;
-    announcement.slots = slots;
-    announcement.sequence = static_cast<std::uint8_t>(round);
-    const BitVector message =
-        mac::BuildPlmMessage(mac::BuildAnnouncement(announcement));
-    const auto pulses =
-        mac::EncodePlm(message, 0.0, config.plm_power_at_tag_dbm, plm);
-    stats.airtime_s +=
-        pulses.back().start_s + pulses.back().duration_s + plm.gap_s;
-    for (SimTag& t : tags) {
-      // The physical detector model first (misses, jitter — main rng),
-      // then the injected envelope faults (injector's own rng).
-      std::vector<tag::MeasuredPulse> detected;
-      detected.reserve(pulses.size());
-      for (const auto& p : pulses) {
-        if (auto m = detector.Detect(p, rng)) detected.push_back(*m);
-      }
-      for (const auto& m : injector.ImpairPulses(std::move(detected))) {
-        t.controller.OnPulse(m);
-      }
+    for (const auto& m : injector_.ImpairPulses(std::move(detected))) {
+      t.controller.OnPulse(m);
     }
-
-    // 2+3. Slots: real excitation, real reflections, real decode.
-    std::size_t singles_observed = 0;
-    std::size_t collisions_observed = 0;
-    std::size_t empties_observed = 0;
-    for (std::size_t slot = 0; slot < slots; ++slot) {
-      ++stats.slots_total;
-      const phy80211::TxFrame excitation = phy80211::BuildFrame(
-          RandomBytes(rng, config.excitation_payload_bytes), {});
-      stats.airtime_s += phy80211::FrameDurationS(excitation) + 60e-6;
-
-      // One fault realization per slot: the excitation, the channel
-      // burst, and the (shared) tag-oscillator drift for this exchange.
-      const impair::FrameFaults faults = injector.DrawFrame();
-      core::TranslateConfig tcfg;
-      tcfg.tag_clock_ppm = faults.tag_clock_ppm;
-      tcfg.start_slip_samples = faults.start_slip_samples;
-      const std::size_t capacity =
-          core::TagBitCapacity(excitation.waveform.size(), tcfg);
-      IqBuffer scaled = channel::ToAbsolutePower(excitation.waveform,
-                                                 config.backscatter_rx_dbm);
-      injector.ApplyDropout(scaled, faults);
-
-      // Superpose every firing tag's reflection.
-      IqBuffer composite;
-      std::vector<std::size_t> transmitters;
-      for (std::size_t t = 0; t < config.num_tags; ++t) {
-        if (!tags[t].controller.OnSlotBoundary()) continue;
-        transmitters.push_back(t);
-        BitVector bits = TagSlotBits(tags[t]);
-        bits.resize(capacity, 0);
-        const IqBuffer reflection = core::Translate(scaled, bits, tcfg);
-        if (faults.tag_clock_ppm != 0.0 || faults.start_slip_samples != 0.0) {
-          injector.CountWindowSlip();
+    if (arq) {
+      // Whatever announcement the tag heard, its ACK block (if the
+      // round-robin included us and the extension survived the air)
+      // feeds the selective-repeat queue.
+      if (auto heard = t.controller.TakeAnnouncementPayload()) {
+        const auto parsed = transport::ParseAnnouncementExtended(*heard);
+        if (parsed.has_value()) {
+          if (parsed->ext_rejected) ++stats_.transport_ext_rejected;
+          if (parsed->ext.has_value()) {
+            for (const transport::TagAck& ack : parsed->ext->acks) {
+              if (ack.tag_id == t.id) t.arq->OnAck(ack, round_);
+            }
+          }
         }
-        composite = composite.empty()
-                        ? reflection
-                        : dsp::AddSignals(composite, reflection);
       }
+    }
+  }
 
-      if (composite.empty()) {
-        ++empties_observed;
-        continue;
+  // Translation redundancy: base level, and the blind-decode candidate
+  // set the receiver scans when tags may have escalated.
+  core::TranslateConfig base_tcfg;
+  if (config_.redundancy != 0) base_tcfg.redundancy = config_.redundancy;
+  const std::size_t frame_bits = core::TagFrameBits(config_.tag_payload_bytes);
+
+  // 2+3. Slots: real excitation, real reflections, real decode.
+  std::size_t singles_observed = 0;
+  std::size_t collisions_observed = 0;
+  std::size_t empties_observed = 0;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    ++stats_.slots_total;
+    const phy80211::TxFrame excitation = phy80211::BuildFrame(
+        RandomBytes(rng_, config_.excitation_payload_bytes), {});
+    stats_.airtime_s += phy80211::FrameDurationS(excitation) + 60e-6;
+
+    // One fault realization per slot: the excitation, the channel
+    // burst, and the (shared) tag-oscillator drift for this exchange.
+    const impair::FrameFaults faults = injector_.DrawFrame();
+    core::TranslateConfig tcfg = base_tcfg;
+    tcfg.tag_clock_ppm = faults.tag_clock_ppm;
+    tcfg.start_slip_samples = faults.start_slip_samples;
+    const std::size_t waveform_samples = excitation.waveform.size();
+    IqBuffer scaled = channel::ToAbsolutePower(excitation.waveform,
+                                               config_.backscatter_rx_dbm);
+    injector_.ApplyDropout(scaled, faults);
+
+    auto capacity_at = [&](std::size_t redundancy) {
+      core::TranslateConfig probe = tcfg;
+      probe.redundancy = redundancy;
+      return core::TagBitCapacity(waveform_samples, probe);
+    };
+
+    // Superpose every firing tag's reflection.
+    IqBuffer composite;
+    for (std::size_t t = 0; t < config_.num_tags; ++t) {
+      if (!tags_[t].controller.OnSlotBoundary()) continue;
+      BitVector bits;
+      core::TranslateConfig tag_tcfg = tcfg;
+      if (arq) {
+        const auto tx = tags_[t].arq->NextFrame(round_);
+        if (!tx.has_value()) continue;  // queue empty: slot stays silent
+        // Escalate redundancy one ×2 ladder step per escalation, but
+        // never past the point where the frame stops fitting in one
+        // excitation — a frame that cannot land is worse than one that
+        // lands at lower redundancy.
+        std::size_t redundancy = tcfg.redundancy << tx->escalation_steps;
+        while (redundancy > tcfg.redundancy &&
+               capacity_at(redundancy) < frame_bits) {
+          redundancy >>= 1;
+        }
+        tag_tcfg.redundancy = redundancy;
+        const Bytes payload = {tags_[t].id, tx->seq};
+        bits = core::EncodeTagFrame(payload);
+      } else {
+        bits = tags_[t].LegacySlotBits();
       }
-      composite =
-          injector.ApplyCfo(std::move(composite), faults.cfo_hz,
-                            fe.sample_rate_hz);
+      report.fired.push_back(tags_[t].id);
+      bits.resize(capacity_at(tag_tcfg.redundancy), 0);
+      const IqBuffer reflection = core::Translate(scaled, bits, tag_tcfg);
+      if (faults.tag_clock_ppm != 0.0 || faults.start_slip_samples != 0.0) {
+        injector_.CountWindowSlip();
+      }
+      composite = composite.empty()
+                      ? reflection
+                      : dsp::AddSignals(composite, reflection);
+    }
 
-      IqBuffer padded(150, Cplx{0.0, 0.0});
-      padded.insert(padded.end(), composite.begin(), composite.end());
-      IqBuffer rx_wave = channel::AddThermalNoise(padded, fe, rng);
-      injector.ApplyInterferer(rx_wave, faults);
-      const phy80211::RxResult rx = phy80211::ReceiveFrame(rx_wave);
+    if (composite.empty()) {
+      ++empties_observed;
+      continue;
+    }
+    composite =
+        injector_.ApplyCfo(std::move(composite), faults.cfo_hz,
+                           phy80211::kSampleRateHz);
 
-      bool delivered = false;
-      if (rx.signal_ok) {
+    IqBuffer padded(150, Cplx{0.0, 0.0});
+    padded.insert(padded.end(), composite.begin(), composite.end());
+    channel::ReceiverFrontEnd fe;
+    fe.sample_rate_hz = phy80211::kSampleRateHz;
+    fe.noise_figure_db = 5.0;
+    IqBuffer rx_wave = channel::AddThermalNoise(padded, fe, rng_);
+    injector_.ApplyInterferer(rx_wave, faults);
+    const phy80211::RxResult rx = phy80211::ReceiveFrame(rx_wave);
+
+    bool delivered = false;
+    if (rx.signal_ok) {
+      // Blind-decode candidate set: base redundancy, plus every
+      // escalated level a tag could legally have used. Legacy mode
+      // scans exactly the base level — bit-identical to the old
+      // single decode.
+      std::vector<std::size_t> candidates = {tcfg.redundancy};
+      if (arq) {
+        for (std::size_t step = 1;
+             step <= config_.transport.max_escalation_steps; ++step) {
+          const std::size_t redundancy = tcfg.redundancy << step;
+          if (capacity_at(redundancy) >= frame_bits) {
+            candidates.push_back(redundancy);
+          }
+        }
+      }
+      std::set<std::pair<std::uint8_t, std::uint8_t>> seen;
+      for (const std::size_t redundancy : candidates) {
         const core::TagDecodeResult decoded = core::DecodeWifi(
             excitation.data_bits, rx.data_bits,
             phy80211::ParamsFor(excitation.rate).data_bits_per_symbol,
-            tcfg.redundancy);
-        const auto frames = core::ExtractTagFrames(decoded.bits);
-        for (const core::TagFrame& f : frames) {
-          if (!f.crc_ok || f.payload.size() != config.tag_payload_bytes) {
+            redundancy);
+        for (const core::TagFrame& f : core::ExtractTagFrames(decoded.bits)) {
+          if (!f.crc_ok || f.payload.size() != config_.tag_payload_bytes) {
             continue;
           }
           const std::uint8_t id = f.payload[0];
-          if (id >= 1 && id <= config.num_tags) {
-            ++stats.deliveries;
-            ++stats.per_tag_deliveries[id - 1];
-            delivered = true;
+          if (id < 1 || id > config_.num_tags) continue;
+          const std::uint8_t seq = f.payload[1];
+          if (arq && !seen.insert({id, seq}).second) {
+            continue;  // same frame decoded at two candidate levels
+          }
+          ++stats_.deliveries;
+          ++stats_.per_tag_deliveries[id - 1];
+          ++report.raw_frames;
+          delivered = true;
+          if (arq) {
+            for (const std::uint8_t s :
+                 coordinator_->rx(id - 1).OnFrame(seq, round_)) {
+              report.delivered.push_back({id, s});
+            }
           }
         }
       }
-      if (delivered) {
-        ++singles_observed;
-      } else {
-        // Energy present but nothing decodable: observed collision.
-        ++collisions_observed;
-      }
     }
-    stats.observed_collisions += collisions_observed;
-    stats.observed_empties += empties_observed;
-    // The coordinator resizes from its *observations* of this round.
-    scheduler.ReportRound(singles_observed, collisions_observed,
-                          empties_observed);
-    // Recovery bookkeeping: a round with zero decodable slots arms the
-    // backoff; the first decodable round afterwards counts as a
-    // recovery.
-    if (singles_observed == 0) {
-      ++consecutive_failed_rounds;
+    if (delivered) {
+      ++singles_observed;
     } else {
-      if (consecutive_failed_rounds > 0) ++stats.rounds_recovered;
-      consecutive_failed_rounds = 0;
+      // Energy present but nothing decodable: observed collision.
+      ++collisions_observed;
     }
   }
 
+  if (arq) {
+    for (std::size_t t = 0; t < config_.num_tags; ++t) {
+      std::vector<std::uint8_t> skipped;
+      const auto unblocked = coordinator_->rx(t).OnRoundEnd(round_, skipped);
+      const std::uint8_t id = static_cast<std::uint8_t>(t + 1);
+      for (const std::uint8_t s : skipped) report.skipped.push_back({id, s});
+      for (const std::uint8_t s : unblocked) {
+        report.delivered.push_back({id, s});
+      }
+    }
+  }
+
+  stats_.observed_collisions += collisions_observed;
+  stats_.observed_empties += empties_observed;
+  // The coordinator resizes from its *observations* of this round.
+  scheduler_.ReportRound(singles_observed, collisions_observed,
+                         empties_observed);
+  // Recovery bookkeeping: a round with zero decodable slots arms the
+  // backoff; the first decodable round afterwards counts as a
+  // recovery.
+  if (singles_observed == 0) {
+    ++consecutive_failed_rounds_;
+  } else {
+    if (consecutive_failed_rounds_ > 0) ++stats_.rounds_recovered;
+    consecutive_failed_rounds_ = 0;
+  }
+
+  ++round_;
+  return report;
+}
+
+FullStackStats FullStackSim::Stats() const {
+  FullStackStats stats = stats_;
   double total_payload_bits = 0.0;
-  std::vector<double> per_tag(config.num_tags);
-  for (std::size_t t = 0; t < config.num_tags; ++t) {
+  std::vector<double> per_tag(config_.num_tags);
+  for (std::size_t t = 0; t < config_.num_tags; ++t) {
     per_tag[t] = static_cast<double>(stats.per_tag_deliveries[t]);
     total_payload_bits +=
-        per_tag[t] * static_cast<double>(config.tag_payload_bytes) * 8.0;
+        per_tag[t] * static_cast<double>(config_.tag_payload_bytes) * 8.0;
   }
   stats.goodput_bps =
       stats.airtime_s > 0.0 ? total_payload_bits / stats.airtime_s : 0.0;
   stats.jain_fairness = JainFairnessIndex(per_tag);
-  for (const SimTag& t : tags) {
+  for (const SimTag& t : tags_) {
     stats.desync_events += t.controller.desync_events();
     stats.sequence_gaps += t.controller.sequence_gaps();
   }
-  stats.fault_counters = injector.counters();
+  stats.fault_counters = injector_.counters();
   stats.faults_injected = stats.fault_counters.total();
+  if (config_.transport.enabled) {
+    for (const SimTag& t : tags_) {
+      const transport::TagTxStats& tx = t.arq->stats();
+      stats.transport_offered += tx.offered;
+      stats.transport_retransmissions += tx.retransmissions;
+      stats.transport_expired += tx.expired;
+      stats.transport_acked += tx.acked;
+      stats.transport_escalations += tx.escalations;
+      stats.transport_rejected_full += tx.rejected_full;
+    }
+    for (std::size_t t = 0; t < config_.num_tags; ++t) {
+      const transport::TagRxStats& rx = coordinator_->rx(t).stats();
+      stats.transport_delivered += rx.delivered;
+      stats.transport_duplicates += rx.duplicates;
+      stats.transport_holes_skipped += rx.holes_skipped;
+    }
+  }
   return stats;
+}
+
+FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng) {
+  FullStackSim sim(config, rng);
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    sim.StepRound();
+  }
+  return sim.Stats();
 }
 
 }  // namespace freerider::sim

@@ -6,7 +6,10 @@
 //      size scheduler) via packet-length modulation; each tag's
 //      envelope detector measures the pulses and its controller FSM
 //      (mac::TagController) either catches the announcement or sits the
-//      round out — real PLM losses included.
+//      round out — real PLM losses included. With the reliable
+//      transport enabled the announcement also piggybacks the ACK
+//      extension (transport/ack.h) that drives the tags' selective-
+//      repeat queues.
 //   2. Each slot carries one 802.11g excitation frame. Every tag whose
 //      controller fires backscatters its framed payload (codeword
 //      translation at the waveform level); concurrent reflections
@@ -15,18 +18,28 @@
 //      frame scan. The coordinator classifies the slot (empty / single
 //      delivery / collision) from what it actually decoded and feeds
 //      the observation back to the scheduler — it never peeks at the
-//      tags' choices.
+//      tags' choices. Transport mode adds per-tag receive state on top:
+//      duplicate rejection, in-order delivery, and NACK accounting.
 //
 // This validates that the abstract MAC simulator (slotted_aloha.h) and
 // the paper's Fig. 17 behaviour follow from the real signal chain.
+//
+// The simulation is a stepping object (FullStackSim) so harnesses like
+// the chaos soak (sim/soak.h) can observe every round and swap the
+// impairment mix mid-run; RunFullStackCampaign wraps it with the
+// original run-to-completion interface and, with the transport
+// disabled, reproduces the pre-transport simulator bit for bit.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "impair/impair.h"
 #include "mac/slotted_aloha.h"
+#include "mac/tag_mac.h"
+#include "transport/arq.h"
 
 namespace freerider::sim {
 
@@ -56,11 +69,25 @@ struct FullStackConfig {
   std::size_t excitation_payload_bytes = 800;
   /// Tag frame payload (id + sequence).
   std::size_t tag_payload_bytes = 2;
+  /// Base translation redundancy (codewords per tag bit); 0 keeps the
+  /// historical default of 4.
+  std::size_t redundancy = 0;
   mac::SlotAdjustConfig adjust;
   CoordinatorRecoveryConfig recovery;
   /// Fault injection (default: everything off; off = bit-identical to
   /// the un-impaired simulator).
   impair::ImpairmentConfig impairments;
+  /// Seed the fault injector's stream even when the initial impairment
+  /// config is fully disabled — required by harnesses that enable
+  /// faults mid-run (sim/soak.h). Off preserves the historical rng
+  /// stream of fully-unimpaired campaigns.
+  bool reserve_impairment_stream = false;
+  /// Reliable delivery (selective-repeat ARQ). Disabled by default;
+  /// a disabled transport leaves every legacy result bit-for-bit
+  /// unchanged.
+  transport::TransportConfig transport;
+  /// Transport mode: frames the application enqueues per tag per round.
+  std::size_t offered_per_round = 1;
 };
 
 struct FullStackStats {
@@ -81,6 +108,87 @@ struct FullStackStats {
   std::size_t rounds_recovered = 0;  ///< Deliveries resumed after failures.
   double backoff_airtime_s = 0.0;    ///< Idle time spent backing off.
   impair::FaultCounters fault_counters;
+  // Transport accounting (all zero with the transport disabled) -----
+  std::size_t transport_offered = 0;       ///< Frames entering the queues.
+  std::size_t transport_delivered = 0;     ///< In-order app deliveries.
+  std::size_t transport_duplicates = 0;    ///< Duplicate frames rejected.
+  std::size_t transport_retransmissions = 0;
+  std::size_t transport_expired = 0;       ///< Tag give-up drops.
+  std::size_t transport_holes_skipped = 0; ///< Receiver give-up skips.
+  std::size_t transport_acked = 0;
+  std::size_t transport_escalations = 0;   ///< Sends above base redundancy.
+  std::size_t transport_ext_rejected = 0;  ///< Corrupt ACK extensions seen.
+  std::size_t transport_rejected_full = 0; ///< Enqueues refused (queue full).
+};
+
+/// What one simulated round did — the soak harness checks its
+/// transport invariants against this, round by round.
+struct RoundReport {
+  std::size_t round = 0;
+  std::size_t slots = 0;
+  /// In-order transport deliveries, in delivery order.
+  struct Delivery {
+    std::uint8_t tag_id = 0;
+    std::uint8_t seq = 0;
+  };
+  std::vector<Delivery> delivered;
+  /// Sequences the receiver gave up waiting for (hole skips).
+  std::vector<Delivery> skipped;
+  /// Tags that backscattered this round (transport or legacy).
+  std::vector<std::uint8_t> fired;
+  std::size_t raw_frames = 0;   ///< CRC-valid frames before dedup.
+  std::size_t duplicates = 0;   ///< Transport-rejected duplicates.
+};
+
+class FullStackSim {
+ public:
+  /// `rng` must outlive the simulation (it is the campaign's master
+  /// stream, exactly as with RunFullStackCampaign).
+  FullStackSim(const FullStackConfig& config, Rng& rng);
+  ~FullStackSim();
+
+  /// Simulate one round.
+  RoundReport StepRound();
+
+  /// Swap the live impairment mix (chaos schedules). With
+  /// reserve_impairment_stream unset this must not be used to enable
+  /// faults on a previously fault-free sim — the injector stream was
+  /// never seeded.
+  void SetImpairments(const impair::ImpairmentConfig& impairments);
+
+  /// Change the offered load (frames enqueued per tag per round) for
+  /// subsequent rounds — harnesses use 0 to drain the queues at the
+  /// end of a campaign. Draws nothing from any rng stream.
+  void SetOfferedPerRound(std::size_t offered) {
+    config_.offered_per_round = offered;
+  }
+
+  /// Derived stats over everything stepped so far.
+  FullStackStats Stats() const;
+
+  std::size_t rounds_stepped() const { return round_; }
+  /// Transport introspection (null when the transport is disabled).
+  const transport::TagTransport* tag_transport(std::size_t tag) const;
+  const transport::CoordinatorTransport* coordinator_transport() const {
+    return coordinator_.get();
+  }
+
+ private:
+  struct SimTag;
+  /// Draws one seed per tag from `rng` — must happen before the fault
+  /// injector is seeded, preserving the legacy master-stream order.
+  static std::vector<SimTag> MakeTags(const FullStackConfig& config,
+                                      Rng& rng);
+
+  FullStackConfig config_;
+  Rng& rng_;
+  std::vector<SimTag> tags_;
+  mac::SlotScheduler scheduler_;
+  impair::FaultInjector injector_;
+  std::unique_ptr<transport::CoordinatorTransport> coordinator_;
+  std::size_t round_ = 0;
+  std::size_t consecutive_failed_rounds_ = 0;
+  FullStackStats stats_;
 };
 
 FullStackStats RunFullStackCampaign(const FullStackConfig& config, Rng& rng);

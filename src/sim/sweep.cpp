@@ -142,4 +142,36 @@ std::string TablePrinter::ToCsv() const {
   return out.str();
 }
 
+std::string TablePrinter::ToJson(const std::string& name) const {
+  std::ostringstream out;
+  auto quote = [&](const std::string& cell) {
+    out << '"';
+    for (char ch : cell) {
+      if (ch == '"' || ch == '\\') out << '\\';
+      out << ch;
+    }
+    out << '"';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '[';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      quote(cells[c]);
+    }
+    out << ']';
+  };
+  out << "{\"table\": ";
+  quote(name);
+  out << ", \"headers\": ";
+  emit(headers_);
+  out << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << ',';
+    out << "\n  ";
+    emit(rows_[r]);
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
 }  // namespace freerider::sim

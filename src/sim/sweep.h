@@ -51,6 +51,11 @@ class TablePrinter {
   /// Machine-readable CSV (quoted cells, header row first).
   std::string ToCsv() const;
 
+  /// Machine-readable JSON: {"table": name, "headers": [...],
+  /// "rows": [[...], ...]}. CI jobs collect these as BENCH_*.json
+  /// artifacts, so the format is stable.
+  std::string ToJson(const std::string& name) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,90 @@
+// Announcement ACK extension: the coordinator→tag half of the reliable
+// transport's feedback loop, piggybacked on the PLM round announcement
+// so it costs no extra downlink messages (the tag's envelope detector
+// is already listening for the announcement anyway).
+//
+// Wire format (appended to the 16-bit legacy announcement, see
+// mac/plm.h for the carrier layout): version 1's body is a sequence of
+// 32-bit ACK blocks,
+//
+//   tag id (8) | cumulative seq (8) | NACK bitmap (16)
+//
+// "cumulative" is the newest sequence number below which the
+// coordinator has received *everything* from that tag (255 == nothing
+// yet, i.e. next expected is 0). NACK bitmap bit i set means sequence
+// cumulative+1+i is known missing — the coordinator has already
+// received something newer, so the gap is a real loss, not just
+// in-flight data. All multi-bit fields are LSB-first, matching the
+// rest of the PLM bit plumbing.
+//
+// The 8-bit body-length field caps the body at 255 bits = 7 blocks per
+// announcement; coordinators with more tags rotate blocks round-robin
+// across rounds (the PLM downlink runs at ~1 kbps — announcement
+// airtime is the scarce resource, and stale ACK state only costs a
+// duplicate retransmission, never correctness).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "mac/tag_mac.h"
+
+namespace freerider::transport {
+
+inline constexpr std::uint8_t kAckExtensionVersion = 1;
+inline constexpr std::size_t kNackBitmapBits = 16;
+inline constexpr std::size_t kAckBlockBits = 8 + 8 + kNackBitmapBits;
+inline constexpr std::size_t kMaxAckBlocks = 255 / kAckBlockBits;  // 7
+
+/// One tag's receive state as announced on the downlink.
+struct TagAck {
+  std::uint8_t tag_id = 0;
+  /// Everything up to and including this sequence has been received
+  /// in order (255 == next expected is 0, the initial state).
+  std::uint8_t cumulative = 0xFF;
+  /// Bit i: sequence cumulative+1+i is missing below the newest
+  /// sequence the coordinator has seen from this tag.
+  std::uint16_t nack_bitmap = 0;
+
+  bool operator==(const TagAck&) const = default;
+};
+
+struct AckExtension {
+  std::vector<TagAck> acks;
+
+  bool operator==(const AckExtension&) const = default;
+};
+
+/// CRC-8 (poly 0x07, init 0) over a bit span — guards the extension so
+/// a corrupted downlink can only cost a round of ACK feedback, never
+/// fabricate acknowledgements for frames that were lost.
+std::uint8_t CrcExtension(std::span<const Bit> bits);
+
+/// Build the full extended announcement payload: legacy 16-bit prefix,
+/// extension header, version-1 ACK body, CRC. At most kMaxAckBlocks
+/// blocks are encoded (extras are dropped — callers rotate instead).
+BitVector BuildAnnouncementExtended(const mac::RoundAnnouncement& round,
+                                    const AckExtension& ext);
+
+struct ExtendedParseResult {
+  mac::RoundAnnouncement round;
+  /// Present only when a structurally valid, CRC-clean version-1
+  /// extension was attached.
+  std::optional<AckExtension> ext;
+  /// An extension was attached but rejected (unknown version, bad
+  /// length, truncated, CRC mismatch). The legacy prefix above is
+  /// still good — extension damage must never desync the round MAC.
+  bool ext_rejected = false;
+};
+
+/// Parse an announcement payload of any provenance: exactly 16 bits is
+/// a legacy announcement (no extension), longer payloads are validated
+/// as prefix + extension. Returns std::nullopt only when the 16-bit
+/// prefix itself is unusable.
+std::optional<ExtendedParseResult> ParseAnnouncementExtended(
+    const BitVector& payload);
+
+}  // namespace freerider::transport

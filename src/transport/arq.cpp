@@ -1,0 +1,272 @@
+#include "transport/arq.h"
+
+#include <algorithm>
+
+namespace freerider::transport {
+namespace {
+
+/// True when `seq` is at or before `reference` in serial order, seen
+/// from `base` (i.e. both measured as forward distance from base).
+bool SeqCoveredBy(std::uint8_t base, std::uint8_t seq, std::uint8_t reference) {
+  return SeqDistance(base, seq) <= SeqDistance(base, reference);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- tag
+
+TagTransport::TagTransport(const TransportConfig& config) : config_(config) {
+  config_.window = std::min(config_.window, kNackBitmapBits);
+  if (config_.window == 0) config_.window = 1;
+  if (config_.max_transmissions == 0) config_.max_transmissions = 1;
+}
+
+bool TagTransport::Enqueue(std::size_t round) {
+  if (queue_.size() >= config_.queue_capacity) {
+    ++stats_.rejected_full;
+    return false;
+  }
+  Entry entry;
+  entry.seq = next_seq_++;
+  entry.enqueue_round = round;
+  queue_.push_back(entry);
+  ++stats_.offered;
+  return true;
+}
+
+void TagTransport::Expire(std::size_t round) {
+  // The give-up policy only ever drops from the window head backwards
+  // in sequence order; dropping an arbitrary middle frame would let
+  // the window slide over a sequence the coordinator still NACKs.
+  // Age/attempt expiry applies wherever the frame sits, though — a
+  // frame behind an expired head is usually next to expire anyway.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const bool too_many_tries = it->transmissions >= config_.max_transmissions;
+    const bool too_old = round - it->enqueue_round > config_.expiry_rounds;
+    if (too_many_tries || too_old) {
+      ++stats_.expired;
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TagTransport::OnRoundStart(std::size_t round) { Expire(round); }
+
+std::size_t TagTransport::EscalationSteps(const Entry& entry) const {
+  if (config_.escalate_after_nacks == 0) return 0;
+  return std::min(entry.nacks / config_.escalate_after_nacks,
+                  config_.max_escalation_steps);
+}
+
+std::optional<TagTransport::TxDecision> TagTransport::NextFrame(
+    std::size_t round) {
+  if (queue_.empty()) return std::nullopt;
+  const std::uint8_t base = queue_.front().seq;
+
+  Entry* pick = nullptr;
+  // 1. NACKed frames — the coordinator told us exactly what is missing.
+  for (Entry& e : queue_) {
+    if (e.nack_pending) {
+      pick = &e;
+      break;
+    }
+  }
+  // 2. Fresh frames inside the window.
+  if (pick == nullptr) {
+    for (Entry& e : queue_) {
+      if (SeqDistance(base, e.seq) >= config_.window) break;
+      if (e.transmissions == 0) {
+        pick = &e;
+        break;
+      }
+    }
+  }
+  // 3. Tail-loss recovery: oldest unacknowledged frame past the RTO.
+  if (pick == nullptr) {
+    for (Entry& e : queue_) {
+      if (SeqDistance(base, e.seq) >= config_.window) break;
+      if (round - e.last_tx_round >= config_.rto_rounds) {
+        pick = &e;
+        break;
+      }
+    }
+  }
+  if (pick == nullptr) return std::nullopt;
+
+  TxDecision decision;
+  decision.seq = pick->seq;
+  decision.escalation_steps = EscalationSteps(*pick);
+  decision.retransmission = pick->transmissions > 0;
+  ++pick->transmissions;
+  pick->last_tx_round = round;
+  pick->nack_pending = false;
+  ++stats_.transmissions;
+  if (decision.retransmission) ++stats_.retransmissions;
+  if (decision.escalation_steps > 0) ++stats_.escalations;
+  return decision;
+}
+
+void TagTransport::OnAck(const TagAck& ack, std::size_t round) {
+  (void)round;
+  if (queue_.empty()) return;
+  const std::uint8_t base = queue_.front().seq;
+  // `cumulative` acknowledges everything at or before it. Guard
+  // against corrupt/stale ACKs claiming sequences we never sent: the
+  // acknowledged range may not reach past our newest outstanding seq.
+  const std::uint8_t newest = queue_.back().seq;
+  const std::uint8_t cum_dist = SeqDistance(base, ack.cumulative);
+  if (cum_dist < 128 && SeqCoveredBy(base, ack.cumulative, newest)) {
+    while (!queue_.empty() &&
+           SeqCoveredBy(base, queue_.front().seq, ack.cumulative)) {
+      queue_.pop_front();
+      ++stats_.acked;
+    }
+  }
+  // NACK bitmap: explicit resend requests.
+  for (std::size_t i = 0; i < kNackBitmapBits; ++i) {
+    if ((ack.nack_bitmap >> i) & 1u) {
+      const std::uint8_t missing =
+          static_cast<std::uint8_t>(ack.cumulative + 1 + i);
+      for (Entry& e : queue_) {
+        if (e.seq == missing) {
+          if (!e.nack_pending) {
+            e.nack_pending = true;
+            ++e.nacks;
+            ++stats_.nacks;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- coordinator
+
+CoordinatorTagRx::CoordinatorTagRx(const TransportConfig& config)
+    : config_(config) {
+  config_.window = std::min(config_.window, kNackBitmapBits);
+  if (config_.window == 0) config_.window = 1;
+}
+
+std::vector<std::uint8_t> CoordinatorTagRx::FlushInOrder() {
+  std::vector<std::uint8_t> delivered;
+  delivered.push_back(next_expected_++);
+  ++stats_.delivered;
+  // The arrival that called us filled the head; drain the buffered run.
+  rx_bitmap_ >>= 1;
+  while (rx_bitmap_ & 1u) {
+    delivered.push_back(next_expected_++);
+    ++stats_.delivered;
+    rx_bitmap_ >>= 1;
+  }
+  blocked_ = rx_bitmap_ != 0;
+  return delivered;
+}
+
+std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
+                                                    std::size_t round) {
+  const std::uint8_t d = SeqDistance(next_expected_, seq);
+  if (d >= 128) {
+    // Behind the delivery point: a retransmission of something already
+    // delivered (or skipped). Pure duplicate.
+    ++stats_.duplicates;
+    return {};
+  }
+  if (d == 0) {
+    auto delivered = FlushInOrder();
+    // If a hole remains it is a *different* hole than before the flush
+    // (the stream advanced), so its starvation clock starts now.
+    if (blocked_) blocked_since_round_ = round;
+    return delivered;
+  }
+  if (d >= config_.window) {
+    // The tag must not send past the window; a frame here is corrupt
+    // or hostile. Accepting it would let one bogus sequence fast-
+    // forward the stream over real data.
+    ++stats_.beyond_window;
+    return {};
+  }
+  const std::uint32_t bit = std::uint32_t{1} << d;
+  if (rx_bitmap_ & bit) {
+    ++stats_.duplicates;
+    return {};
+  }
+  rx_bitmap_ |= bit;
+  ++stats_.out_of_order;
+  if (!blocked_) {
+    blocked_ = true;
+    blocked_since_round_ = round;
+  }
+  return {};
+}
+
+std::vector<std::uint8_t> CoordinatorTagRx::OnRoundEnd(
+    std::size_t round, std::vector<std::uint8_t>& skipped) {
+  std::vector<std::uint8_t> delivered;
+  if (!blocked_) return delivered;
+  if (round - blocked_since_round_ < config_.hole_skip_rounds) {
+    return delivered;
+  }
+  // The head hole has starved the stream long enough — the tag has
+  // almost certainly expired the frame (its give-up policy is the
+  // mirror of this timeout). Skip exactly one hole per round so a
+  // burst of expiries drains gradually and visibly.
+  ++stats_.holes_skipped;
+  skipped.push_back(next_expected_++);
+  rx_bitmap_ >>= 1;
+  while (rx_bitmap_ & 1u) {
+    delivered.push_back(next_expected_++);
+    ++stats_.delivered;
+    rx_bitmap_ >>= 1;
+  }
+  blocked_ = rx_bitmap_ != 0;
+  if (blocked_) blocked_since_round_ = round;
+  return delivered;
+}
+
+TagAck CoordinatorTagRx::Ack(std::uint8_t tag_id) const {
+  TagAck ack;
+  ack.tag_id = tag_id;
+  ack.cumulative = static_cast<std::uint8_t>(next_expected_ - 1);
+  // NACK everything below the newest out-of-order arrival that we do
+  // not hold. rx_bitmap_ bit j covers next_expected_ + j; the ACK
+  // bitmap's bit i covers cumulative + 1 + i = next_expected_ + i.
+  std::uint32_t highest = 0;
+  for (std::size_t j = 1; j < config_.window; ++j) {
+    if ((rx_bitmap_ >> j) & 1u) highest = static_cast<std::uint32_t>(j);
+  }
+  std::uint16_t nacks = 0;
+  for (std::uint32_t i = 0; i < highest; ++i) {
+    if (((rx_bitmap_ >> i) & 1u) == 0) {
+      nacks |= static_cast<std::uint16_t>(std::uint16_t{1} << i);
+    }
+  }
+  ack.nack_bitmap = nacks;
+  return ack;
+}
+
+CoordinatorTransport::CoordinatorTransport(std::size_t num_tags,
+                                           const TransportConfig& config)
+    : config_(config) {
+  rx_.reserve(num_tags);
+  for (std::size_t i = 0; i < num_tags; ++i) rx_.emplace_back(config);
+}
+
+AckExtension CoordinatorTransport::BuildExtension() {
+  AckExtension ext;
+  if (rx_.empty()) return ext;
+  const std::size_t blocks =
+      std::min({config_.ack_blocks_per_round, rx_.size(), kMaxAckBlocks});
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const std::size_t index = (rotation_ + i) % rx_.size();
+    ext.acks.push_back(
+        rx_[index].Ack(static_cast<std::uint8_t>(index + 1)));
+  }
+  rotation_ = (rotation_ + blocks) % rx_.size();
+  return ext;
+}
+
+}  // namespace freerider::transport

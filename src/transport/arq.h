@@ -1,0 +1,205 @@
+// Reliable tag-data transport: PLM-acknowledged selective-repeat ARQ.
+//
+// The uplink (tag → coordinator) rides backscattered tag frames that
+// now carry an 8-bit transport sequence number; the downlink feedback
+// (coordinator → tag) is the ACK extension piggybacked on the round
+// announcement (transport/ack.h). Both ends are deliberately tiny
+// state machines — the tag side has to be plausible on an AGLN250-class
+// FPGA, so there is no clock beyond the MAC round counter and every
+// buffer is bounded up front.
+//
+// Tag side (TagTransport): a bounded queue of frames awaiting
+// acknowledgement. Selective repeat: NACKed sequences are resent
+// first, then never-sent frames inside the window, then unacknowledged
+// frames whose last transmission is older than the retransmit timeout
+// (tail-loss recovery — a lost frame at the window edge produces no
+// NACK because the coordinator never sees anything newer). Repeated
+// NACKs escalate the frame's translation redundancy up PR 1's ladder
+// (each step doubles codewords per tag bit), trading rate for
+// reliability exactly like the link-level rate controller. A frame
+// that exhausts max_transmissions or outlives expiry_rounds is dropped
+// (give-up policy): a dead link must never wedge the queue.
+//
+// Coordinator side (CoordinatorTransport): per-tag receive state —
+// next expected sequence, a window bitmap of out-of-order arrivals,
+// duplicate rejection, and in-order delivery to the application. A
+// hole that persists hole_skip_rounds (the receiver's mirror of the
+// tag's give-up) is skipped so one expired frame cannot dam the
+// stream forever; skips are reported, never silent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "transport/ack.h"
+
+namespace freerider::transport {
+
+struct TransportConfig {
+  /// Off by default: every consumer of the multitag simulator keeps
+  /// bit-for-bit legacy behaviour unless it opts in.
+  bool enabled = false;
+  /// Selective-repeat window (frames in flight past the first
+  /// unacknowledged one). Capped by the NACK bitmap span.
+  std::size_t window = kNackBitmapBits;
+  /// Bound on queued + in-flight frames at the tag.
+  std::size_t queue_capacity = 64;
+  /// Give-up: drop a frame after this many transmissions...
+  std::size_t max_transmissions = 10;
+  /// ...or once it has aged this many rounds since enqueue.
+  std::size_t expiry_rounds = 128;
+  /// Resend an unacknowledged frame after this many rounds without
+  /// feedback (tail-loss recovery).
+  std::size_t rto_rounds = 3;
+  /// Escalate translation redundancy one ladder step (×2) per this
+  /// many NACKs of the same frame.
+  std::size_t escalate_after_nacks = 2;
+  /// Ladder steps above the base redundancy a frame may climb.
+  std::size_t max_escalation_steps = 2;
+  /// ACK blocks the coordinator piggybacks per announcement (rotated
+  /// round-robin over tags; capped at kMaxAckBlocks).
+  std::size_t ack_blocks_per_round = 4;
+  /// Receiver-side give-up: skip a missing sequence after the stream
+  /// has been blocked on it this many rounds.
+  std::size_t hole_skip_rounds = 64;
+};
+
+/// Serial (mod-256) sequence comparison: distance from `from` to `to`
+/// going forward.
+inline std::uint8_t SeqDistance(std::uint8_t from, std::uint8_t to) {
+  return static_cast<std::uint8_t>(to - from);
+}
+
+// ---------------------------------------------------------------- tag
+
+struct TagTxStats {
+  std::size_t offered = 0;          ///< Frames accepted into the queue.
+  std::size_t rejected_full = 0;    ///< Enqueue refused, queue at capacity.
+  std::size_t transmissions = 0;    ///< Frames sent, first tries included.
+  std::size_t retransmissions = 0;  ///< Second and later tries.
+  std::size_t acked = 0;            ///< Frames cumulatively acknowledged.
+  std::size_t nacks = 0;            ///< NACK bits received for live frames.
+  std::size_t expired = 0;          ///< Frames dropped by the give-up policy.
+  std::size_t escalations = 0;      ///< Transmissions sent above base N.
+};
+
+class TagTransport {
+ public:
+  explicit TagTransport(const TransportConfig& config);
+
+  /// Hand a frame to the transport. False (and no sequence consumed)
+  /// when the bounded queue is full.
+  bool Enqueue(std::size_t round);
+
+  struct TxDecision {
+    std::uint8_t seq = 0;
+    /// Redundancy ladder steps above base for this transmission.
+    std::size_t escalation_steps = 0;
+    bool retransmission = false;
+  };
+
+  /// Pick the frame to backscatter this slot, selective-repeat order.
+  /// std::nullopt when nothing is pending inside the window. Marks the
+  /// transmission (call at most once per slot actually used).
+  std::optional<TxDecision> NextFrame(std::size_t round);
+
+  /// Apply ACK feedback heard on the announcement downlink.
+  void OnAck(const TagAck& ack, std::size_t round);
+
+  /// Per-round housekeeping: age-based expiry.
+  void OnRoundStart(std::size_t round);
+
+  bool HasPending() const { return !queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint8_t next_seq() const { return next_seq_; }
+  const TagTxStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint8_t seq = 0;
+    std::size_t transmissions = 0;
+    std::size_t last_tx_round = 0;
+    std::size_t enqueue_round = 0;
+    std::size_t nacks = 0;
+    bool nack_pending = false;
+  };
+
+  void Expire(std::size_t round);
+  std::size_t EscalationSteps(const Entry& entry) const;
+
+  TransportConfig config_;
+  std::deque<Entry> queue_;  ///< Ordered by sequence, front = oldest.
+  std::uint8_t next_seq_ = 0;
+  TagTxStats stats_;
+};
+
+// -------------------------------------------------------- coordinator
+
+struct TagRxStats {
+  std::size_t delivered = 0;        ///< In-order deliveries to the app.
+  std::size_t duplicates = 0;       ///< CRC-valid frames seen twice.
+  std::size_t out_of_order = 0;     ///< Buffered past a hole.
+  std::size_t holes_skipped = 0;    ///< Sequences given up on.
+  std::size_t beyond_window = 0;    ///< Frames outside the rx window.
+};
+
+/// Per-tag receive state at the coordinator.
+class CoordinatorTagRx {
+ public:
+  explicit CoordinatorTagRx(const TransportConfig& config);
+
+  /// Process one CRC-valid uplink frame. Returns the sequences flushed
+  /// to the application, in delivery order.
+  std::vector<std::uint8_t> OnFrame(std::uint8_t seq, std::size_t round);
+
+  /// End-of-round tick: may skip a hole that has blocked the stream
+  /// too long. Skipped sequences go to `skipped`; any buffered run
+  /// behind the hole is returned as deliveries.
+  std::vector<std::uint8_t> OnRoundEnd(std::size_t round,
+                                       std::vector<std::uint8_t>& skipped);
+
+  /// Snapshot for the announcement extension.
+  TagAck Ack(std::uint8_t tag_id) const;
+
+  const TagRxStats& stats() const { return stats_; }
+  std::uint8_t next_expected() const { return next_expected_; }
+
+ private:
+  std::vector<std::uint8_t> FlushInOrder();
+
+  TransportConfig config_;
+  std::uint8_t next_expected_ = 0;
+  /// Bit j: sequence next_expected_ + j received out of order
+  /// (bit 0 is always clear — that arrival would have advanced).
+  std::uint32_t rx_bitmap_ = 0;
+  std::size_t blocked_since_round_ = 0;
+  bool blocked_ = false;
+  TagRxStats stats_;
+};
+
+/// All tags' receive state plus the round-robin ACK block scheduler.
+class CoordinatorTransport {
+ public:
+  CoordinatorTransport(std::size_t num_tags, const TransportConfig& config);
+
+  /// Tag ids are 1-based on the air (0 is reserved); out-of-range ids
+  /// are rejected by the caller before reaching here.
+  CoordinatorTagRx& rx(std::size_t tag_index) { return rx_[tag_index]; }
+  const CoordinatorTagRx& rx(std::size_t tag_index) const {
+    return rx_[tag_index];
+  }
+  std::size_t num_tags() const { return rx_.size(); }
+
+  /// ACK blocks for the next announcement: up to ack_blocks_per_round
+  /// tags, rotating so every tag is covered every ⌈N/blocks⌉ rounds.
+  AckExtension BuildExtension();
+
+ private:
+  TransportConfig config_;
+  std::vector<CoordinatorTagRx> rx_;
+  std::size_t rotation_ = 0;
+};
+
+}  // namespace freerider::transport

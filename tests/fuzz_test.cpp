@@ -17,7 +17,10 @@
 #include "phyble/frame.h"
 #include "sim/link.h"
 #include "sim/multitag.h"
+#include "sim/soak.h"
 #include "sim/sweep.h"
+#include "transport/ack.h"
+#include "transport/arq.h"
 
 namespace freerider {
 namespace {
@@ -229,6 +232,99 @@ TEST(Fuzz, CsvPlainCellsUnquoted) {
   sim::TablePrinter table({"x", "y"});
   table.AddRow({"1", "2"});
   EXPECT_EQ(table.ToCsv(), "x,y\n1,2\n");
+}
+
+TEST(Fuzz, ExtendedAnnouncementParserOnRandomBits) {
+  // Arbitrary bit soup: the parser must never crash, and must never
+  // report a valid extension whose blocks it did not CRC-verify.
+  Rng rng(777);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t n = rng.NextBelow(360);
+    const BitVector bits = RandomBits(rng, n);
+    const auto parsed = transport::ParseAnnouncementExtended(bits);
+    if (parsed.has_value() && parsed->ext.has_value()) {
+      EXPECT_LE(parsed->ext->acks.size(), transport::kMaxAckBlocks);
+    }
+  }
+}
+
+TEST(Fuzz, ExtendedAnnouncementParserOnMutatedValidPayloads) {
+  // Start from a valid extended announcement and flip random bits:
+  // either the extension still decodes to exactly what was sent, or it
+  // is rejected — corrupt downlinks must never fabricate ACK state.
+  Rng rng(778);
+  transport::AckExtension ext;
+  ext.acks.push_back({1, 17, 0x0404});
+  ext.acks.push_back({2, 200, 0x8001});
+  mac::RoundAnnouncement round;
+  round.slots = 10;
+  round.sequence = 5;
+  const BitVector clean = transport::BuildAnnouncementExtended(round, ext);
+  for (int iter = 0; iter < 500; ++iter) {
+    BitVector mutated = clean;
+    const std::size_t flips = 1 + rng.NextBelow(6);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] ^= 1;
+    }
+    const auto parsed = transport::ParseAnnouncementExtended(mutated);
+    if (parsed.has_value() && parsed->ext.has_value()) {
+      EXPECT_EQ(parsed->ext->acks, ext.acks);
+    }
+  }
+}
+
+TEST(Fuzz, ExtendedPlmReceiverOnRandomBits) {
+  // The variable-length receiver reads a length field from the air; a
+  // hostile header must neither crash it nor park it past the bounded
+  // maximum payload.
+  Rng rng(779);
+  mac::PlmMessageReceiver receiver = mac::PlmMessageReceiver::ExtendedReceiver();
+  for (int i = 0; i < 20000; ++i) {
+    if (const auto message = receiver.PushBit(rng.NextBit())) {
+      EXPECT_GE(message->size(), 16u);
+      EXPECT_LE(message->size(), mac::kMaxExtendedPayloadBits);
+    }
+  }
+}
+
+TEST(Fuzz, SoakReplayParserOnGarbage) {
+  Rng rng(780);
+  const char alphabet[] = "{}[]\",:0123456789.eE+-truefalsnl \n\t";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text;
+    const std::size_t n = rng.NextBelow(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      text += alphabet[rng.NextBelow(sizeof alphabet - 1)];
+    }
+    // Must not crash; acceptance is fine only if it really parsed.
+    (void)sim::ParseSoakReplay(text);
+  }
+}
+
+TEST(Fuzz, TransportQueuesOnAdversarialAckStream) {
+  // Random ACK blocks, including nonsense cumulative points and NACK
+  // bitmaps for frames never sent: the queue must stay bounded and
+  // never double-acknowledge.
+  Rng rng(781);
+  for (int trial = 0; trial < 20; ++trial) {
+    transport::TransportConfig config;
+    config.enabled = true;
+    config.queue_capacity = 16;
+    transport::TagTransport tx(config);
+    std::size_t accepted = 0;
+    for (std::size_t round = 0; round < 300; ++round) {
+      tx.OnRoundStart(round);
+      if (tx.Enqueue(round)) ++accepted;
+      (void)tx.NextFrame(round);
+      transport::TagAck ack;
+      ack.tag_id = 1;
+      ack.cumulative = static_cast<std::uint8_t>(rng.NextBelow(256));
+      ack.nack_bitmap = static_cast<std::uint16_t>(rng.NextBelow(65536));
+      tx.OnAck(ack, round);
+      ASSERT_LE(tx.pending(), config.queue_capacity);
+    }
+    EXPECT_LE(tx.stats().acked + tx.stats().expired + tx.pending(), accepted);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// Chaos-soak harness: invariants, deterministic digests, and the JSON
+// replay pipeline (sim/soak.h).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/multitag.h"
+#include "sim/soak.h"
+
+using namespace freerider;
+
+namespace {
+
+/// Small but non-trivial soak: two impairment regimes, loss inside the
+/// transport's envelope, give-up caps out of reach.
+sim::SoakConfig SurvivableConfig(std::uint64_t seed) {
+  sim::SoakConfig config;
+  config.seed = seed;
+  config.num_tags = 3;
+  config.rounds = 40;
+  config.drain_rounds = 40;
+  config.offer_every = 4;
+  config.transport.max_transmissions = 1000;
+  config.transport.expiry_rounds = 1 << 20;
+  config.transport.hole_skip_rounds = 1 << 20;
+  sim::SoakSegment clean;
+  clean.start_round = 0;
+  sim::SoakSegment lossy;
+  lossy.start_round = 20;
+  lossy.impairments.dropout.enabled = true;
+  lossy.impairments.dropout.dropout_probability = 0.2;
+  lossy.impairments.dropout.min_keep_fraction = 0.2;
+  lossy.impairments.dropout.max_keep_fraction = 0.8;
+  sim::SoakSegment bursty;
+  bursty.start_round = 45;
+  bursty.impairments.interferer.enabled = true;
+  bursty.impairments.interferer.burst_probability = 0.15;
+  bursty.impairments.interferer.burst_power_dbm = -74.0;
+  config.schedule = {clean, lossy, bursty};
+  return config;
+}
+
+/// Engineered to violate: one transmission, no second chances, heavy
+/// dropout — frames must expire (a strict-mode violation).
+sim::SoakConfig BrokenConfig() {
+  sim::SoakConfig config;
+  config.seed = 77;
+  config.num_tags = 3;
+  config.rounds = 40;
+  config.drain_rounds = 30;
+  config.offer_every = 2;
+  config.transport.max_transmissions = 1;
+  config.transport.rto_rounds = 1;
+  sim::SoakSegment harsh;
+  harsh.start_round = 0;
+  harsh.impairments.dropout.enabled = true;
+  harsh.impairments.dropout.dropout_probability = 0.5;
+  harsh.impairments.dropout.min_keep_fraction = 0.1;
+  harsh.impairments.dropout.max_keep_fraction = 0.5;
+  config.schedule = {harsh};
+  return config;
+}
+
+}  // namespace
+
+TEST(SoakTest, SurvivableScheduleMeetsEveryInvariant) {
+  const sim::SoakResult result = sim::RunSoak(SurvivableConfig(11));
+  EXPECT_TRUE(result.passed) << result.digest;
+  EXPECT_EQ(result.violations.size(), 0u);
+  EXPECT_GT(result.stats.transport_offered, 0u);
+  EXPECT_EQ(result.stats.transport_offered, result.stats.transport_delivered);
+  EXPECT_EQ(result.stats.transport_expired, 0u);
+  EXPECT_EQ(result.stats.transport_holes_skipped, 0u);
+  EXPECT_GT(result.stats.faults_injected, 0u);  // the chaos was real
+}
+
+TEST(SoakTest, DigestIsDeterministic) {
+  const sim::SoakConfig config = SurvivableConfig(23);
+  const sim::SoakResult a = sim::RunSoak(config);
+  const sim::SoakResult b = sim::RunSoak(config);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_FALSE(a.digest.empty());
+}
+
+TEST(SoakTest, ReplayRecordRoundTripsAndReproduces) {
+  const sim::SoakConfig config = SurvivableConfig(31);
+  const sim::SoakResult original = sim::RunSoak(config);
+  const std::string json = sim::SoakReplayJson(config, original);
+
+  const auto replay = sim::ParseSoakReplay(json);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->expect_digest, original.digest);
+  EXPECT_EQ(replay->config.seed, config.seed);
+  EXPECT_EQ(replay->config.num_tags, config.num_tags);
+  EXPECT_EQ(replay->config.rounds, config.rounds);
+  ASSERT_EQ(replay->config.schedule.size(), config.schedule.size());
+  EXPECT_EQ(replay->config.schedule[1].impairments.dropout.dropout_probability,
+            config.schedule[1].impairments.dropout.dropout_probability);
+
+  const sim::SoakResult again = sim::RunSoak(replay->config);
+  EXPECT_EQ(again.digest, original.digest);
+}
+
+TEST(SoakTest, DeliberateViolationReproducesBitForBit) {
+  const sim::SoakConfig config = BrokenConfig();
+  const sim::SoakResult original = sim::RunSoak(config);
+  ASSERT_FALSE(original.passed);
+  ASSERT_GT(original.violations.size(), 0u);
+  EXPECT_EQ(original.violations[0].kind, "expired");
+
+  const std::string record = sim::SoakReplayJson(config, original);
+  const auto replay = sim::ParseSoakReplay(record);
+  ASSERT_TRUE(replay.has_value());
+  const sim::SoakResult again = sim::RunSoak(replay->config);
+  EXPECT_FALSE(again.passed);
+  EXPECT_EQ(again.digest, original.digest);
+  EXPECT_EQ(again.violations.size(), original.violations.size());
+}
+
+TEST(SoakTest, NonStrictModeToleratesGiveUps) {
+  sim::SoakConfig config = BrokenConfig();
+  config.strict = false;
+  const sim::SoakResult result = sim::RunSoak(config);
+  // Give-ups (expiry, skips) are allowed; duplicates/reorder are not.
+  for (const sim::SoakViolation& v : result.violations) {
+    EXPECT_NE(v.kind, "duplicate") << v.detail;
+    EXPECT_NE(v.kind, "reorder") << v.detail;
+  }
+  EXPECT_GT(result.stats.transport_expired, 0u);
+}
+
+TEST(SoakReplayParserTest, RejectsMalformedRecords) {
+  const sim::SoakConfig config = SurvivableConfig(1);
+  sim::SoakResult result;
+  result.digest = "digest with \"quotes\"\nand newlines";
+  const std::string valid = sim::SoakReplayJson(config, result);
+  ASSERT_TRUE(sim::ParseSoakReplay(valid).has_value());
+
+  EXPECT_FALSE(sim::ParseSoakReplay("").has_value());
+  EXPECT_FALSE(sim::ParseSoakReplay("not json at all").has_value());
+  EXPECT_FALSE(sim::ParseSoakReplay("{}").has_value());
+  EXPECT_FALSE(sim::ParseSoakReplay("[1,2,3]").has_value());
+  // Every strict prefix must be rejected, never crash or accept.
+  for (std::size_t n = 0; n < valid.size(); n += 7) {
+    EXPECT_FALSE(sim::ParseSoakReplay(valid.substr(0, n)).has_value())
+        << "prefix " << n;
+  }
+  // Wrong version.
+  std::string wrong = valid;
+  wrong.replace(wrong.find("\"version\": 1"), 12, "\"version\": 9");
+  EXPECT_FALSE(sim::ParseSoakReplay(wrong).has_value());
+  // Hostile bounds: a record demanding a billion rounds is refused.
+  std::string huge = valid;
+  huge.replace(huge.find("\"rounds\": 40"), 12, "\"rounds\": 99999999999");
+  EXPECT_FALSE(sim::ParseSoakReplay(huge).has_value());
+}
+
+TEST(SoakReplayParserTest, DigestStringEscapingRoundTrips) {
+  const sim::SoakConfig config = SurvivableConfig(2);
+  sim::SoakResult result;
+  result.digest = "line1\nline2 \"quoted\" back\\slash\ttab";
+  const auto replay = sim::ParseSoakReplay(sim::SoakReplayJson(config, result));
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->expect_digest, result.digest);
+}
+
+// The stepping simulator must be the same machine as the one-shot
+// campaign — same master-stream discipline, same stats — so harness
+// results transfer to every existing RunFullStackCampaign caller.
+TEST(SteppedSimTest, MatchesCampaignWithTransportDisabled) {
+  sim::FullStackConfig config;
+  config.num_tags = 3;
+  config.rounds = 4;
+  config.impairments.dropout.enabled = true;
+  config.impairments.dropout.dropout_probability = 0.3;
+  Rng campaign_rng(91);
+  const sim::FullStackStats campaign =
+      sim::RunFullStackCampaign(config, campaign_rng);
+
+  Rng stepped_rng(91);
+  sim::FullStackSim stepped(config, stepped_rng);
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    stepped.StepRound();
+  }
+  const sim::FullStackStats stats = stepped.Stats();
+
+  EXPECT_EQ(stats.deliveries, campaign.deliveries);
+  EXPECT_EQ(stats.slots_total, campaign.slots_total);
+  EXPECT_EQ(stats.observed_collisions, campaign.observed_collisions);
+  EXPECT_EQ(stats.observed_empties, campaign.observed_empties);
+  EXPECT_EQ(stats.faults_injected, campaign.faults_injected);
+  EXPECT_EQ(stats.airtime_s, campaign.airtime_s);      // bit-exact
+  EXPECT_EQ(stats.goodput_bps, campaign.goodput_bps);  // bit-exact
+  EXPECT_EQ(campaign_rng.NextU64(), stepped_rng.NextU64());
+}
+
+// With the transport off, reserving the impairment stream must be the
+// only thing that changes the master stream — and only by one draw.
+TEST(SteppedSimTest, TransportOffIsPureLegacyPath) {
+  sim::FullStackConfig config;
+  config.num_tags = 2;
+  config.rounds = 3;
+  Rng a(17);
+  const sim::FullStackStats legacy = sim::RunFullStackCampaign(config, a);
+  EXPECT_EQ(legacy.transport_offered, 0u);
+  EXPECT_EQ(legacy.transport_delivered, 0u);
+  EXPECT_EQ(legacy.transport_retransmissions, 0u);
+  EXPECT_EQ(legacy.transport_ext_rejected, 0u);
+}

@@ -1,0 +1,77 @@
+// Re-run a chaos-soak replay record and verify it reproduces.
+//
+// A soak failure is only a finding if it reproduces, so the harness
+// (sim/soak.h) writes self-contained JSON records — config, impairment
+// schedule, seed, and the outcome digest of the original run. This CLI
+// re-executes a record and compares digests byte-for-byte:
+//
+//   replay_soak record.json            # re-run, verify digest
+//   replay_soak --print record.json    # also dump the digest
+//
+// Exit codes: 0 = reproduced bit-for-bit, 1 = digest mismatch
+// (non-determinism — itself a bug), 2 = unreadable/malformed record.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/soak.h"
+
+using namespace freerider;
+
+int main(int argc, char** argv) {
+  bool print = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print") == 0) {
+      print = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: replay_soak [--print] <record.json>\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: replay_soak [--print] <record.json>\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "replay_soak: cannot read %s\n", path);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const auto replay = sim::ParseSoakReplay(buffer.str());
+  if (!replay.has_value()) {
+    std::fprintf(stderr, "replay_soak: %s is not a valid replay record\n",
+                 path);
+    return 2;
+  }
+
+  std::printf("replaying seed=%llu tags=%zu rounds=%zu+%zu segments=%zu\n",
+              static_cast<unsigned long long>(replay->config.seed),
+              replay->config.num_tags, replay->config.rounds,
+              replay->config.drain_rounds, replay->config.schedule.size());
+  const sim::SoakResult result = sim::RunSoak(replay->config);
+  if (print) {
+    std::printf("--- digest ---\n%s--------------\n", result.digest.c_str());
+  }
+  std::printf("replay: passed=%s violations=%zu\n",
+              result.passed ? "yes" : "no", result.violations.size());
+
+  if (replay->expect_digest.empty()) {
+    std::printf("record carries no digest; nothing to verify\n");
+    return 0;
+  }
+  if (result.digest == replay->expect_digest) {
+    std::printf("digest match: the record reproduces bit-for-bit\n");
+    return 0;
+  }
+  std::printf("DIGEST MISMATCH: replay diverged from the record\n");
+  return 1;
+}

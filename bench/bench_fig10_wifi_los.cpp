@@ -2,12 +2,13 @@
 // 802.11g/n OFDM excitation in the LOS hallway deployment (Fig. 9a).
 #include "distance_figure.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace freerider;
   const std::vector<double> distances = {1,  2,  5,  8,  12, 15, 18, 22,
                                          26, 30, 34, 38, 42, 46};
   return bench::RunDistanceFigure(
-      "Fig. 10: 802.11g/n WiFi backscatter, LOS deployment",
+      argc, argv, "Fig. 10: 802.11g/n WiFi backscatter, LOS deployment",
+      "fig10_wifi_los",
       core::RadioType::kWifi, channel::LosDeployment(1.0), distances,
       /*packets=*/24, /*seed=*/101,
       "Paper: ~60 kbps up to 18 m, ~15-32 kbps at 26-36 m, decodes out to\n"

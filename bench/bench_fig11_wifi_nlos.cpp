@@ -3,12 +3,13 @@
 // wall beyond — which is what terminates the link there.
 #include "distance_figure.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace freerider;
   const std::vector<double> distances = {1, 2, 4, 6, 8, 10, 12, 14,
                                          16, 18, 20, 22, 24, 26};
   return bench::RunDistanceFigure(
-      "Fig. 11: 802.11g/n WiFi backscatter, NLOS deployment",
+      argc, argv, "Fig. 11: 802.11g/n WiFi backscatter, NLOS deployment",
+      "fig11_wifi_nlos",
       core::RadioType::kWifi, channel::NlosDeployment(1.0), distances,
       /*packets=*/24, /*seed=*/111,
       "Paper: ~60 kbps up to 14 m, ~20 kbps beyond, link stops at 22 m\n"

@@ -2,12 +2,13 @@
 // 5 dBm CC2650-class excitation.
 #include "distance_figure.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace freerider;
   const std::vector<double> distances = {1, 2, 4, 6, 8, 10, 12, 14,
                                          16, 18, 20, 22, 24, 26};
   return bench::RunDistanceFigure(
-      "Fig. 12: ZigBee backscatter, LOS deployment",
+      argc, argv, "Fig. 12: ZigBee backscatter, LOS deployment",
+      "fig12_zigbee_los",
       core::RadioType::kZigbee, channel::LosDeployment(1.0), distances,
       /*packets=*/24, /*seed=*/121,
       "Paper: ~14 kbps within 12 m, still ~12 kbps at 20 m, link stops at\n"

@@ -2,12 +2,13 @@
 // CC2541-class excitation.
 #include "distance_figure.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace freerider;
   const std::vector<double> distances = {1, 2, 3, 4, 5, 6, 7, 8,
                                          9, 10, 11, 12, 13, 14};
   return bench::RunDistanceFigure(
-      "Fig. 13: Bluetooth backscatter, LOS deployment",
+      argc, argv, "Fig. 13: Bluetooth backscatter, LOS deployment",
+      "fig13_bluetooth_los",
       core::RadioType::kBluetooth, channel::LosDeployment(1.0), distances,
       /*packets=*/24, /*seed=*/131,
       "Paper: ~50 kbps within 10 m, ~19 kbps at 12 m where the link dies\n"

@@ -5,35 +5,48 @@
 // ~22 m, Bluetooth ~12 m; at a 4 m TX-to-tag distance WiFi drops to
 // ~8 m. The regimes nest: WiFi ⊃ ZigBee ⊃ Bluetooth, driven by the
 // exciters' transmit powers (11 vs 5 vs 0 dBm).
+//
+// The heaviest figure in the suite (a bracket+bisection of full link
+// sims per point): each TX-to-tag point runs as one parallel task on
+// the runtime executor (--threads N).
 #include <cstdio>
 
+#include "distance_figure.h"
 #include "sim/sweep.h"
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  runtime::InitThreadsFromArgs(argc, argv);
+  const std::string out_dir = bench::OutDirFromArgs(argc, argv);
+
   const std::vector<double> tx_tag = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
   std::printf("=== Fig. 14: communication range (operational regime) ===\n");
   std::printf("max tag-to-RX distance sustaining PRR >= 0.5\n\n");
 
   struct RadioRow {
     const char* name;
+    const char* slug;
     core::RadioType radio;
     double max_search;
   };
   const RadioRow radios[] = {
-      {"802.11g/n WiFi", core::RadioType::kWifi, 60.0},
-      {"ZigBee", core::RadioType::kZigbee, 40.0},
-      {"Bluetooth", core::RadioType::kBluetooth, 25.0},
+      {"802.11g/n WiFi", "wifi", core::RadioType::kWifi, 60.0},
+      {"ZigBee", "zigbee", core::RadioType::kZigbee, 40.0},
+      {"Bluetooth", "bluetooth", core::RadioType::kBluetooth, 25.0},
   };
 
   sim::TablePrinter table({"TX-to-tag (m)", "WiFi max RX (m)",
                            "ZigBee max RX (m)", "Bluetooth max RX (m)"});
   std::vector<std::vector<sim::RangePoint>> results;
+  std::string timing;
   for (const RadioRow& r : radios) {
-    results.push_back(
-        sim::RangeSweep(r.radio, tx_tag, r.max_search, /*packets=*/10,
-                        /*seed=*/141));
+    runtime::SweepReport report;
+    results.push_back(sim::RangeSweep(r.radio, tx_tag, r.max_search,
+                                      /*packets=*/10,
+                                      /*seed=*/141, /*prr_floor=*/0.5,
+                                      &report));
+    timing += report.SummaryJson(std::string("fig14_range_") + r.slug);
   }
   for (std::size_t i = 0; i < tx_tag.size(); ++i) {
     table.AddRow({sim::TablePrinter::Num(tx_tag[i], 1),
@@ -47,5 +60,10 @@ int main() {
       "ZigBee / Bluetooth); ranges shrink steeply with TX-to-tag distance\n"
       "(WiFi ~8 m at a 4 m TX-to-tag separation); regimes nest\n"
       "WiFi > ZigBee > Bluetooth.\n");
+
+  bench::WriteTextFile(out_dir + "/BENCH_fig14_range.json",
+                       table.ToJson("fig14_range"));
+  bench::WriteTextFile(out_dir + "/TIMING_fig14_range.json", timing);
+  std::fprintf(stderr, "[runtime] %s", timing.c_str());
   return 0;
 }

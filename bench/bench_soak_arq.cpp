@@ -19,9 +19,12 @@
 // BENCH_soak_arq.json (TablePrinter::ToJson) for CI artifact
 // collection.
 //
-//   bench_soak_arq [--rounds N] [--out-dir DIR]
+//   bench_soak_arq [--rounds N] [--out-dir DIR] [--threads N]
 //
 // Default 2000 chaos rounds (+drain); CI's sanitizer job uses fewer.
+// The three acceptance seeds (and their legacy comparison runs) execute
+// as a seed×{soak,legacy} task grid on the runtime executor; every
+// table and digest is byte-identical at every --threads value.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/executor.h"
+#include "runtime/sweep_engine.h"
 #include "sim/multitag.h"
 #include "sim/soak.h"
 #include "sim/sweep.h"
@@ -129,6 +134,7 @@ bool WriteFile(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  freerider::runtime::InitThreadsFromArgs(argc, argv);
   std::size_t rounds = 2000;
   std::string out_dir = ".";
   for (int i = 1; i < argc; ++i) {
@@ -138,7 +144,8 @@ int main(int argc, char** argv) {
       out_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_soak_arq [--rounds N] [--out-dir DIR]\n");
+                   "usage: bench_soak_arq [--rounds N] [--out-dir DIR]"
+                   " [--threads N]\n");
       return 2;
     }
   }
@@ -153,10 +160,12 @@ int main(int argc, char** argv) {
                            "retx", "escalations", "dup", "expired", "holes",
                            "violations", "legacy fired", "legacy rx",
                            "legacy lost"});
-  bool all_passed = true;
-  for (std::uint64_t seed : {2026ull, 4242ull, 9001ull}) {
-    sim::SoakConfig soak;
-    soak.seed = seed;
+  const std::uint64_t seeds[] = {2026ull, 4242ull, 9001ull};
+  const std::size_t num_seeds = sizeof seeds / sizeof seeds[0];
+  std::vector<sim::SoakConfig> soaks(num_seeds);
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    sim::SoakConfig& soak = soaks[i];
+    soak.seed = seeds[i];
     soak.num_tags = 4;
     soak.rounds = rounds;
     soak.drain_rounds = 400;
@@ -169,11 +178,32 @@ int main(int argc, char** argv) {
     soak.transport.max_transmissions = 64;
     soak.transport.expiry_rounds = 1 << 20;
     soak.transport.hole_skip_rounds = 1 << 20;
-    soak.schedule = DrawSchedule(seed, rounds);
-    const sim::SoakResult result = sim::RunSoak(soak);
-    const LegacyOutcome legacy = RunLegacy(soak);
+    soak.schedule = DrawSchedule(seeds[i], rounds);
+  }
+
+  // seed×{soak, legacy} grid: trial 0 runs the ARQ soak, trial 1 the
+  // fire-and-forget comparison under the identical schedule. Both are
+  // pure functions of the config, so any interleaving is safe.
+  std::vector<sim::SoakResult> results(num_seeds);
+  std::vector<LegacyOutcome> legacy_outcomes(num_seeds);
+  runtime::SweepEngine engine(runtime::DefaultExecutor());
+  const runtime::SweepReport report =
+      engine.Run({num_seeds, 2}, [&](std::size_t p, std::size_t t) {
+        if (t == 0) {
+          results[p] = sim::RunSoak(soaks[p]);
+        } else {
+          legacy_outcomes[p] = RunLegacy(soaks[p]);
+        }
+        return true;
+      });
+
+  bool all_passed = true;
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    const sim::SoakResult& result = results[i];
+    const LegacyOutcome& legacy = legacy_outcomes[i];
     const sim::FullStackStats& s = result.stats;
-    table.AddRow({std::to_string(seed), std::to_string(soak.schedule.size()),
+    table.AddRow({std::to_string(seeds[i]),
+                  std::to_string(soaks[i].schedule.size()),
                   std::to_string(s.transport_offered),
                   std::to_string(s.transport_delivered),
                   std::to_string(s.transport_retransmissions),
@@ -188,10 +218,10 @@ int main(int argc, char** argv) {
     if (!result.passed) {
       all_passed = false;
       const std::string path =
-          out_dir + "/soak_violation_" + std::to_string(seed) + ".json";
-      WriteFile(path, sim::SoakReplayJson(soak, result));
+          out_dir + "/soak_violation_" + std::to_string(seeds[i]) + ".json";
+      WriteFile(path, sim::SoakReplayJson(soaks[i], result));
       std::printf("VIOLATION (seed %llu): replay record written to %s\n",
-                  static_cast<unsigned long long>(seed), path.c_str());
+                  static_cast<unsigned long long>(seeds[i]), path.c_str());
       for (const sim::SoakViolation& v : result.violations) {
         std::printf("  round %zu: %s %s\n", v.round, v.kind.c_str(),
                     v.detail.c_str());
@@ -240,6 +270,9 @@ int main(int argc, char** argv) {
   std::printf("%s\n", verdict.ToString().c_str());
   WriteFile(out_dir + "/BENCH_soak_arq.json", table.ToJson("soak_arq") +
                                                   verdict.ToJson("verdict"));
+  WriteFile(out_dir + "/TIMING_soak_arq.json",
+            report.SummaryJson("soak_arq"));
+  std::fprintf(stderr, "[runtime] %s", report.SummaryJson("soak_arq").c_str());
   std::printf(
       "Reading: under regime-switching loss the ARQ delivers everything it\n"
       "accepted (zero duplicates, zero reorders) by retransmitting and\n"

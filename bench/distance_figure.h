@@ -1,28 +1,72 @@
 // Shared runner for the throughput/BER/RSSI-vs-distance figures
 // (Figs. 10-13): sweeps the tag→receiver distance with rate adaptation
 // and prints the three series the paper plots.
+//
+// The sweep's points execute in parallel on the runtime executor
+// (--threads N / FREERIDER_THREADS; default: hardware concurrency).
+// stdout and BENCH_<slug>.json are byte-identical at every thread
+// count — scheduling telemetry goes to stderr and TIMING_<slug>.json
+// only, so CI can diff the result artifacts across --threads runs.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "runtime/executor.h"
 #include "sim/sweep.h"
 
 namespace freerider::bench {
 
-inline int RunDistanceFigure(const std::string& title, core::RadioType radio,
+inline bool WriteTextFile(const std::string& path,
+                          const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s (does the directory exist?)\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Consumes --out-dir DIR / --out-dir=DIR from argv (compacting it);
+/// returns "." when absent.
+inline std::string OutDirFromArgs(int& argc, char** argv) {
+  std::string out_dir = ".";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
+      out_dir = argv[i] + 10;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return out_dir;
+}
+
+inline int RunDistanceFigure(int argc, char** argv, const std::string& title,
+                             const std::string& slug, core::RadioType radio,
                              const channel::Deployment& deployment,
                              const std::vector<double>& distances,
                              std::size_t packets, std::uint64_t seed,
                              const std::string& paper_summary) {
+  runtime::InitThreadsFromArgs(argc, argv);
+  const std::string out_dir = OutDirFromArgs(argc, argv);
+
   std::printf("=== %s ===\n", title.c_str());
   std::printf("TX-to-tag %.1f m, %zu excitation frames per point, "
               "rate adaptation on\n\n",
               deployment.tx_to_tag_m, packets);
 
+  runtime::SweepReport report;
   const auto points =
-      sim::DistanceSweep(radio, deployment, distances, packets, seed);
+      sim::DistanceSweep(radio, deployment, distances, packets, seed, &report);
 
   sim::TablePrinter table({"distance (m)", "throughput (kbps)", "BER", "RSSI (dBm)",
                            "PRR", "N (redundancy)"});
@@ -38,6 +82,12 @@ inline int RunDistanceFigure(const std::string& title, core::RadioType radio,
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("%s\n", paper_summary.c_str());
+
+  WriteTextFile(out_dir + "/BENCH_" + slug + ".json", table.ToJson(slug));
+  WriteTextFile(out_dir + "/TIMING_" + slug + ".json",
+                report.SummaryJson(slug) +
+                    report.TelemetryTable().ToJson(slug + "_tasks"));
+  std::fprintf(stderr, "[runtime] %s", report.SummaryJson(slug).c_str());
   return 0;
 }
 

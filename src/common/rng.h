@@ -20,11 +20,30 @@ class Rng {
     std::uint64_t x = seed;
     for (auto& s : state_) {
       x += 0x9E3779B97F4A7C15ull;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      s = z ^ (z >> 31);
+      s = Mix(x);
     }
+  }
+
+  /// SplitMix64 finalizer: a bijective avalanche mix over u64. The
+  /// building block of counter-based stream derivation (ForTrial).
+  static std::uint64_t Mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Counter-based per-trial stream derivation for the parallel
+  /// runtime: a pure function of (seed, point_id, trial_id), so the
+  /// stream a trial sees is identical regardless of worker count,
+  /// scheduling order, or which other trials ran first. Contrast with
+  /// Split(), which advances the parent and therefore encodes the
+  /// *order* of derivation.
+  static Rng ForTrial(std::uint64_t seed, std::uint64_t point_id,
+                      std::uint64_t trial_id) {
+    std::uint64_t k = Mix(seed + 0x9E3779B97F4A7C15ull);
+    k = Mix(k ^ Mix(point_id + 0xA0761D6478BD642Full));
+    k = Mix(k ^ Mix(trial_id + 0xE7037ED1A0B428DBull));
+    return Rng(k);
   }
 
   std::uint64_t NextU64() {
@@ -45,7 +64,33 @@ class Rng {
   }
 
   /// Uniform integer in [0, n). n must be > 0.
-  std::uint64_t NextBelow(std::uint64_t n) { return NextU64() % n; }
+  ///
+  /// Default: Lemire's multiply-shift rejection sampler — exactly
+  /// uniform for every n (the historical `NextU64() % n` had a bias of
+  /// up to 2^64 mod n toward small values, and fed the *low* xoshiro
+  /// bits to every MAC slot choice). Building with
+  /// -DFREERIDER_RNG_LEGACY_MODULO restores the biased modulo path for
+  /// bit-for-bit comparison against pre-runtime results; the expected
+  /// stat drift is documented in DESIGN.md §7.
+  std::uint64_t NextBelow(std::uint64_t n) {
+#if defined(FREERIDER_RNG_LEGACY_MODULO)
+    return NextU64() % n;
+#else
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(NextU64()) * static_cast<unsigned __int128>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      // Threshold 2^64 mod n, computed without 128-bit division.
+      const std::uint64_t threshold = (0ull - n) % n;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(NextU64()) *
+            static_cast<unsigned __int128>(n);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+#endif
+  }
 
   /// Fair coin.
   Bit NextBit() { return static_cast<Bit>(NextU64() & 1u); }

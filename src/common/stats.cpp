@@ -18,6 +18,23 @@ void RunningStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const std::size_t n = n_ + other.n_;
+  mean_ += delta * (nb / (na + nb));
+  m2_ += other.m2_ + delta * delta * (na * nb / (na + nb));
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
 double RunningStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

@@ -14,6 +14,13 @@ class RunningStats {
  public:
   void Add(double x);
 
+  /// Combine two accumulators (Chan's parallel Welford update). The
+  /// result is a deterministic function of the two operands, so a
+  /// fixed merge *tree* (e.g. runtime::PairwiseReduce in index order)
+  /// yields bit-identical moments regardless of which worker produced
+  /// which shard or in what order shards completed.
+  void Merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  ///< Sample variance (n-1 denominator).

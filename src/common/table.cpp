@@ -1,0 +1,111 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace freerider {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Sci(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1e", value);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << "  " << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      // Quote cells containing commas or quotes; double inner quotes.
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"") != std::string::npos) {
+        out << '"';
+        for (char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TablePrinter::ToJson(const std::string& name) const {
+  std::ostringstream out;
+  auto quote = [&](const std::string& cell) {
+    out << '"';
+    for (char ch : cell) {
+      if (ch == '"' || ch == '\\') out << '\\';
+      out << ch;
+    }
+    out << '"';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '[';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      quote(cells[c]);
+    }
+    out << ']';
+  };
+  out << "{\"table\": ";
+  quote(name);
+  out << ", \"headers\": ";
+  emit(headers_);
+  out << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << ',';
+    out << "\n  ";
+    emit(rows_[r]);
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace freerider

@@ -1,0 +1,40 @@
+// Fixed-width table rendering shared by the benches and the runtime
+// telemetry exporters. Lives in common (not sim) so lower layers —
+// notably src/runtime — can emit machine-readable tables without
+// depending on the simulation library; sim/sweep.h re-exports it as
+// `freerider::sim::TablePrinter` for the existing call sites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace freerider {
+
+/// Render a fixed-width table (benches print the paper's rows/series).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(const std::vector<std::string>& cells);
+  /// Format helper: fixed precision double.
+  static std::string Num(double value, int precision = 2);
+  /// Scientific notation (for BER columns).
+  static std::string Sci(double value);
+
+  std::string ToString() const;
+
+  /// Machine-readable CSV (quoted cells, header row first).
+  std::string ToCsv() const;
+
+  /// Machine-readable JSON: {"table": name, "headers": [...],
+  /// "rows": [[...], ...]}. CI jobs collect these as BENCH_*.json
+  /// artifacts (and byte-diff them across --threads runs), so the
+  /// format is stable.
+  std::string ToJson(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace freerider

@@ -9,9 +9,11 @@ namespace freerider::dsp {
 namespace {
 
 // Twiddle factors for a given size, cached across calls. The simulator
-// only ever uses a handful of sizes (64 for OFDM plus test sizes).
+// only ever uses a handful of sizes (64 for OFDM plus test sizes), so
+// a per-thread cache is cheap; thread_local keeps the hot FFT path
+// lock-free now that sweeps run tasks on the work-stealing executor.
 const std::vector<Cplx>& TwiddlesFor(std::size_t n) {
-  static std::map<std::size_t, std::vector<Cplx>> cache;
+  thread_local std::map<std::size_t, std::vector<Cplx>> cache;
   auto it = cache.find(n);
   if (it == cache.end()) {
     std::vector<Cplx> tw(n / 2);

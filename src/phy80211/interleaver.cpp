@@ -24,7 +24,10 @@ std::vector<std::size_t> Permutation(const RateParams& rate) {
 }
 
 const std::vector<std::size_t>& CachedPermutation(const RateParams& rate) {
-  static std::vector<std::size_t> cache[8];
+  // thread_local: the lazy fill races when sweep tasks interleave
+  // concurrently on the runtime executor; 8 small vectors per thread
+  // is cheaper than a lock on the per-symbol hot path.
+  thread_local std::vector<std::size_t> cache[8];
   auto& p = cache[static_cast<std::size_t>(rate.rate)];
   if (p.empty()) p = Permutation(rate);
   return p;

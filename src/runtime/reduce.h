@@ -1,0 +1,75 @@
+// Order-independent result reduction for parallel sweeps.
+//
+// Floating-point addition is not associative, so "sum the trial
+// results as workers finish" would make the merged statistics depend
+// on scheduling. The engine therefore always materializes per-task
+// results into index-addressed slots and reduces them here in a
+// *fixed* order — a balanced pairwise tree over the index order — so
+// the reduced value is a pure function of the per-task results and is
+// bit-stable across worker counts, steal patterns and completion
+// order. Kahan compensation is layered on for long flat sums where a
+// tree alone still loses low bits.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace freerider::runtime {
+
+/// Kahan–Babuška compensated accumulator. Deterministic for a fixed
+/// Add() order; use over per-point results *after* they are stored in
+/// index order.
+class KahanAccumulator {
+ public:
+  void Add(double x) {
+    const double t = sum_ + x;
+    if ((sum_ >= 0 ? sum_ : -sum_) >= (x >= 0 ? x : -x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  double value() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Compensated sum of a span in index order.
+inline double KahanSum(std::span<const double> values) {
+  KahanAccumulator acc;
+  for (double v : values) acc.Add(v);
+  return acc.value();
+}
+
+/// Balanced pairwise reduction in index order: merges (0,1), (2,3), …
+/// then recurses on the merged level. `merge(a, b)` must be a pure
+/// function; the reduction tree shape depends only on `items.size()`,
+/// so the result is identical however the items were produced.
+/// Returns a default-constructed T for an empty input.
+template <typename T, typename Merge>
+T PairwiseReduce(std::vector<T> items, Merge merge) {
+  if (items.empty()) return T{};
+  while (items.size() > 1) {
+    std::vector<T> next;
+    next.reserve((items.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < items.size(); i += 2) {
+      next.push_back(merge(items[i], items[i + 1]));
+    }
+    if (items.size() % 2 == 1) next.push_back(items.back());
+    items = std::move(next);
+  }
+  return items.front();
+}
+
+/// Pairwise double sum (bit-stable tree sum in index order).
+inline double PairwiseSum(std::span<const double> values) {
+  return PairwiseReduce(std::vector<double>(values.begin(), values.end()),
+                        [](double a, double b) { return a + b; });
+}
+
+}  // namespace freerider::runtime

@@ -1,0 +1,102 @@
+#include "runtime/sweep_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+
+namespace freerider::runtime {
+
+SweepReport SweepEngine::Run(
+    const SweepGrid& grid,
+    const std::function<bool(std::size_t, std::size_t)>& body) {
+  SweepReport report;
+  const std::size_t n = grid.tasks();
+  report.tasks.resize(n);
+  if (n == 0) return report;
+
+  CancelToken cancel;
+  std::atomic<std::size_t> first_failure{n};
+  report.run = executor_.ParallelFor(
+      n,
+      [&](std::size_t i) {
+        const std::size_t point = i / grid.trials;
+        const std::size_t trial = i % grid.trials;
+        TaskStat& stat = report.tasks[i];
+        stat.point = point;
+        stat.trial = trial;
+        stat.worker = Executor::current_worker();
+        const auto start = std::chrono::steady_clock::now();
+        const bool ok = body(point, trial);
+        stat.wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        stat.executed = true;
+        if (!ok) {
+          // Keep the lowest failing grid index so the report is
+          // deterministic even when several tasks fail concurrently.
+          std::size_t expected = first_failure.load(std::memory_order_relaxed);
+          while (i < expected && !first_failure.compare_exchange_weak(
+                                     expected, i, std::memory_order_relaxed)) {
+          }
+          cancel.Cancel();
+        }
+      },
+      &cancel);
+  // Fill point/trial for drained (never-executed) slots too, so the
+  // telemetry table always covers the whole grid.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!report.tasks[i].executed) {
+      report.tasks[i].point = i / grid.trials;
+      report.tasks[i].trial = i % grid.trials;
+      report.tasks[i].worker = -1;
+    }
+  }
+  const std::size_t failure = first_failure.load(std::memory_order_relaxed);
+  if (failure < n) {
+    report.cancelled = true;
+    report.first_failure_task = failure;
+  }
+  return report;
+}
+
+TablePrinter SweepReport::TelemetryTable() const {
+  TablePrinter table({"point", "trial", "worker", "executed", "wall (ms)"});
+  for (const TaskStat& t : tasks) {
+    table.AddRow({std::to_string(t.point), std::to_string(t.trial),
+                  std::to_string(t.worker), t.executed ? "1" : "0",
+                  TablePrinter::Num(t.wall_s * 1e3, 3)});
+  }
+  return table;
+}
+
+std::string SweepReport::SummaryJson(const std::string& name) const {
+  double task_wall_total = 0.0;
+  double task_wall_max = 0.0;
+  for (const TaskStat& t : tasks) {
+    task_wall_total += t.wall_s;
+    if (t.wall_s > task_wall_max) task_wall_max = t.wall_s;
+  }
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"sweep\": \"" << name << "\""
+      << ", \"threads\": " << run.threads
+      << ", \"tasks_total\": " << run.tasks_total
+      << ", \"tasks_executed\": " << run.tasks_executed
+      << ", \"tasks_skipped\": " << run.tasks_skipped
+      << ", \"steals\": " << run.steals
+      << ", \"stolen_tasks\": " << run.stolen_tasks
+      << ", \"cancelled\": " << (cancelled ? "true" : "false")
+      << ", \"wall_s\": " << run.wall_s
+      << ", \"task_wall_total_s\": " << task_wall_total
+      << ", \"task_wall_max_s\": " << task_wall_max
+      << ", \"parallel_efficiency\": "
+      << (run.wall_s > 0.0 && run.threads > 0
+              ? task_wall_total /
+                    (run.wall_s * static_cast<double>(run.threads))
+              : 0.0)
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace freerider::runtime

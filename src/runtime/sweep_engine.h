@@ -1,0 +1,72 @@
+// Batched sweep engine: point×trial task graphs over the work-stealing
+// executor, with first-failure cancellation and per-task telemetry.
+//
+// The engine is the bridge between the evaluation drivers (distance
+// sweeps, range search, soak campaigns) and runtime::Executor. A sweep
+// is a grid of `points × trials` independent tasks; the body receives
+// (point, trial), owns its randomness (Rng::ForTrial or a pre-drawn
+// per-task seed) and writes its result into an index-addressed slot.
+// Determinism contract: the engine never aggregates across tasks —
+// callers reduce the slots afterwards in index order (runtime/
+// reduce.h), so results are bit-identical for any --threads value.
+//
+// Telemetry (per-task wall clock, worker id, steal counts) is kept
+// strictly out of the result path: export it via TelemetryTable() /
+// SummaryJson() into separate TIMING_*.json artifacts, never into the
+// byte-diffed BENCH_*.json files.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "runtime/executor.h"
+
+namespace freerider::runtime {
+
+struct SweepGrid {
+  std::size_t points = 0;
+  std::size_t trials = 1;
+  std::size_t tasks() const { return points * trials; }
+};
+
+/// Where and how long one (point, trial) task ran.
+struct TaskStat {
+  std::size_t point = 0;
+  std::size_t trial = 0;
+  int worker = 0;
+  bool executed = false;  ///< False when drained by cancellation.
+  double wall_s = 0.0;
+};
+
+struct SweepReport {
+  RunTelemetry run;
+  std::vector<TaskStat> tasks;  ///< Grid index order (point-major).
+  bool cancelled = false;       ///< A body returned false.
+  std::size_t first_failure_task = 0;  ///< Grid index; valid if cancelled.
+
+  /// Per-task telemetry rows: point, trial, worker, wall_ms.
+  TablePrinter TelemetryTable() const;
+  /// One-object JSON summary (threads, wall_s, steals, task stats).
+  /// `name` keys the record, matching TablePrinter::ToJson's framing.
+  std::string SummaryJson(const std::string& name) const;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(Executor& executor) : executor_(executor) {}
+
+  /// Run body(point, trial) over the full grid. The body returns true
+  /// on success; returning false cancels every not-yet-started task
+  /// (first-failure abort) — in-flight tasks still finish. Grid index
+  /// i maps to point i / trials, trial i % trials.
+  SweepReport Run(const SweepGrid& grid,
+                  const std::function<bool(std::size_t, std::size_t)>& body);
+
+ private:
+  Executor& executor_;
+};
+
+}  // namespace freerider::runtime

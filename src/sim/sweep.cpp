@@ -3,8 +3,7 @@
 #include <cmath>
 
 #include "core/redundancy.h"
-#include <cstdio>
-#include <sstream>
+#include "runtime/executor.h"
 
 namespace freerider::sim {
 
@@ -12,166 +11,90 @@ std::vector<DistancePoint> DistanceSweep(core::RadioType radio,
                                          const channel::Deployment& deployment,
                                          const std::vector<double>& distances,
                                          std::size_t packets,
-                                         std::uint64_t seed) {
-  std::vector<DistancePoint> points;
-  points.reserve(distances.size());
-  Rng rng(seed);
-  for (double d : distances) {
-    LinkConfig config;
-    config.radio = radio;
-    config.deployment = deployment;
-    config.tag_to_rx_m = d;
-    config.num_packets = packets;
-    config.profile = DefaultProfile(radio);
-    Rng point_rng = rng.Split();
-    points.push_back({d, SimulateTagLinkAdaptive(config, point_rng)});
-  }
+                                         std::uint64_t seed,
+                                         runtime::SweepReport* report) {
+  std::vector<DistancePoint> points(distances.size());
+  // Per-point seeds drawn serially in point order: the exact values the
+  // historical `Rng point_rng = rng.Split()` loop handed each point, so
+  // the parallel sweep reproduces the serial results bit for bit.
+  Rng master(seed);
+  std::vector<std::uint64_t> point_seeds(distances.size());
+  for (auto& s : point_seeds) s = master.NextU64();
+
+  runtime::SweepEngine engine(runtime::DefaultExecutor());
+  runtime::SweepReport local_report = engine.Run(
+      {distances.size(), 1}, [&](std::size_t p, std::size_t) {
+        LinkConfig config;
+        config.radio = radio;
+        config.deployment = deployment;
+        config.tag_to_rx_m = distances[p];
+        config.num_packets = packets;
+        config.profile = DefaultProfile(radio);
+        Rng point_rng(point_seeds[p]);
+        points[p] = {distances[p], SimulateTagLinkAdaptive(config, point_rng)};
+        return true;
+      });
+  if (report != nullptr) *report = std::move(local_report);
   return points;
 }
 
 std::vector<RangePoint> RangeSweep(core::RadioType radio,
                                    const std::vector<double>& tx_tag_distances,
                                    double max_search_m, std::size_t packets,
-                                   std::uint64_t seed, double prr_floor) {
-  std::vector<RangePoint> points;
-  Rng rng(seed);
-  for (double d1 : tx_tag_distances) {
-    auto sustained = [&](double d2) {
-      LinkConfig config;
-      config.radio = radio;
-      config.deployment = channel::LosDeployment(d1);
-      config.tag_to_rx_m = d2;
-      config.num_packets = packets;
-      config.profile = DefaultProfile(radio);
-      // The range limit is header detection, not tag BER: use the
-      // largest redundancy.
-      config.redundancy = core::RedundancyLadder(radio).back();
-      Rng trial_rng = rng.Split();
-      const LinkStats stats = SimulateTagLink(config, trial_rng);
-      return stats.packet_reception_rate >= prr_floor;
-    };
-    // Exponential bracket then bisection on the sustained range.
-    double lo = 0.5;
-    if (!sustained(lo)) {
-      points.push_back({d1, 0.0});
-      continue;
-    }
-    double hi = 1.0;
-    while (hi < max_search_m && sustained(hi)) hi *= 1.6;
-    hi = std::min(hi, max_search_m);
-    for (int iter = 0; iter < 7 && hi - lo > 0.25; ++iter) {
-      const double mid = 0.5 * (lo + hi);
-      if (sustained(mid)) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    points.push_back({d1, lo});
-  }
-  return points;
-}
+                                   std::uint64_t seed, double prr_floor,
+                                   runtime::SweepReport* report) {
+  std::vector<RangePoint> points(tx_tag_distances.size());
+  // One child stream per TX→tag point. The serial code drew probe
+  // streams from the shared master as the bisection went, which ties
+  // each probe's seed to how many probes *earlier points* consumed —
+  // unparallelizable by construction. Point-owned streams decouple the
+  // points (bit-identical across thread counts; a one-time documented
+  // drift from the pre-runtime serial outputs).
+  Rng master(seed);
+  std::vector<std::uint64_t> point_seeds(tx_tag_distances.size());
+  for (auto& s : point_seeds) s = master.NextU64();
 
-TablePrinter::TablePrinter(std::vector<std::string> headers)
-    : headers_(std::move(headers)) {}
-
-void TablePrinter::AddRow(const std::vector<std::string>& cells) {
-  rows_.push_back(cells);
-}
-
-std::string TablePrinter::Num(double value, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
-  return buf;
-}
-
-std::string TablePrinter::Sci(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.1e", value);
-  return buf;
-}
-
-std::string TablePrinter::ToString() const {
-  std::vector<std::size_t> widths(headers_.size(), 0);
-  for (std::size_t c = 0; c < headers_.size(); ++c) {
-    widths[c] = headers_[c].size();
-  }
-  for (const auto& row : rows_) {
-    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
-      widths[c] = std::max(widths[c], row[c].size());
-    }
-  }
-  std::ostringstream out;
-  auto emit_row = [&](const std::vector<std::string>& cells) {
-    for (std::size_t c = 0; c < widths.size(); ++c) {
-      const std::string& cell = c < cells.size() ? cells[c] : std::string();
-      out << "  " << cell << std::string(widths[c] - cell.size(), ' ');
-    }
-    out << '\n';
-  };
-  emit_row(headers_);
-  std::size_t total = 2;
-  for (std::size_t w : widths) total += w + 2;
-  out << std::string(total, '-') << '\n';
-  for (const auto& row : rows_) emit_row(row);
-  return out.str();
-}
-
-std::string TablePrinter::ToCsv() const {
-  std::ostringstream out;
-  auto emit = [&](const std::vector<std::string>& cells) {
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      if (c > 0) out << ',';
-      // Quote cells containing commas or quotes; double inner quotes.
-      const std::string& cell = cells[c];
-      if (cell.find_first_of(",\"") != std::string::npos) {
-        out << '"';
-        for (char ch : cell) {
-          if (ch == '"') out << '"';
-          out << ch;
+  runtime::SweepEngine engine(runtime::DefaultExecutor());
+  runtime::SweepReport local_report = engine.Run(
+      {tx_tag_distances.size(), 1}, [&](std::size_t p, std::size_t) {
+        const double d1 = tx_tag_distances[p];
+        Rng point_rng(point_seeds[p]);
+        auto sustained = [&](double d2) {
+          LinkConfig config;
+          config.radio = radio;
+          config.deployment = channel::LosDeployment(d1);
+          config.tag_to_rx_m = d2;
+          config.num_packets = packets;
+          config.profile = DefaultProfile(radio);
+          // The range limit is header detection, not tag BER: use the
+          // largest redundancy.
+          config.redundancy = core::RedundancyLadder(radio).back();
+          Rng trial_rng = point_rng.Split();
+          const LinkStats stats = SimulateTagLink(config, trial_rng);
+          return stats.packet_reception_rate >= prr_floor;
+        };
+        // Exponential bracket then bisection on the sustained range.
+        double lo = 0.5;
+        if (!sustained(lo)) {
+          points[p] = {d1, 0.0};
+          return true;
         }
-        out << '"';
-      } else {
-        out << cell;
-      }
-    }
-    out << '\n';
-  };
-  emit(headers_);
-  for (const auto& row : rows_) emit(row);
-  return out.str();
-}
-
-std::string TablePrinter::ToJson(const std::string& name) const {
-  std::ostringstream out;
-  auto quote = [&](const std::string& cell) {
-    out << '"';
-    for (char ch : cell) {
-      if (ch == '"' || ch == '\\') out << '\\';
-      out << ch;
-    }
-    out << '"';
-  };
-  auto emit = [&](const std::vector<std::string>& cells) {
-    out << '[';
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      if (c > 0) out << ',';
-      quote(cells[c]);
-    }
-    out << ']';
-  };
-  out << "{\"table\": ";
-  quote(name);
-  out << ", \"headers\": ";
-  emit(headers_);
-  out << ", \"rows\": [";
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    if (r > 0) out << ',';
-    out << "\n  ";
-    emit(rows_[r]);
-  }
-  out << "\n]}\n";
-  return out.str();
+        double hi = 1.0;
+        while (hi < max_search_m && sustained(hi)) hi *= 1.6;
+        hi = std::min(hi, max_search_m);
+        for (int iter = 0; iter < 7 && hi - lo > 0.25; ++iter) {
+          const double mid = 0.5 * (lo + hi);
+          if (sustained(mid)) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+        points[p] = {d1, lo};
+        return true;
+      });
+  if (report != nullptr) *report = std::move(local_report);
+  return points;
 }
 
 }  // namespace freerider::sim

@@ -1,14 +1,27 @@
 // Experiment sweeps for the evaluation figures: distance sweeps
-// (Figs. 10-13), the 2-D operational-regime sweep (Fig. 14), and small
-// table-printing helpers shared by the benches.
+// (Figs. 10-13) and the 2-D operational-regime sweep (Fig. 14).
+//
+// Since PR 3 every sweep executes its points as a task graph on the
+// parallel runtime (runtime::SweepEngine over the process-wide
+// work-stealing executor). Determinism: per-point seeds are drawn from
+// the master stream *serially, up front, in point order* — exactly the
+// values the historical serial loop's rng.Split() produced — and each
+// point owns its Rng from that seed, so the results are bit-identical
+// to the pre-runtime serial path at every --threads value.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/table.h"
+#include "runtime/sweep_engine.h"
 #include "sim/link.h"
 
 namespace freerider::sim {
+
+/// Table rendering moved to common/table.h so the runtime layer can
+/// emit telemetry tables; this alias keeps every existing call site.
+using TablePrinter = freerider::TablePrinter;
 
 struct DistancePoint {
   double tag_to_rx_m = 0.0;
@@ -16,12 +29,15 @@ struct DistancePoint {
 };
 
 /// Sweep the tag→receiver distance with adaptive redundancy (rate
-/// adaptation on), `packets` excitation frames per point.
+/// adaptation on), `packets` excitation frames per point. Points run
+/// in parallel on the default executor; `report` (optional) receives
+/// the run's scheduling telemetry.
 std::vector<DistancePoint> DistanceSweep(core::RadioType radio,
                                          const channel::Deployment& deployment,
                                          const std::vector<double>& distances,
                                          std::size_t packets,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed,
+                                         runtime::SweepReport* report = nullptr);
 
 struct RangePoint {
   double tx_to_tag_m = 0.0;
@@ -30,35 +46,15 @@ struct RangePoint {
 
 /// Fig. 14: for each TX→tag distance, the largest tag→RX distance at
 /// which the link sustains (packet reception rate >= `prr_floor`).
+/// Each TX→tag point (an inherently sequential bracket+bisection) is
+/// one parallel task owning a per-point child stream; probe streams
+/// derive from that child, not from the shared master (the one
+/// documented rng-ownership change of the runtime port — see
+/// DESIGN.md §7 for the expected drift).
 std::vector<RangePoint> RangeSweep(core::RadioType radio,
                                    const std::vector<double>& tx_tag_distances,
                                    double max_search_m, std::size_t packets,
-                                   std::uint64_t seed, double prr_floor = 0.5);
-
-/// Render a fixed-width table (benches print the paper's rows/series).
-class TablePrinter {
- public:
-  explicit TablePrinter(std::vector<std::string> headers);
-
-  void AddRow(const std::vector<std::string>& cells);
-  /// Format helper: fixed precision double.
-  static std::string Num(double value, int precision = 2);
-  /// Scientific notation (for BER columns).
-  static std::string Sci(double value);
-
-  std::string ToString() const;
-
-  /// Machine-readable CSV (quoted cells, header row first).
-  std::string ToCsv() const;
-
-  /// Machine-readable JSON: {"table": name, "headers": [...],
-  /// "rows": [[...], ...]}. CI jobs collect these as BENCH_*.json
-  /// artifacts, so the format is stable.
-  std::string ToJson(const std::string& name) const;
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
+                                   std::uint64_t seed, double prr_floor = 0.5,
+                                   runtime::SweepReport* report = nullptr);
 
 }  // namespace freerider::sim

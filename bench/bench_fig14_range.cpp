@@ -18,6 +18,8 @@ using namespace freerider;
 
 int main(int argc, char** argv) {
   runtime::InitThreadsFromArgs(argc, argv);
+  const runtime::RobustSweepOptions robust =
+      runtime::RobustOptionsFromArgs(argc, argv);
   const std::string out_dir = bench::OutDirFromArgs(argc, argv);
 
   const std::vector<double> tx_tag = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
@@ -40,13 +42,21 @@ int main(int argc, char** argv) {
                            "ZigBee max RX (m)", "Bluetooth max RX (m)"});
   std::vector<std::vector<sim::RangePoint>> results;
   std::string timing;
+  bool cancelled = false;
   for (const RadioRow& r : radios) {
-    runtime::SweepReport report;
-    results.push_back(sim::RangeSweep(r.radio, tx_tag, r.max_search,
-                                      /*packets=*/10,
-                                      /*seed=*/141, /*prr_floor=*/0.5,
-                                      &report));
-    timing += report.SummaryJson(std::string("fig14_range_") + r.slug);
+    // One checkpoint file per radio: each sweep is its own campaign.
+    runtime::RobustSweepOptions radio_robust = robust;
+    if (!radio_robust.checkpoint_path.empty()) {
+      radio_robust.checkpoint_path += std::string(".") + r.slug;
+    }
+    const std::string slug = std::string("fig14_range_") + r.slug;
+    runtime::RobustSweepReport report;
+    results.push_back(sim::RangeSweepRobust(r.radio, tx_tag, r.max_search,
+                                            /*packets=*/10,
+                                            /*seed=*/141, /*prr_floor=*/0.5,
+                                            slug, radio_robust, &report));
+    cancelled = cancelled || report.cancelled;
+    timing += report.SummaryJson(slug);
   }
   for (std::size_t i = 0; i < tx_tag.size(); ++i) {
     table.AddRow({sim::TablePrinter::Num(tx_tag[i], 1),
@@ -65,5 +75,5 @@ int main(int argc, char** argv) {
                        table.ToJson("fig14_range"));
   bench::WriteTextFile(out_dir + "/TIMING_fig14_range.json", timing);
   std::fprintf(stderr, "[runtime] %s", timing.c_str());
-  return 0;
+  return cancelled ? 1 : 0;
 }

@@ -15,12 +15,50 @@
 #include "common/stats.h"
 #include "distance_figure.h"
 #include "mac/slotted_aloha.h"
+#include "runtime/checkpoint.h"
 #include "sim/sweep.h"
 
 using namespace freerider;
 
+namespace {
+
+std::string SerializeCampaignStats(const mac::CampaignStats& s) {
+  runtime::PayloadWriter w;
+  w.F64(s.aggregate_throughput_bps);
+  w.F64(s.jain_fairness);
+  w.U64(s.per_tag_throughput_bps.size());
+  for (double v : s.per_tag_throughput_bps) w.F64(v);
+  w.F64(s.mean_slots);
+  w.F64(s.total_time_s);
+  return w.Take();
+}
+
+bool DeserializeCampaignStats(const std::string& payload,
+                              mac::CampaignStats* stats) {
+  runtime::PayloadReader r(payload);
+  mac::CampaignStats s;
+  std::uint64_t tags = 0;
+  if (!r.F64(&s.aggregate_throughput_bps) || !r.F64(&s.jain_fairness) ||
+      !r.U64(&tags) || tags > (1u << 16)) {
+    return false;
+  }
+  s.per_tag_throughput_bps.resize(tags);
+  for (double& v : s.per_tag_throughput_bps) {
+    if (!r.F64(&v)) return false;
+  }
+  if (!r.F64(&s.mean_slots) || !r.F64(&s.total_time_s) || !r.AtEnd()) {
+    return false;
+  }
+  *stats = std::move(s);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   runtime::InitThreadsFromArgs(argc, argv);
+  const runtime::RobustSweepOptions robust =
+      runtime::RobustOptionsFromArgs(argc, argv);
   const std::string out_dir = bench::OutDirFromArgs(argc, argv);
 
   Rng rng(17);
@@ -34,19 +72,35 @@ int main(int argc, char** argv) {
               config.timing.slot_payload_bits,
               config.timing.ControlDurationS() * 1e3);
 
-  runtime::SweepEngine engine(runtime::DefaultExecutor());
+  // The two grids are separate campaigns sharing the flag set: each
+  // gets its own checkpoint file.
+  runtime::RobustSweepOptions robust_a = robust;
+  runtime::RobustSweepOptions robust_b = robust;
+  if (!robust.checkpoint_path.empty()) {
+    robust_a.checkpoint_path += ".a";
+    robust_b.checkpoint_path += ".b";
+  }
+  robust_a.campaign = runtime::CampaignId("fig17a_throughput", 17);
+  robust_b.campaign = runtime::CampaignId("fig17b_fairness", 17);
 
   const std::size_t tag_counts_a[] = {4, 8, 12, 16, 20, 40, 80, 160};
   const std::size_t points_a = std::size(tag_counts_a);
   std::vector<std::uint64_t> seeds_a(points_a);
   for (auto& s : seeds_a) s = rng.NextU64();
   std::vector<mac::CampaignStats> stats_a(points_a);
-  const runtime::SweepReport report_a =
-      engine.Run({points_a, 1}, [&](std::size_t p, std::size_t) {
+  runtime::RecoveryRunner runner_a(runtime::DefaultExecutor(), robust_a);
+  const runtime::RobustSweepReport report_a = runner_a.Run(
+      {points_a, 1},
+      [&](std::size_t p, std::size_t) {
         mac::FramedSlottedAlohaSimulator sim(config);
         Rng campaign_rng(seeds_a[p]);
         stats_a[p] = sim.RunCampaign(tag_counts_a[p], rounds, campaign_rng);
-        return true;
+        runtime::RobustTaskResult out;
+        out.payload = SerializeCampaignStats(stats_a[p]);
+        return out;
+      },
+      [&](std::size_t p, std::size_t, const std::string& payload) {
+        return DeserializeCampaignStats(payload, &stats_a[p]);
       });
 
   sim::TablePrinter table({"tags", "measured (kbps)", "simulated (kbps)",
@@ -75,12 +129,25 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> seeds_b(points_b * reps);
   for (auto& s : seeds_b) s = rng.NextU64();
   std::vector<double> fairness_samples(points_b * reps);
-  const runtime::SweepReport report_b =
-      engine.Run({points_b, reps}, [&](std::size_t p, std::size_t rep) {
+  runtime::RecoveryRunner runner_b(runtime::DefaultExecutor(), robust_b);
+  const runtime::RobustSweepReport report_b = runner_b.Run(
+      {points_b, reps},
+      [&](std::size_t p, std::size_t rep) {
         mac::FramedSlottedAlohaSimulator sim(config);
         Rng campaign_rng(seeds_b[p * reps + rep]);
         fairness_samples[p * reps + rep] =
             sim.RunCampaign(tag_counts_b[p], 15, campaign_rng).jain_fairness;
+        runtime::PayloadWriter w;
+        w.F64(fairness_samples[p * reps + rep]);
+        runtime::RobustTaskResult out;
+        out.payload = w.Take();
+        return out;
+      },
+      [&](std::size_t p, std::size_t rep, const std::string& payload) {
+        runtime::PayloadReader r(payload);
+        double v = 0.0;
+        if (!r.F64(&v) || !r.AtEnd()) return false;
+        fairness_samples[p * reps + rep] = v;
         return true;
       });
 
@@ -111,5 +178,5 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[runtime] %s%s",
                report_a.SummaryJson("fig17a_throughput").c_str(),
                report_b.SummaryJson("fig17b_fairness").c_str());
-  return 0;
+  return (report_a.cancelled || report_b.cancelled) ? 1 : 0;
 }

@@ -20,11 +20,14 @@
 // collection.
 //
 //   bench_soak_arq [--rounds N] [--out-dir DIR] [--threads N]
+//                  [--checkpoint PATH] [--resume [PATH]] [--watchdog-s X]
 //
 // Default 2000 chaos rounds (+drain); CI's sanitizer job uses fewer.
 // The three acceptance seeds (and their legacy comparison runs) execute
 // as a seed×{soak,legacy} task grid on the runtime executor; every
-// table and digest is byte-identical at every --threads value.
+// table and digest is byte-identical at every --threads value — also
+// across a SIGKILL + --resume cycle (each soak is a pure function of
+// its config, and checkpoint payloads round-trip bit-exactly).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,8 +35,9 @@
 #include <string>
 #include <vector>
 
+#include "runtime/checkpoint.h"
 #include "runtime/executor.h"
-#include "runtime/sweep_engine.h"
+#include "runtime/recovery.h"
 #include "sim/multitag.h"
 #include "sim/soak.h"
 #include "sim/sweep.h"
@@ -135,6 +139,8 @@ bool WriteFile(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   freerider::runtime::InitThreadsFromArgs(argc, argv);
+  runtime::RobustSweepOptions robust =
+      runtime::RobustOptionsFromArgs(argc, argv);
   std::size_t rounds = 2000;
   std::string out_dir = ".";
   for (int i = 1; i < argc; ++i) {
@@ -145,7 +151,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_soak_arq [--rounds N] [--out-dir DIR]"
-                   " [--threads N]\n");
+                   " [--threads N] [--checkpoint PATH] [--resume [PATH]]"
+                   " [--watchdog-s X]\n");
       return 2;
     }
   }
@@ -183,17 +190,37 @@ int main(int argc, char** argv) {
 
   // seed×{soak, legacy} grid: trial 0 runs the ARQ soak, trial 1 the
   // fire-and-forget comparison under the identical schedule. Both are
-  // pure functions of the config, so any interleaving is safe.
+  // pure functions of the config, so any interleaving is safe — and
+  // both checkpoint/restore bit-exactly (SerializeSoakResult carries
+  // the full stats + digest; a legacy outcome is two counters).
   std::vector<sim::SoakResult> results(num_seeds);
   std::vector<LegacyOutcome> legacy_outcomes(num_seeds);
-  runtime::SweepEngine engine(runtime::DefaultExecutor());
-  const runtime::SweepReport report =
-      engine.Run({num_seeds, 2}, [&](std::size_t p, std::size_t t) {
+  robust.campaign = runtime::CampaignId("soak_arq", rounds);
+  runtime::RecoveryRunner runner(runtime::DefaultExecutor(), robust);
+  const runtime::RobustSweepReport report = runner.Run(
+      {num_seeds, 2},
+      [&](std::size_t p, std::size_t t) {
+        runtime::RobustTaskResult out;
         if (t == 0) {
           results[p] = sim::RunSoak(soaks[p]);
+          out.payload = sim::SerializeSoakResult(results[p]);
         } else {
           legacy_outcomes[p] = RunLegacy(soaks[p]);
+          runtime::PayloadWriter w;
+          w.U64(legacy_outcomes[p].fired);
+          w.U64(legacy_outcomes[p].received);
+          out.payload = w.Take();
         }
+        return out;
+      },
+      [&](std::size_t p, std::size_t t, const std::string& payload) {
+        if (t == 0) return sim::DeserializeSoakResult(payload, &results[p]);
+        runtime::PayloadReader r(payload);
+        std::uint64_t fired = 0;
+        std::uint64_t received = 0;
+        if (!r.U64(&fired) || !r.U64(&received) || !r.AtEnd()) return false;
+        legacy_outcomes[p].fired = static_cast<std::size_t>(fired);
+        legacy_outcomes[p].received = static_cast<std::size_t>(received);
         return true;
       });
 

@@ -7,6 +7,11 @@
 // stdout and BENCH_<slug>.json are byte-identical at every thread
 // count — scheduling telemetry goes to stderr and TIMING_<slug>.json
 // only, so CI can diff the result artifacts across --threads runs.
+//
+// Preemption safety (PR 4): --checkpoint PATH snapshots completed
+// points; --resume [PATH] restores them and recomputes only the rest,
+// with byte-identical stdout/BENCH output (restore notices go to
+// stderr). --watchdog-s X flags hung points.
 #pragma once
 
 #include <cstdio>
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "runtime/executor.h"
+#include "runtime/recovery.h"
 #include "sim/sweep.h"
 
 namespace freerider::bench {
@@ -57,6 +63,8 @@ inline int RunDistanceFigure(int argc, char** argv, const std::string& title,
                              std::size_t packets, std::uint64_t seed,
                              const std::string& paper_summary) {
   runtime::InitThreadsFromArgs(argc, argv);
+  const runtime::RobustSweepOptions robust =
+      runtime::RobustOptionsFromArgs(argc, argv);
   const std::string out_dir = OutDirFromArgs(argc, argv);
 
   std::printf("=== %s ===\n", title.c_str());
@@ -64,9 +72,9 @@ inline int RunDistanceFigure(int argc, char** argv, const std::string& title,
               "rate adaptation on\n\n",
               deployment.tx_to_tag_m, packets);
 
-  runtime::SweepReport report;
-  const auto points =
-      sim::DistanceSweep(radio, deployment, distances, packets, seed, &report);
+  runtime::RobustSweepReport report;
+  const auto points = sim::DistanceSweepRobust(
+      radio, deployment, distances, packets, seed, slug, robust, &report);
 
   sim::TablePrinter table({"distance (m)", "throughput (kbps)", "BER", "RSSI (dBm)",
                            "PRR", "N (redundancy)"});
@@ -88,7 +96,7 @@ inline int RunDistanceFigure(int argc, char** argv, const std::string& title,
                 report.SummaryJson(slug) +
                     report.TelemetryTable().ToJson(slug + "_tasks"));
   std::fprintf(stderr, "[runtime] %s", report.SummaryJson(slug).c_str());
-  return 0;
+  return report.cancelled ? 1 : 0;
 }
 
 }  // namespace freerider::bench

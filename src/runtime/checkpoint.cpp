@@ -1,0 +1,302 @@
+#include "runtime/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/crc.h"
+
+namespace freerider::runtime {
+
+namespace {
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t GetU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t FrameCrc(std::string_view payload) {
+  return Crc32({reinterpret_cast<const std::uint8_t*>(payload.data()),
+                payload.size()});
+}
+
+void AppendFrame(std::string& out, std::string_view payload) {
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  PutU32(out, FrameCrc(payload));
+}
+
+/// Pull the next CRC-validated frame payload off `bytes` at `pos`.
+/// Returns false on truncation, oversize length, or CRC mismatch —
+/// the caller stops there and salvages the prefix.
+bool NextFrame(std::string_view bytes, std::size_t* pos,
+               std::string_view* payload) {
+  if (bytes.size() - *pos < 8) return false;
+  const std::uint32_t len = GetU32(bytes.data() + *pos);
+  if (len > kMaxFramePayload) return false;
+  if (bytes.size() - *pos - 8 < len) return false;
+  const std::string_view body = bytes.substr(*pos + 4, len);
+  const std::uint32_t crc = GetU32(bytes.data() + *pos + 4 + len);
+  if (crc != FrameCrc(body)) return false;
+  *pos += 8 + static_cast<std::size_t>(len);
+  *payload = body;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t CampaignId(std::string_view name, std::uint64_t seed) {
+  // FNV-1a over the name, avalanched together with the seed via the
+  // same SplitMix64 finalizer the Rng uses (re-implemented here so the
+  // runtime layer does not pull in common/rng.h).
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  return mix(h ^ mix(seed + 0x9E3779B97F4A7C15ull));
+}
+
+std::string EncodeCheckpoint(const CheckpointHeader& header,
+                             const std::vector<TaskRecord>& records) {
+  std::string out;
+  std::string payload;
+  PutU32(payload, kCheckpointMagic);
+  PutU32(payload, header.version);
+  PutU64(payload, header.campaign);
+  PutU64(payload, header.points);
+  PutU64(payload, header.trials);
+  AppendFrame(out, payload);
+  for (const TaskRecord& r : records) {
+    payload.clear();
+    PutU64(payload, r.index);
+    payload += static_cast<char>(r.state);
+    payload += r.payload;
+    AppendFrame(out, payload);
+  }
+  return out;
+}
+
+CheckpointDecodeResult DecodeCheckpoint(std::string_view bytes) {
+  CheckpointDecodeResult result;
+  std::size_t pos = 0;
+  std::string_view payload;
+  if (!NextFrame(bytes, &pos, &payload)) {
+    result.error = "missing or corrupt header frame";
+    result.dropped_bytes = bytes.size();
+    return result;
+  }
+  if (payload.size() != 32 || GetU32(payload.data()) != kCheckpointMagic) {
+    result.error = "not a checkpoint (bad magic)";
+    result.dropped_bytes = bytes.size();
+    return result;
+  }
+  result.header.version = GetU32(payload.data() + 4);
+  result.header.campaign = GetU64(payload.data() + 8);
+  result.header.points = GetU64(payload.data() + 16);
+  result.header.trials = GetU64(payload.data() + 24);
+  if (result.header.version != kCheckpointVersion) {
+    result.error = "unsupported checkpoint version";
+    result.dropped_bytes = bytes.size();
+    return result;
+  }
+  // Grid bounds: keep points*trials well inside u64 so the index
+  // range check below cannot be defeated by overflow.
+  if (result.header.points > (1ull << 24) ||
+      result.header.trials > (1ull << 24)) {
+    result.error = "implausible grid shape";
+    result.dropped_bytes = bytes.size();
+    return result;
+  }
+  result.ok = true;
+  const std::uint64_t grid_tasks = result.header.points * result.header.trials;
+
+  std::unordered_set<std::uint64_t> seen;
+  while (pos < bytes.size()) {
+    const std::size_t frame_start = pos;
+    if (!NextFrame(bytes, &pos, &payload)) {
+      result.salvaged = true;
+      result.dropped_bytes = bytes.size() - frame_start;
+      return result;
+    }
+    // Semantic validation: a CRC-valid frame whose fields are
+    // impossible for this grid is still corrupt — stop the salvage
+    // there rather than guess.
+    if (payload.size() < 9) {
+      result.salvaged = true;
+      result.dropped_bytes = bytes.size() - frame_start;
+      return result;
+    }
+    TaskRecord record;
+    record.index = GetU64(payload.data());
+    const auto state = static_cast<std::uint8_t>(payload[8]);
+    if (record.index >= grid_tasks ||
+        (state != static_cast<std::uint8_t>(TaskState::kDone) &&
+         state != static_cast<std::uint8_t>(TaskState::kQuarantined))) {
+      result.salvaged = true;
+      result.dropped_bytes = bytes.size() - frame_start;
+      return result;
+    }
+    record.state = static_cast<TaskState>(state);
+    if (!seen.insert(record.index).second) {
+      ++result.duplicates;  // first occurrence wins
+      continue;
+    }
+    record.payload.assign(payload.data() + 9, payload.size() - 9);
+    result.records.push_back(std::move(record));
+    ++result.frames_kept;
+  }
+  return result;
+}
+
+bool WriteFileAtomic(const std::string& path, std::string_view bytes,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + " " + tmp + ": " + std::strerror(errno);
+    }
+    return false;
+  };
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return fail("write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail("fsync");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("close");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("rename");
+  }
+  return true;
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+// -------------------------------------------------- payload helpers
+
+void PayloadWriter::U64(std::uint64_t v) {
+  out_ += std::to_string(v);
+  out_ += ' ';
+}
+
+void PayloadWriter::F64(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a ", v);
+  out_ += buf;
+}
+
+void PayloadWriter::Str(std::string_view s) {
+  out_ += std::to_string(s.size());
+  out_ += ':';
+  out_.append(s.data(), s.size());
+  out_ += ' ';
+}
+
+bool PayloadReader::U64(std::uint64_t* v) {
+  const std::size_t space = data_.find(' ', pos_);
+  if (space == std::string_view::npos || space == pos_) return false;
+  const std::string token(data_.substr(pos_, space - pos_));
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *v = parsed;
+  pos_ = space + 1;
+  return true;
+}
+
+bool PayloadReader::Size(std::size_t* v) {
+  std::uint64_t u = 0;
+  if (!U64(&u)) return false;
+  *v = static_cast<std::size_t>(u);
+  return true;
+}
+
+bool PayloadReader::F64(double* v) {
+  const std::size_t space = data_.find(' ', pos_);
+  if (space == std::string_view::npos || space == pos_) return false;
+  const std::string token(data_.substr(pos_, space - pos_));
+  char* end = nullptr;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  *v = parsed;
+  pos_ = space + 1;
+  return true;
+}
+
+bool PayloadReader::Str(std::string* s) {
+  const std::size_t colon = data_.find(':', pos_);
+  if (colon == std::string_view::npos || colon == pos_) return false;
+  const std::string len_token(data_.substr(pos_, colon - pos_));
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long len = std::strtoull(len_token.c_str(), &end, 10);
+  if (errno != 0 || end != len_token.c_str() + len_token.size()) return false;
+  if (data_.size() - colon - 1 < len + 1) return false;
+  s->assign(data_.data() + colon + 1, len);
+  if (data_[colon + 1 + len] != ' ') return false;
+  pos_ = colon + 1 + static_cast<std::size_t>(len) + 1;
+  return true;
+}
+
+}  // namespace freerider::runtime

@@ -1,0 +1,440 @@
+#include "runtime/recovery.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "runtime/checkpoint.h"
+
+namespace freerider::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+const char* StateName(RobustTaskState state) {
+  switch (state) {
+    case RobustTaskState::kOk: return "ok";
+    case RobustTaskState::kRestored: return "restored";
+    case RobustTaskState::kQuarantined: return "quarantined";
+    case RobustTaskState::kDrained: return "drained";
+  }
+  return "?";
+}
+
+/// What the watchdog samples: which grid index each worker is running
+/// and since when. `task_plus_one == 0` means idle.
+struct WorkerSlot {
+  std::atomic<std::uint64_t> task_plus_one{0};
+  std::atomic<std::int64_t> start_ns{0};
+  std::uint64_t last_flagged = 0;  ///< task_plus_one already warned about.
+};
+
+}  // namespace
+
+RobustSweepOptions RobustOptionsFromArgs(int& argc, char** argv) {
+  RobustSweepOptions options;
+  if (const char* env = std::getenv("FREERIDER_WATCHDOG_S")) {
+    options.watchdog_warn_s = std::strtod(env, nullptr);
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      options.checkpoint_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      options.checkpoint_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      options.checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
+      options.checkpoint_every = std::strtoull(argv[i] + 19, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      options.resume = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        options.checkpoint_path = argv[++i];
+      }
+    } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      options.resume = true;
+      options.checkpoint_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--watchdog-s") == 0 && i + 1 < argc) {
+      options.watchdog_warn_s = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(argv[i], "--watchdog-s=", 13) == 0) {
+      options.watchdog_warn_s = std::strtod(argv[i] + 13, nullptr);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return options;
+}
+
+RecoveryRunner::RecoveryRunner(Executor& executor, RobustSweepOptions options)
+    : executor_(executor), options_(std::move(options)) {
+  if (const char* env = std::getenv("FREERIDER_CRASH_AFTER_N_TASKS")) {
+    crash_after_tasks_ = std::strtoull(env, nullptr, 10);
+  }
+}
+
+RobustSweepReport RecoveryRunner::Run(
+    const SweepGrid& grid,
+    const std::function<RobustTaskResult(std::size_t, std::size_t)>& body,
+    const std::function<bool(std::size_t, std::size_t, const std::string&)>&
+        restore) {
+  RobustSweepReport report;
+  const std::size_t n = grid.tasks();
+  report.tasks_total = n;
+  report.tasks.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.tasks[i].point = i / grid.trials;
+    report.tasks[i].trial = i % grid.trials;
+  }
+  if (n == 0) return report;
+
+  // Committed task states, shared between workers and the snapshot
+  // writer: 0 = pending, else a TaskState. The payload slot is written
+  // *before* the release store, so a snapshot that observes the state
+  // may safely read the payload.
+  std::vector<std::atomic<std::uint8_t>> committed(n);
+  std::vector<std::string> payloads(n);
+
+  // ---------------------------------------------------------- resume
+  if (options_.resume && !options_.checkpoint_path.empty()) {
+    std::string bytes;
+    if (ReadFileBytes(options_.checkpoint_path, &bytes)) {
+      const CheckpointDecodeResult decoded = DecodeCheckpoint(bytes);
+      if (!decoded.ok) {
+        report.checkpoint_error =
+            "checkpoint rejected: " + decoded.error;
+      } else if (decoded.header.campaign != options_.campaign ||
+                 decoded.header.points != grid.points ||
+                 decoded.header.trials != grid.trials) {
+        report.checkpoint_error =
+            "checkpoint belongs to a different campaign/grid; ignored";
+      } else {
+        report.resumed = true;
+        report.checkpoint_salvaged = decoded.salvaged;
+        report.checkpoint_dropped_bytes = decoded.dropped_bytes;
+        for (const TaskRecord& r : decoded.records) {
+          const auto i = static_cast<std::size_t>(r.index);
+          if (r.state == TaskState::kDone) {
+            payloads[i] = r.payload;
+          }
+          committed[i].store(static_cast<std::uint8_t>(r.state),
+                             std::memory_order_relaxed);
+        }
+        // Replay restored results to the caller in grid-index order —
+        // the same order an uninterrupted run's reduction sees them.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (committed[i].load(std::memory_order_relaxed) !=
+              static_cast<std::uint8_t>(TaskState::kDone)) {
+            continue;
+          }
+          if (restore(i / grid.trials, i % grid.trials, payloads[i])) {
+            report.tasks[i].state = RobustTaskState::kRestored;
+          } else {
+            // Caller rejected the payload: forget it and re-run.
+            committed[i].store(0, std::memory_order_relaxed);
+            payloads[i].clear();
+          }
+        }
+      }
+      if (!report.checkpoint_error.empty()) {
+        std::fprintf(stderr, "[recovery] %s\n",
+                     report.checkpoint_error.c_str());
+      }
+      if (report.checkpoint_salvaged) {
+        std::fprintf(stderr,
+                     "[recovery] checkpoint salvaged: %zu trailing bytes "
+                     "dropped, %zu records kept\n",
+                     report.checkpoint_dropped_bytes, decoded.frames_kept);
+      }
+    }
+  }
+
+  // Pending = everything the checkpoint did not already settle.
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t state = committed[i].load(std::memory_order_relaxed);
+    if (state == 0) {
+      pending.push_back(i);
+    } else if (state == static_cast<std::uint8_t>(TaskState::kQuarantined)) {
+      // Deterministic poison: re-running would fail again.
+      report.tasks[i].state = RobustTaskState::kQuarantined;
+    }
+  }
+
+  // -------------------------------------------------------- snapshot
+  std::mutex snapshot_mutex;
+  std::atomic<std::size_t> snapshots{0};
+  std::atomic<bool> checkpoint_write_failed{false};
+  std::string checkpoint_write_error;
+  const CheckpointHeader header{kCheckpointVersion, options_.campaign,
+                                grid.points, grid.trials};
+  auto write_snapshot = [&]() {
+    std::vector<TaskRecord> records;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t state = committed[i].load(std::memory_order_acquire);
+      if (state == 0) continue;
+      TaskRecord record;
+      record.index = i;
+      record.state = static_cast<TaskState>(state);
+      if (record.state == TaskState::kDone) record.payload = payloads[i];
+      records.push_back(std::move(record));
+    }
+    std::string error;
+    if (WriteFileAtomic(options_.checkpoint_path,
+                        EncodeCheckpoint(header, records), &error)) {
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+    } else if (!checkpoint_write_failed.exchange(true)) {
+      checkpoint_write_error = error;
+      std::fprintf(stderr, "[recovery] snapshot failed: %s\n", error.c_str());
+    }
+  };
+
+  // -------------------------------------------------------- watchdog
+  const std::size_t worker_count = executor_.thread_count();
+  std::vector<WorkerSlot> slots(worker_count);
+  std::atomic<std::size_t> watchdog_flags{0};
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (options_.watchdog_warn_s > 0.0) {
+    watchdog = std::thread([&] {
+      const auto poll = std::chrono::duration<double>(
+          options_.watchdog_poll_s > 0.0 ? options_.watchdog_poll_s : 0.05);
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        const std::int64_t now_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now().time_since_epoch())
+                .count();
+        for (std::size_t w = 0; w < worker_count; ++w) {
+          const std::uint64_t running =
+              slots[w].task_plus_one.load(std::memory_order_acquire);
+          if (running == 0 || running == slots[w].last_flagged) continue;
+          const std::int64_t start =
+              slots[w].start_ns.load(std::memory_order_relaxed);
+          const double elapsed = static_cast<double>(now_ns - start) * 1e-9;
+          if (elapsed >= options_.watchdog_warn_s) {
+            slots[w].last_flagged = running;
+            watchdog_flags.fetch_add(1, std::memory_order_relaxed);
+            std::fprintf(stderr,
+                         "[watchdog] task %llu (worker %zu) running for "
+                         "%.1f s (threshold %.1f s) — possible hang\n",
+                         static_cast<unsigned long long>(running - 1), w,
+                         elapsed, options_.watchdog_warn_s);
+          }
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
+
+  // ------------------------------------------------------------- run
+  CancelToken cancel;
+  std::atomic<std::size_t> first_failure{n};
+  std::atomic<std::size_t> completions{0};
+  std::atomic<std::size_t> retries_total{0};
+  const bool checkpointing = !options_.checkpoint_path.empty();
+
+  report.run = executor_.ParallelFor(
+      pending.size(),
+      [&](std::size_t j) {
+        const std::size_t i = pending[j];
+        const std::size_t point = i / grid.trials;
+        const std::size_t trial = i % grid.trials;
+        RobustTaskStat& stat = report.tasks[i];
+        const int worker = Executor::current_worker();
+        stat.worker = worker;
+        WorkerSlot* slot =
+            (worker >= 0 && static_cast<std::size_t>(worker) < worker_count)
+                ? &slots[static_cast<std::size_t>(worker)]
+                : nullptr;
+        const auto start = Clock::now();
+        if (slot != nullptr) {
+          slot->start_ns.store(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  start.time_since_epoch())
+                  .count(),
+              std::memory_order_relaxed);
+          slot->task_plus_one.store(i + 1, std::memory_order_release);
+        }
+
+        RobustTaskResult result;
+        bool threw = false;
+        std::string what;
+        std::size_t attempts = 0;
+        do {
+          ++attempts;
+          threw = false;
+          try {
+            result = body(point, trial);
+          } catch (const std::exception& e) {
+            threw = true;
+            what = e.what();
+          } catch (...) {
+            threw = true;
+            what = "unknown exception";
+          }
+        } while (threw && attempts <= options_.max_retries);
+        if (attempts > 1) {
+          retries_total.fetch_add(attempts - 1, std::memory_order_relaxed);
+        }
+
+        if (slot != nullptr) {
+          slot->task_plus_one.store(0, std::memory_order_release);
+        }
+        stat.wall_s = SecondsSince(start);
+        stat.attempts = attempts;
+
+        if (threw || !result.ok) {
+          if (threw) {
+            std::fprintf(stderr,
+                         "[recovery] task %zu (point %zu, trial %zu) failed "
+                         "after %zu attempt(s): %s\n",
+                         i, point, trial, attempts, what.c_str());
+          }
+          if (options_.quarantine) {
+            stat.state = RobustTaskState::kQuarantined;
+            committed[i].store(
+                static_cast<std::uint8_t>(TaskState::kQuarantined),
+                std::memory_order_release);
+          } else {
+            std::size_t expected =
+                first_failure.load(std::memory_order_relaxed);
+            while (i < expected &&
+                   !first_failure.compare_exchange_weak(
+                       expected, i, std::memory_order_relaxed)) {
+            }
+            cancel.Cancel();
+            return;
+          }
+        } else {
+          stat.state = RobustTaskState::kOk;
+          payloads[i] = std::move(result.payload);
+          committed[i].store(static_cast<std::uint8_t>(TaskState::kDone),
+                             std::memory_order_release);
+        }
+
+        const std::size_t done =
+            completions.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (checkpointing && options_.checkpoint_every > 0 &&
+            done % options_.checkpoint_every == 0) {
+          // try_lock: a snapshot already in flight covers this task's
+          // commit or the next cadence point will.
+          if (snapshot_mutex.try_lock()) {
+            write_snapshot();
+            snapshot_mutex.unlock();
+          }
+        }
+        // Crash-injection hook — *after* the completion is observable,
+        // so "crash after N tasks" kills a campaign with exactly N
+        // settled tasks (snapshotted or not).
+        if (crash_after_tasks_ != 0 && done == crash_after_tasks_) {
+          std::fprintf(stderr,
+                       "[recovery] FREERIDER_CRASH_AFTER_N_TASKS=%zu hit — "
+                       "raising SIGKILL\n",
+                       crash_after_tasks_);
+          std::fflush(stderr);
+          std::raise(SIGKILL);
+        }
+      },
+      &cancel);
+
+  if (watchdog.joinable()) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
+  }
+
+  // ------------------------------------------------------ accounting
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    RobustTaskStat& stat = report.tasks[pending[j]];
+    if (stat.state == RobustTaskState::kDrained) stat.worker = -1;
+  }
+  for (const RobustTaskStat& stat : report.tasks) {
+    switch (stat.state) {
+      case RobustTaskState::kOk: ++report.tasks_ok; break;
+      case RobustTaskState::kRestored: ++report.tasks_restored; break;
+      case RobustTaskState::kQuarantined: ++report.tasks_quarantined; break;
+      case RobustTaskState::kDrained: ++report.tasks_drained; break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (report.tasks[i].state == RobustTaskState::kQuarantined) {
+      report.quarantined.push_back(i);
+    }
+  }
+  report.task_retries = retries_total.load(std::memory_order_relaxed);
+  report.watchdog_flags = watchdog_flags.load(std::memory_order_relaxed);
+  const std::size_t failure = first_failure.load(std::memory_order_relaxed);
+  if (failure < n) {
+    report.cancelled = true;
+    report.first_failure_task = failure;
+  }
+
+  // Final snapshot: always, so a completed (or cancelled, or
+  // quarantine-carrying) campaign leaves a full checkpoint behind.
+  if (checkpointing) {
+    std::lock_guard<std::mutex> lock(snapshot_mutex);
+    write_snapshot();
+  }
+  report.snapshots_written = snapshots.load(std::memory_order_relaxed);
+  if (checkpoint_write_failed.load() && report.checkpoint_error.empty()) {
+    report.checkpoint_error = checkpoint_write_error;
+  }
+  return report;
+}
+
+TablePrinter RobustSweepReport::TelemetryTable() const {
+  TablePrinter table(
+      {"point", "trial", "worker", "state", "attempts", "wall (ms)"});
+  for (const RobustTaskStat& t : tasks) {
+    table.AddRow({std::to_string(t.point), std::to_string(t.trial),
+                  std::to_string(t.worker), StateName(t.state),
+                  std::to_string(t.attempts),
+                  TablePrinter::Num(t.wall_s * 1e3, 3)});
+  }
+  return table;
+}
+
+std::string RobustSweepReport::SummaryJson(const std::string& name) const {
+  double task_wall_total = 0.0;
+  for (const RobustTaskStat& t : tasks) task_wall_total += t.wall_s;
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"sweep\": \"" << name << "\""
+      << ", \"threads\": " << run.threads
+      << ", \"tasks_total\": " << tasks_total
+      << ", \"tasks_ok\": " << tasks_ok
+      << ", \"tasks_restored\": " << tasks_restored
+      << ", \"tasks_quarantined\": " << tasks_quarantined
+      << ", \"tasks_drained\": " << tasks_drained
+      << ", \"accounting_ok\": "
+      << ((tasks_ok + tasks_restored + tasks_quarantined + tasks_drained ==
+           tasks_total)
+              ? "true"
+              : "false")
+      << ", \"task_retries\": " << task_retries
+      << ", \"watchdog_flags\": " << watchdog_flags
+      << ", \"snapshots_written\": " << snapshots_written
+      << ", \"resumed\": " << (resumed ? "true" : "false")
+      << ", \"checkpoint_salvaged\": "
+      << (checkpoint_salvaged ? "true" : "false")
+      << ", \"cancelled\": " << (cancelled ? "true" : "false")
+      << ", \"steals\": " << run.steals
+      << ", \"wall_s\": " << run.wall_s
+      << ", \"task_wall_total_s\": " << task_wall_total << "}\n";
+  return out.str();
+}
+
+}  // namespace freerider::runtime

@@ -1,0 +1,151 @@
+// Preemption-safe sweep execution: checkpoint/resume, task watchdog,
+// bounded retry and quarantine layered over the work-stealing
+// executor.
+//
+// RecoveryRunner is the robust sibling of SweepEngine. A body runs one
+// (point, trial) task and returns its result as an opaque serialized
+// payload (see checkpoint.h's PayloadWriter — byte-exact so a restored
+// result is bit-identical to a recomputed one). The runner:
+//
+//   * periodically snapshots every completed task to a CRC-framed,
+//     atomically-renamed checkpoint file, so a SIGKILL/OOM mid-
+//     campaign loses only un-snapshotted tasks;
+//   * on `resume`, loads the checkpoint (salvaging a torn/corrupt
+//     tail), replays completed payloads through the caller's restore
+//     callback in grid-index order, and runs only the remainder —
+//     because task results are pure functions of (seed, point, trial)
+//     the final output is byte-identical to an uninterrupted run at
+//     any --threads value;
+//   * watches a monotonic clock over running tasks and flags (on
+//     stderr + in the report) any task exceeding the hang threshold —
+//     detection only, the task is never killed;
+//   * retries tasks that throw up to `max_retries` times, then either
+//     quarantines them (recorded in the checkpoint and the TIMING
+//     JSON; the campaign completes with the poison reported) or, in
+//     the strict default, cancels the sweep first-failure style.
+//
+// Crash-injection hook: when FREERIDER_CRASH_AFTER_N_TASKS=N is set,
+// the process raises SIGKILL the moment the N-th task of this run
+// completes — tools/crash_campaign uses this to prove resume
+// convergence under randomized kills.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "runtime/executor.h"
+#include "runtime/sweep_engine.h"
+
+namespace freerider::runtime {
+
+struct RobustSweepOptions {
+  /// Checkpoint file; empty disables checkpointing entirely.
+  std::string checkpoint_path;
+  /// Completed tasks between periodic snapshots (a final snapshot is
+  /// always written when a checkpoint path is set). 0 = final only.
+  std::size_t checkpoint_every = 8;
+  /// Load `checkpoint_path` and skip tasks it already holds.
+  bool resume = false;
+  /// CampaignId(driver name, master seed); a checkpoint whose header
+  /// disagrees (campaign or grid shape) is refused on resume.
+  std::uint64_t campaign = 0;
+  /// Retries for a task whose body throws (0 = fail on first throw).
+  std::size_t max_retries = 0;
+  /// Record a still-failing task as quarantined and keep going instead
+  /// of cancelling the sweep (first-failure cancellation stays the
+  /// strict default).
+  bool quarantine = false;
+  /// Flag tasks running longer than this (seconds, monotonic clock);
+  /// 0 disables the watchdog.
+  double watchdog_warn_s = 0.0;
+  /// Watchdog sampling period.
+  double watchdog_poll_s = 0.05;
+};
+
+/// Parse robust-runtime flags out of argv (compacting it), with
+/// environment fallbacks, mirroring InitThreadsFromArgs:
+///   --checkpoint PATH | --checkpoint=PATH
+///   --checkpoint-every N
+///   --resume [PATH]   (PATH also sets --checkpoint)
+///   --watchdog-s X    (fallback: FREERIDER_WATCHDOG_S)
+RobustSweepOptions RobustOptionsFromArgs(int& argc, char** argv);
+
+enum class RobustTaskState : std::uint8_t {
+  kOk,           ///< Body ran and succeeded in this process.
+  kRestored,     ///< Skipped; payload replayed from the checkpoint.
+  kQuarantined,  ///< Poisoned (this run or a previous one).
+  kDrained,      ///< Never ran: cancelled before start.
+};
+
+struct RobustTaskStat {
+  std::size_t point = 0;
+  std::size_t trial = 0;
+  int worker = -1;
+  double wall_s = 0.0;
+  std::size_t attempts = 0;  ///< Body invocations (retries included).
+  RobustTaskState state = RobustTaskState::kDrained;
+};
+
+struct RobustSweepReport {
+  RunTelemetry run;  ///< Telemetry of the pending-subset ParallelFor.
+  std::vector<RobustTaskStat> tasks;  ///< Grid index order.
+  // Accounting invariant (asserted in tests, surfaced in TIMING json):
+  //   tasks_ok + tasks_restored + tasks_quarantined + tasks_drained
+  //     == grid.tasks()
+  std::size_t tasks_total = 0;
+  std::size_t tasks_ok = 0;
+  std::size_t tasks_restored = 0;
+  std::size_t tasks_quarantined = 0;
+  std::size_t tasks_drained = 0;
+  std::size_t task_retries = 0;       ///< Extra body invocations.
+  std::size_t watchdog_flags = 0;     ///< Hang warnings emitted.
+  std::size_t snapshots_written = 0;
+  bool resumed = false;               ///< A checkpoint was loaded.
+  bool checkpoint_salvaged = false;   ///< Corrupt tail dropped on load.
+  std::size_t checkpoint_dropped_bytes = 0;
+  bool cancelled = false;
+  std::size_t first_failure_task = 0;  ///< Grid index; valid if cancelled.
+  std::vector<std::size_t> quarantined;  ///< Grid indices, ascending.
+  std::string checkpoint_error;  ///< Non-fatal checkpoint I/O problems.
+
+  /// Per-task telemetry rows: point, trial, worker, state, attempts,
+  /// wall_ms.
+  TablePrinter TelemetryTable() const;
+  /// One-object JSON summary including the full task-accounting
+  /// breakdown; TIMING_*.json material, never BENCH_*.json.
+  std::string SummaryJson(const std::string& name) const;
+};
+
+/// Body outcome: `ok == false` is a campaign-level failure (quarantine
+/// or cancel, no retry); a *throwing* body is retried first.
+struct RobustTaskResult {
+  bool ok = true;
+  std::string payload;
+};
+
+class RecoveryRunner {
+ public:
+  RecoveryRunner(Executor& executor, RobustSweepOptions options);
+
+  /// Run body(point, trial) over the grid with checkpoint/resume,
+  /// watchdog, retry and quarantine per the options. `restore` is
+  /// invoked serially, in grid-index order, before any task runs, for
+  /// each completed payload recovered from the checkpoint; returning
+  /// false rejects the record (the task re-runs).
+  RobustSweepReport Run(
+      const SweepGrid& grid,
+      const std::function<RobustTaskResult(std::size_t, std::size_t)>& body,
+      const std::function<bool(std::size_t, std::size_t, const std::string&)>&
+          restore);
+
+ private:
+  Executor& executor_;
+  RobustSweepOptions options_;
+  std::size_t crash_after_tasks_ = 0;  ///< FREERIDER_CRASH_AFTER_N_TASKS.
+};
+
+}  // namespace freerider::runtime

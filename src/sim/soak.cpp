@@ -1,11 +1,15 @@
 #include "sim/soak.h"
 
+#include <cerrno>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
+
+#include "runtime/checkpoint.h"
 
 namespace freerider::sim {
 namespace {
@@ -330,7 +334,19 @@ class JsonParser {
       : p_(text.data()), end_(text.data() + text.size()) {}
 
   bool Parse(JsonValue& out) {
-    return ParseValue(out, 0) && (SkipWs(), p_ == end_);
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    if (p_ != end_) {
+      error_ = "trailing bytes after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+  /// Why Parse() failed; "malformed JSON" if no specific reason was
+  /// recorded.
+  std::string error() const {
+    return error_.empty() ? "malformed JSON" : error_;
   }
 
  private:
@@ -412,6 +428,13 @@ class JsonParser {
           if (p_ >= end_ || *p_++ != ':') return false;
           JsonValue value;
           if (!ParseValue(value, depth + 1)) return false;
+          // Duplicate keys silently shadow each other in lenient
+          // parsers; in a replay record a duplicated field means the
+          // record was hand-edited or corrupted — reject it.
+          if (out.Find(key.c_str()) != nullptr) {
+            error_ = "duplicate key \"" + key + "\"";
+            return false;
+          }
           out.fields.emplace_back(std::move(key), std::move(value));
           SkipWs();
           if (p_ >= end_) return false;
@@ -470,6 +493,7 @@ class JsonParser {
 
   const char* p_;
   const char* end_;
+  std::string error_;
 };
 
 bool GetSize(const JsonValue& obj, const char* key, std::size_t& out) {
@@ -485,7 +509,11 @@ bool GetSize(const JsonValue& obj, const char* key, std::size_t& out) {
 bool GetDouble(const JsonValue& obj, const char* key, double& out) {
   const JsonValue* v = obj.Find(key);
   if (!v || v->kind != JsonValue::Kind::kNumber) return false;
-  out = std::strtod(v->raw.c_str(), nullptr);
+  const double parsed = std::strtod(v->raw.c_str(), nullptr);
+  // An overflowing literal (1e999) parses to inf — poison downstream
+  // arithmetic, never a legitimate record field.
+  if (!std::isfinite(parsed)) return false;
+  out = parsed;
   return true;
 }
 
@@ -535,68 +563,151 @@ bool ParseImpairments(const JsonValue& obj, impair::ImpairmentConfig& out) {
 
 }  // namespace
 
+namespace {
+
+std::optional<SoakReplay> Reject(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::optional<SoakReplay> ParseSoakReplay(const std::string& json) {
+  return ParseSoakReplay(json, nullptr);
+}
+
+std::optional<SoakReplay> ParseSoakReplay(const std::string& json,
+                                          std::string* error) {
+  JsonParser parser(json);
   JsonValue root;
-  if (!JsonParser(json).Parse(root) ||
-      root.kind != JsonValue::Kind::kObject) {
-    return std::nullopt;
+  if (!parser.Parse(root)) return Reject(error, parser.error());
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Reject(error, "top level is not a JSON object");
   }
   std::size_t version = 0;
-  if (!GetSize(root, "version", version) || version != 1) return std::nullopt;
+  if (!GetSize(root, "version", version)) {
+    return Reject(error, "missing or non-integer \"version\"");
+  }
+  if (version != 1) {
+    return Reject(error, Fmt("unsupported version %zu (expected 1)", version));
+  }
 
   SoakReplay replay;
   const JsonValue* seed = root.Find("seed");
-  if (!seed || seed->kind != JsonValue::Kind::kString) return std::nullopt;
+  if (!seed || seed->kind != JsonValue::Kind::kString) {
+    return Reject(error, "missing \"seed\" (must be a decimal string)");
+  }
   {
     char* end = nullptr;
+    errno = 0;
     replay.config.seed = std::strtoull(seed->raw.c_str(), &end, 10);
-    if (seed->raw.empty() || end != seed->raw.c_str() + seed->raw.size()) {
-      return std::nullopt;
+    if (seed->raw.empty() || errno != 0 ||
+        end != seed->raw.c_str() + seed->raw.size()) {
+      return Reject(error, "\"seed\" is not a u64 decimal string");
     }
   }
-  if (!GetSize(root, "num_tags", replay.config.num_tags) ||
-      !GetSize(root, "rounds", replay.config.rounds) ||
-      !GetSize(root, "drain_rounds", replay.config.drain_rounds) ||
-      !GetSize(root, "offer_every", replay.config.offer_every) ||
-      !GetBool(root, "strict", replay.config.strict)) {
-    return std::nullopt;
+  // Field-by-field so the error names the offender.
+  struct SizeField {
+    const char* key;
+    std::size_t* dest;
+    std::size_t min;
+    std::size_t max;
+  };
+  const SizeField root_fields[] = {
+      {"num_tags", &replay.config.num_tags, 1, 64},
+      {"rounds", &replay.config.rounds, 0, 1000000},
+      {"drain_rounds", &replay.config.drain_rounds, 0, 1000000},
+      {"offer_every", &replay.config.offer_every, 0, 1000000},
+  };
+  for (const SizeField& f : root_fields) {
+    if (!GetSize(root, f.key, *f.dest)) {
+      return Reject(error,
+                    Fmt("missing or non-integer \"%s\"", f.key));
+    }
+    if (*f.dest < f.min || *f.dest > f.max) {
+      return Reject(error, Fmt("\"%s\" = %zu out of range [%zu, %zu]", f.key,
+                               *f.dest, f.min, f.max));
+    }
   }
-  if (replay.config.num_tags == 0 || replay.config.num_tags > 64 ||
-      replay.config.rounds > 1000000 ||
-      replay.config.drain_rounds > 1000000) {
-    return std::nullopt;  // bound hostile records before they run
+  if (!GetBool(root, "strict", replay.config.strict)) {
+    return Reject(error, "missing or non-boolean \"strict\"");
   }
 
   const JsonValue* t = root.Find("transport");
-  if (!t || t->kind != JsonValue::Kind::kObject) return std::nullopt;
+  if (!t || t->kind != JsonValue::Kind::kObject) {
+    return Reject(error, "missing \"transport\" object");
+  }
   transport::TransportConfig& tc = replay.config.transport;
-  if (!GetSize(*t, "window", tc.window) ||
-      !GetSize(*t, "queue_capacity", tc.queue_capacity) ||
-      !GetSize(*t, "max_transmissions", tc.max_transmissions) ||
-      !GetSize(*t, "expiry_rounds", tc.expiry_rounds) ||
-      !GetSize(*t, "rto_rounds", tc.rto_rounds) ||
-      !GetSize(*t, "escalate_after_nacks", tc.escalate_after_nacks) ||
-      !GetSize(*t, "max_escalation_steps", tc.max_escalation_steps) ||
-      !GetSize(*t, "ack_blocks_per_round", tc.ack_blocks_per_round) ||
-      !GetSize(*t, "hole_skip_rounds", tc.hole_skip_rounds)) {
-    return std::nullopt;
+  // Bounds are generous (the soak drivers legitimately run
+  // expiry/hole-skip horizons of 2^20 rounds) but still reject the
+  // absurd before a hostile record allocates or spins on it.
+  const SizeField transport_fields[] = {
+      {"window", &tc.window, 1, 256},
+      {"queue_capacity", &tc.queue_capacity, 1, 1u << 16},
+      {"max_transmissions", &tc.max_transmissions, 1, 1u << 20},
+      {"expiry_rounds", &tc.expiry_rounds, 1, 1u << 30},
+      {"rto_rounds", &tc.rto_rounds, 1, 1u << 20},
+      {"escalate_after_nacks", &tc.escalate_after_nacks, 0, 1u << 20},
+      {"max_escalation_steps", &tc.max_escalation_steps, 0, 64},
+      {"ack_blocks_per_round", &tc.ack_blocks_per_round, 1, 64},
+      {"hole_skip_rounds", &tc.hole_skip_rounds, 1, 1u << 30},
+  };
+  for (const SizeField& f : transport_fields) {
+    if (!GetSize(*t, f.key, *f.dest)) {
+      return Reject(error,
+                    Fmt("missing or non-integer \"transport.%s\"", f.key));
+    }
+    if (*f.dest < f.min || *f.dest > f.max) {
+      return Reject(error,
+                    Fmt("\"transport.%s\" = %zu out of range [%zu, %zu]",
+                        f.key, *f.dest, f.min, f.max));
+    }
   }
   tc.enabled = true;
 
   const JsonValue* schedule = root.Find("schedule");
   if (!schedule || schedule->kind != JsonValue::Kind::kArray) {
-    return std::nullopt;
+    return Reject(error, "missing \"schedule\" array");
   }
-  for (const JsonValue& item : schedule->items) {
-    if (item.kind != JsonValue::Kind::kObject) return std::nullopt;
+  if (schedule->items.size() > 4096) {
+    return Reject(error, Fmt("schedule has %zu segments (max 4096)",
+                             schedule->items.size()));
+  }
+  for (std::size_t i = 0; i < schedule->items.size(); ++i) {
+    const JsonValue& item = schedule->items[i];
+    if (item.kind != JsonValue::Kind::kObject) {
+      return Reject(error, Fmt("schedule[%zu] is not an object", i));
+    }
     SoakSegment segment;
     if (!GetSize(item, "start_round", segment.start_round)) {
-      return std::nullopt;
+      return Reject(error,
+                    Fmt("schedule[%zu] missing integer \"start_round\"", i));
+    }
+    if (segment.start_round > (1u << 30)) {
+      return Reject(error, Fmt("schedule[%zu].start_round = %zu out of range",
+                               i, segment.start_round));
+    }
+    // RunSoak applies segments front-to-back assuming ascending
+    // start_round; an unsorted schedule would silently apply the wrong
+    // impairment mix, which is exactly the class of quiet corruption a
+    // replay record must not carry.
+    if (!replay.config.schedule.empty() &&
+        segment.start_round < replay.config.schedule.back().start_round) {
+      return Reject(error,
+                    Fmt("schedule[%zu].start_round = %zu not ascending "
+                        "(previous %zu)",
+                        i, segment.start_round,
+                        replay.config.schedule.back().start_round));
     }
     const JsonValue* imp = item.Find("impairments");
     if (!imp || imp->kind != JsonValue::Kind::kObject ||
         !ParseImpairments(*imp, segment.impairments)) {
-      return std::nullopt;
+      return Reject(
+          error,
+          Fmt("schedule[%zu] has a missing or malformed \"impairments\" "
+              "object (every sub-block and field is required; doubles must "
+              "be finite)",
+              i));
     }
     replay.config.schedule.push_back(std::move(segment));
   }
@@ -606,6 +717,117 @@ std::optional<SoakReplay> ParseSoakReplay(const std::string& json) {
     replay.expect_digest = digest->raw;
   }
   return replay;
+}
+
+// ------------------------------------------- checkpoint payload codec
+
+namespace {
+
+constexpr std::uint64_t kSoakResultVersion = 1;
+
+}  // namespace
+
+std::string SerializeSoakResult(const SoakResult& result) {
+  runtime::PayloadWriter w;
+  w.U64(kSoakResultVersion);
+  w.U64(result.passed ? 1 : 0);
+  w.U64(result.violations.size());
+  for (const SoakViolation& v : result.violations) {
+    w.U64(v.round);
+    w.Str(v.kind);
+    w.Str(v.detail);
+  }
+  const FullStackStats& s = result.stats;
+  w.U64(s.rounds);
+  w.U64(s.slots_total);
+  w.U64(s.deliveries);
+  w.U64(s.observed_collisions);
+  w.U64(s.observed_empties);
+  w.U64(s.per_tag_deliveries.size());
+  for (std::size_t d : s.per_tag_deliveries) w.U64(d);
+  w.F64(s.airtime_s);
+  w.F64(s.goodput_bps);
+  w.F64(s.jain_fairness);
+  w.U64(s.faults_injected);
+  w.U64(s.desync_events);
+  w.U64(s.sequence_gaps);
+  w.U64(s.reannouncements);
+  w.U64(s.rounds_recovered);
+  w.F64(s.backoff_airtime_s);
+  w.U64(s.fault_counters.cfo_rotations);
+  w.U64(s.fault_counters.window_slips);
+  w.U64(s.fault_counters.interferer_bursts);
+  w.U64(s.fault_counters.excitation_dropouts);
+  w.U64(s.fault_counters.pulses_dropped);
+  w.U64(s.fault_counters.pulses_spurious);
+  w.U64(s.fault_counters.pulses_jittered);
+  w.U64(s.transport_offered);
+  w.U64(s.transport_delivered);
+  w.U64(s.transport_duplicates);
+  w.U64(s.transport_retransmissions);
+  w.U64(s.transport_expired);
+  w.U64(s.transport_holes_skipped);
+  w.U64(s.transport_acked);
+  w.U64(s.transport_escalations);
+  w.U64(s.transport_ext_rejected);
+  w.U64(s.transport_rejected_full);
+  w.Str(result.digest);
+  return w.Take();
+}
+
+bool DeserializeSoakResult(const std::string& payload, SoakResult* result) {
+  runtime::PayloadReader r(payload);
+  std::uint64_t version = 0;
+  if (!r.U64(&version) || version != kSoakResultVersion) return false;
+  SoakResult out;
+  std::uint64_t v = 0;
+  auto u = [&](std::size_t* field) {
+    if (!r.U64(&v)) return false;
+    *field = static_cast<std::size_t>(v);
+    return true;
+  };
+  std::uint64_t passed = 0;
+  if (!r.U64(&passed) || passed > 1) return false;
+  out.passed = passed == 1;
+  std::size_t violations = 0;
+  if (!u(&violations) || violations > (1u << 24)) return false;
+  out.violations.resize(violations);
+  for (SoakViolation& viol : out.violations) {
+    if (!u(&viol.round) || !r.Str(&viol.kind) || !r.Str(&viol.detail)) {
+      return false;
+    }
+  }
+  FullStackStats& s = out.stats;
+  std::size_t tags = 0;
+  if (!u(&s.rounds) || !u(&s.slots_total) || !u(&s.deliveries) ||
+      !u(&s.observed_collisions) || !u(&s.observed_empties) || !u(&tags) ||
+      tags > (1u << 16)) {
+    return false;
+  }
+  s.per_tag_deliveries.resize(tags);
+  for (std::size_t& d : s.per_tag_deliveries) {
+    if (!u(&d)) return false;
+  }
+  if (!r.F64(&s.airtime_s) || !r.F64(&s.goodput_bps) ||
+      !r.F64(&s.jain_fairness) || !u(&s.faults_injected) ||
+      !u(&s.desync_events) || !u(&s.sequence_gaps) ||
+      !u(&s.reannouncements) || !u(&s.rounds_recovered) ||
+      !r.F64(&s.backoff_airtime_s) || !u(&s.fault_counters.cfo_rotations) ||
+      !u(&s.fault_counters.window_slips) ||
+      !u(&s.fault_counters.interferer_bursts) ||
+      !u(&s.fault_counters.excitation_dropouts) ||
+      !u(&s.fault_counters.pulses_dropped) ||
+      !u(&s.fault_counters.pulses_spurious) ||
+      !u(&s.fault_counters.pulses_jittered) || !u(&s.transport_offered) ||
+      !u(&s.transport_delivered) || !u(&s.transport_duplicates) ||
+      !u(&s.transport_retransmissions) || !u(&s.transport_expired) ||
+      !u(&s.transport_holes_skipped) || !u(&s.transport_acked) ||
+      !u(&s.transport_escalations) || !u(&s.transport_ext_rejected) ||
+      !u(&s.transport_rejected_full) || !r.Str(&out.digest) || !r.AtEnd()) {
+    return false;
+  }
+  *result = std::move(out);
+  return true;
 }
 
 }  // namespace freerider::sim

@@ -107,4 +107,16 @@ struct SoakReplay {
 };
 std::optional<SoakReplay> ParseSoakReplay(const std::string& json);
 
+/// As above, but reports *why* a record was rejected (duplicate key,
+/// out-of-range field, unsorted schedule, ...) in `error` — the
+/// message tools/replay_soak prints.
+std::optional<SoakReplay> ParseSoakReplay(const std::string& json,
+                                          std::string* error);
+
+/// Bit-exact SoakResult (de)serialization for checkpoint payloads:
+/// verdict, every violation, the full FullStackStats, and the digest
+/// round-trip byte-identically (doubles in hex-float).
+std::string SerializeSoakResult(const SoakResult& result);
+bool DeserializeSoakResult(const std::string& payload, SoakResult* result);
+
 }  // namespace freerider::sim

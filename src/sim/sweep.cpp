@@ -3,9 +3,82 @@
 #include <cmath>
 
 #include "core/redundancy.h"
+#include "runtime/checkpoint.h"
 #include "runtime/executor.h"
 
 namespace freerider::sim {
+
+namespace {
+
+constexpr std::uint64_t kLinkStatsVersion = 1;
+
+void WriteFaultCounters(runtime::PayloadWriter& w,
+                        const impair::FaultCounters& fc) {
+  w.U64(fc.cfo_rotations);
+  w.U64(fc.window_slips);
+  w.U64(fc.interferer_bursts);
+  w.U64(fc.excitation_dropouts);
+  w.U64(fc.pulses_dropped);
+  w.U64(fc.pulses_spurious);
+  w.U64(fc.pulses_jittered);
+}
+
+bool ReadFaultCounters(runtime::PayloadReader& r, impair::FaultCounters* fc) {
+  std::uint64_t v = 0;
+  auto u = [&](std::size_t* field) {
+    if (!r.U64(&v)) return false;
+    *field = static_cast<std::size_t>(v);
+    return true;
+  };
+  return u(&fc->cfo_rotations) && u(&fc->window_slips) &&
+         u(&fc->interferer_bursts) && u(&fc->excitation_dropouts) &&
+         u(&fc->pulses_dropped) && u(&fc->pulses_spurious) &&
+         u(&fc->pulses_jittered);
+}
+
+}  // namespace
+
+std::string SerializeLinkStats(const LinkStats& stats) {
+  runtime::PayloadWriter w;
+  w.U64(kLinkStatsVersion);
+  w.U64(stats.packets_attempted);
+  w.U64(stats.packets_decoded);
+  w.F64(stats.packet_reception_rate);
+  w.F64(stats.tag_ber);
+  w.F64(stats.tag_throughput_bps);
+  w.F64(stats.rssi_dbm);
+  w.F64(stats.snr_db);
+  w.U64(stats.redundancy_used);
+  w.U64(stats.faults_injected);
+  w.U64(stats.desync_events);
+  w.U64(stats.rounds_recovered);
+  WriteFaultCounters(w, stats.fault_counters);
+  return w.Take();
+}
+
+bool DeserializeLinkStats(const std::string& payload, LinkStats* stats) {
+  runtime::PayloadReader r(payload);
+  std::uint64_t version = 0;
+  if (!r.U64(&version) || version != kLinkStatsVersion) return false;
+  LinkStats s;
+  std::uint64_t v = 0;
+  auto u = [&](std::size_t* field) {
+    if (!r.U64(&v)) return false;
+    *field = static_cast<std::size_t>(v);
+    return true;
+  };
+  if (!u(&s.packets_attempted) || !u(&s.packets_decoded) ||
+      !r.F64(&s.packet_reception_rate) || !r.F64(&s.tag_ber) ||
+      !r.F64(&s.tag_throughput_bps) || !r.F64(&s.rssi_dbm) ||
+      !r.F64(&s.snr_db) || !u(&s.redundancy_used) ||
+      !u(&s.faults_injected) || !u(&s.desync_events) ||
+      !u(&s.rounds_recovered) || !ReadFaultCounters(r, &s.fault_counters) ||
+      !r.AtEnd()) {
+    return false;
+  }
+  *stats = s;
+  return true;
+}
 
 std::vector<DistancePoint> DistanceSweep(core::RadioType radio,
                                          const channel::Deployment& deployment,
@@ -32,6 +105,45 @@ std::vector<DistancePoint> DistanceSweep(core::RadioType radio,
         config.profile = DefaultProfile(radio);
         Rng point_rng(point_seeds[p]);
         points[p] = {distances[p], SimulateTagLinkAdaptive(config, point_rng)};
+        return true;
+      });
+  if (report != nullptr) *report = std::move(local_report);
+  return points;
+}
+
+std::vector<DistancePoint> DistanceSweepRobust(
+    core::RadioType radio, const channel::Deployment& deployment,
+    const std::vector<double>& distances, std::size_t packets,
+    std::uint64_t seed, const std::string& slug,
+    runtime::RobustSweepOptions robust, runtime::RobustSweepReport* report) {
+  std::vector<DistancePoint> points(distances.size());
+  // Same serial pre-draw as DistanceSweep: restored and recomputed runs
+  // consume identical per-point seeds.
+  Rng master(seed);
+  std::vector<std::uint64_t> point_seeds(distances.size());
+  for (auto& s : point_seeds) s = master.NextU64();
+
+  robust.campaign = runtime::CampaignId(slug, seed);
+  runtime::RecoveryRunner runner(runtime::DefaultExecutor(), robust);
+  runtime::RobustSweepReport local_report = runner.Run(
+      {distances.size(), 1},
+      [&](std::size_t p, std::size_t) {
+        LinkConfig config;
+        config.radio = radio;
+        config.deployment = deployment;
+        config.tag_to_rx_m = distances[p];
+        config.num_packets = packets;
+        config.profile = DefaultProfile(radio);
+        Rng point_rng(point_seeds[p]);
+        points[p] = {distances[p], SimulateTagLinkAdaptive(config, point_rng)};
+        runtime::RobustTaskResult out;
+        out.payload = SerializeLinkStats(points[p].stats);
+        return out;
+      },
+      [&](std::size_t p, std::size_t, const std::string& payload) {
+        LinkStats stats;
+        if (!DeserializeLinkStats(payload, &stats)) return false;
+        points[p] = {distances[p], stats};
         return true;
       });
   if (report != nullptr) *report = std::move(local_report);
@@ -91,6 +203,69 @@ std::vector<RangePoint> RangeSweep(core::RadioType radio,
           }
         }
         points[p] = {d1, lo};
+        return true;
+      });
+  if (report != nullptr) *report = std::move(local_report);
+  return points;
+}
+
+std::vector<RangePoint> RangeSweepRobust(
+    core::RadioType radio, const std::vector<double>& tx_tag_distances,
+    double max_search_m, std::size_t packets, std::uint64_t seed,
+    double prr_floor, const std::string& slug,
+    runtime::RobustSweepOptions robust, runtime::RobustSweepReport* report) {
+  std::vector<RangePoint> points(tx_tag_distances.size());
+  Rng master(seed);
+  std::vector<std::uint64_t> point_seeds(tx_tag_distances.size());
+  for (auto& s : point_seeds) s = master.NextU64();
+
+  robust.campaign = runtime::CampaignId(slug, seed);
+  runtime::RecoveryRunner runner(runtime::DefaultExecutor(), robust);
+  runtime::RobustSweepReport local_report = runner.Run(
+      {tx_tag_distances.size(), 1},
+      [&](std::size_t p, std::size_t) {
+        const double d1 = tx_tag_distances[p];
+        Rng point_rng(point_seeds[p]);
+        auto sustained = [&](double d2) {
+          LinkConfig config;
+          config.radio = radio;
+          config.deployment = channel::LosDeployment(d1);
+          config.tag_to_rx_m = d2;
+          config.num_packets = packets;
+          config.profile = DefaultProfile(radio);
+          config.redundancy = core::RedundancyLadder(radio).back();
+          Rng trial_rng = point_rng.Split();
+          const LinkStats stats = SimulateTagLink(config, trial_rng);
+          return stats.packet_reception_rate >= prr_floor;
+        };
+        double lo = 0.5;
+        if (!sustained(lo)) {
+          points[p] = {d1, 0.0};
+        } else {
+          double hi = 1.0;
+          while (hi < max_search_m && sustained(hi)) hi *= 1.6;
+          hi = std::min(hi, max_search_m);
+          for (int iter = 0; iter < 7 && hi - lo > 0.25; ++iter) {
+            const double mid = 0.5 * (lo + hi);
+            if (sustained(mid)) {
+              lo = mid;
+            } else {
+              hi = mid;
+            }
+          }
+          points[p] = {d1, lo};
+        }
+        runtime::PayloadWriter w;
+        w.F64(points[p].max_tag_to_rx_m);
+        runtime::RobustTaskResult out;
+        out.payload = w.Take();
+        return out;
+      },
+      [&](std::size_t p, std::size_t, const std::string& payload) {
+        runtime::PayloadReader r(payload);
+        double max_m = 0.0;
+        if (!r.F64(&max_m) || !r.AtEnd()) return false;
+        points[p] = {tx_tag_distances[p], max_m};
         return true;
       });
   if (report != nullptr) *report = std::move(local_report);

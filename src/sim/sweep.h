@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "runtime/recovery.h"
 #include "runtime/sweep_engine.h"
 #include "sim/link.h"
 
@@ -39,6 +40,25 @@ std::vector<DistancePoint> DistanceSweep(core::RadioType radio,
                                          std::uint64_t seed,
                                          runtime::SweepReport* report = nullptr);
 
+/// Preemption-safe distance sweep: the same grid run through
+/// runtime::RecoveryRunner, persisting each completed point to
+/// `robust.checkpoint_path` and (with `robust.resume`) restoring
+/// completed points instead of recomputing them. Restored LinkStats
+/// are bit-identical to recomputed ones (hex-float serialization), so
+/// the returned points — and everything printed from them — match an
+/// uninterrupted run byte for byte. `robust.campaign` is filled in
+/// from `slug` and `seed` by this function.
+std::vector<DistancePoint> DistanceSweepRobust(
+    core::RadioType radio, const channel::Deployment& deployment,
+    const std::vector<double>& distances, std::size_t packets,
+    std::uint64_t seed, const std::string& slug,
+    runtime::RobustSweepOptions robust,
+    runtime::RobustSweepReport* report = nullptr);
+
+/// Bit-exact LinkStats (de)serialization for checkpoint payloads.
+std::string SerializeLinkStats(const LinkStats& stats);
+bool DeserializeLinkStats(const std::string& payload, LinkStats* stats);
+
 struct RangePoint {
   double tx_to_tag_m = 0.0;
   double max_tag_to_rx_m = 0.0;
@@ -56,5 +76,13 @@ std::vector<RangePoint> RangeSweep(core::RadioType radio,
                                    double max_search_m, std::size_t packets,
                                    std::uint64_t seed, double prr_floor = 0.5,
                                    runtime::SweepReport* report = nullptr);
+
+/// Preemption-safe Fig. 14 sweep (see DistanceSweepRobust).
+std::vector<RangePoint> RangeSweepRobust(
+    core::RadioType radio, const std::vector<double>& tx_tag_distances,
+    double max_search_m, std::size_t packets, std::uint64_t seed,
+    double prr_floor, const std::string& slug,
+    runtime::RobustSweepOptions robust,
+    runtime::RobustSweepReport* report = nullptr);
 
 }  // namespace freerider::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/crc.h"
@@ -191,6 +193,86 @@ TEST(RingBuffer, ThrowsOnBadAccess) {
 
 TEST(RingBuffer, ZeroCapacityRejected) {
   EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+// Property: against a reference std::vector model, a RingBuffer of
+// capacity C behaves exactly like "the last min(size, C) pushed values"
+// under any interleaving of Push/Clear, across every index and both
+// access directions, at every wraparound phase.
+TEST(RingBuffer, PropertyMatchesVectorModelAcrossRandomOps) {
+  Rng rng(0x51D6u);
+  for (std::size_t capacity : {1u, 2u, 3u, 7u, 16u}) {
+    RingBuffer<int> rb(capacity);
+    std::vector<int> model;  // full push history since last Clear
+    for (int op = 0; op < 500; ++op) {
+      if (rng.NextBelow(40) == 0) {
+        rb.Clear();
+        model.clear();
+      } else {
+        const int value = static_cast<int>(rng.NextBelow(1000));
+        rb.Push(value);
+        model.push_back(value);
+      }
+      const std::size_t expect_size = std::min(model.size(), capacity);
+      ASSERT_EQ(rb.size(), expect_size);
+      ASSERT_EQ(rb.empty(), expect_size == 0);
+      ASSERT_EQ(rb.full(), expect_size == capacity);
+      ASSERT_EQ(rb.capacity(), capacity);
+      const std::size_t base = model.size() - expect_size;
+      for (std::size_t i = 0; i < expect_size; ++i) {
+        ASSERT_EQ(rb.At(i), model[base + i]) << "cap=" << capacity;
+        // FromNewest(i) and At(size-1-i) are the same element.
+        ASSERT_EQ(rb.FromNewest(i), rb.At(expect_size - 1 - i));
+      }
+      // One past the end throws in both directions.
+      ASSERT_THROW(rb.At(expect_size), std::out_of_range);
+      ASSERT_THROW(rb.FromNewest(expect_size), std::out_of_range);
+    }
+  }
+}
+
+// Property: EndsWith agrees with a suffix comparison of the model at
+// every length, including across the eviction boundary.
+TEST(RingBuffer, PropertyEndsWithMatchesModelSuffix) {
+  Rng rng(4242);
+  RingBuffer<int> rb(5);
+  std::vector<int> model;
+  for (int op = 0; op < 300; ++op) {
+    const int value = static_cast<int>(rng.NextBelow(3));  // collisions likely
+    rb.Push(value);
+    model.push_back(value);
+    const std::size_t live = std::min(model.size(), rb.capacity());
+    for (std::size_t len = 1; len <= live; ++len) {
+      const std::vector<int> suffix(model.end() - static_cast<long>(len),
+                                    model.end());
+      ASSERT_TRUE(rb.EndsWith(suffix)) << "len=" << len;
+      // Perturb one element: must no longer match.
+      std::vector<int> wrong = suffix;
+      wrong[op % len] += 1;
+      ASSERT_FALSE(rb.EndsWith(wrong)) << "len=" << len;
+    }
+    ASSERT_FALSE(
+        rb.EndsWith(std::vector<int>(live + 1, 0)));  // longer than live
+  }
+}
+
+// Clear resets to a pristine state: same behavior as a new buffer.
+TEST(RingBuffer, ClearThenRefillMatchesFreshBuffer) {
+  RingBuffer<int> used(4);
+  for (int i = 0; i < 11; ++i) used.Push(i);  // wrapped nearly 3 times
+  used.Clear();
+  EXPECT_TRUE(used.empty());
+  EXPECT_EQ(used.size(), 0u);
+  EXPECT_THROW(used.At(0), std::out_of_range);
+  RingBuffer<int> fresh(4);
+  for (int v : {5, 6, 7}) {
+    used.Push(v);
+    fresh.Push(v);
+  }
+  ASSERT_EQ(used.size(), fresh.size());
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    EXPECT_EQ(used.At(i), fresh.At(i));
+  }
 }
 
 // --------------------------------------------------------------- stats

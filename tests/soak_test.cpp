@@ -2,7 +2,9 @@
 // replay pipeline (sim/soak.h).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
+#include <utility>
 
 #include "sim/multitag.h"
 #include "sim/soak.h"
@@ -153,6 +155,112 @@ TEST(SoakReplayParserTest, RejectsMalformedRecords) {
   std::string huge = valid;
   huge.replace(huge.find("\"rounds\": 40"), 12, "\"rounds\": 99999999999");
   EXPECT_FALSE(sim::ParseSoakReplay(huge).has_value());
+}
+
+TEST(SoakReplayParserTest, RejectsDuplicateKeysWithClearError) {
+  const sim::SoakConfig config = SurvivableConfig(3);
+  const std::string valid = sim::SoakReplayJson(config, {});
+  // Duplicate a top-level field: a lenient parser would let the second
+  // value shadow the first; ours must refuse and say why.
+  std::string dup = valid;
+  dup.replace(dup.find("\"num_tags\": 3"), 13,
+              "\"num_tags\": 3, \"num_tags\": 5");
+  std::string error;
+  EXPECT_FALSE(sim::ParseSoakReplay(dup, &error).has_value());
+  EXPECT_NE(error.find("duplicate key"), std::string::npos) << error;
+  EXPECT_NE(error.find("num_tags"), std::string::npos) << error;
+}
+
+TEST(SoakReplayParserTest, RejectsOutOfRangeFieldsNamingTheOffender) {
+  const sim::SoakConfig config = SurvivableConfig(3);
+  const std::string valid = sim::SoakReplayJson(config, {});
+  ASSERT_TRUE(sim::ParseSoakReplay(valid).has_value());
+
+  struct Case {
+    const char* find;
+    const char* replace;
+    const char* expect_in_error;
+  };
+  const Case cases[] = {
+      {"\"num_tags\": 3", "\"num_tags\": 0", "num_tags"},
+      {"\"num_tags\": 3", "\"num_tags\": 100", "num_tags"},
+      {"\"offer_every\": 4", "\"offer_every\": 99999999", "offer_every"},
+      {"\"window\":16", "\"window\":0", "transport.window"},
+      {"\"window\":16", "\"window\":1000", "transport.window"},
+      {"\"max_transmissions\":1000", "\"max_transmissions\":0",
+       "transport.max_transmissions"},
+      {"\"rto_rounds\":3", "\"rto_rounds\":9999999999",
+       "transport.rto_rounds"},
+  };
+  for (const Case& c : cases) {
+    std::string bad = valid;
+    const std::size_t at = bad.find(c.find);
+    ASSERT_NE(at, std::string::npos) << c.find;
+    bad.replace(at, std::strlen(c.find), c.replace);
+    std::string error;
+    EXPECT_FALSE(sim::ParseSoakReplay(bad, &error).has_value()) << c.replace;
+    EXPECT_NE(error.find(c.expect_in_error), std::string::npos)
+        << c.replace << " -> " << error;
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  }
+}
+
+TEST(SoakReplayParserTest, RejectsUnsortedScheduleAndNonFiniteDoubles) {
+  sim::SoakConfig config = SurvivableConfig(3);
+  // Swap two segments out of order; the writer emits them as-is.
+  std::swap(config.schedule[1], config.schedule[2]);
+  std::string error;
+  EXPECT_FALSE(
+      sim::ParseSoakReplay(sim::SoakReplayJson(config, {}), &error)
+          .has_value());
+  EXPECT_NE(error.find("not ascending"), std::string::npos) << error;
+
+  // An overflowing double literal (parses to inf) is refused.
+  std::string inf = sim::SoakReplayJson(SurvivableConfig(3), {});
+  const std::string key = "\"burst_probability\":";
+  const std::size_t at = inf.find(key);
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = inf.find(',', at);
+  ASSERT_NE(end, std::string::npos);
+  inf.replace(at, end - at, key + "1e999");
+  EXPECT_FALSE(sim::ParseSoakReplay(inf, &error).has_value());
+}
+
+TEST(SoakResultCodec, RoundTripsBitExactly) {
+  const sim::SoakConfig config = SurvivableConfig(4);
+  const sim::SoakResult original = sim::RunSoak(config);
+  const std::string payload = sim::SerializeSoakResult(original);
+  sim::SoakResult restored;
+  ASSERT_TRUE(sim::DeserializeSoakResult(payload, &restored));
+  EXPECT_EQ(restored.passed, original.passed);
+  EXPECT_EQ(restored.digest, original.digest);
+  EXPECT_EQ(restored.violations.size(), original.violations.size());
+  EXPECT_EQ(restored.stats.transport_delivered,
+            original.stats.transport_delivered);
+  EXPECT_EQ(restored.stats.per_tag_deliveries,
+            original.stats.per_tag_deliveries);
+  EXPECT_EQ(restored.stats.fault_counters.total(),
+            original.stats.fault_counters.total());
+  // The serialized form itself is deterministic (checkpoint currency).
+  EXPECT_EQ(sim::SerializeSoakResult(restored), payload);
+
+  // Violations round-trip with their strings intact.
+  sim::SoakResult with_violations = original;
+  with_violations.violations.push_back({17, "duplicate", "tag=1 seq=9"});
+  with_violations.passed = false;
+  sim::SoakResult again;
+  ASSERT_TRUE(sim::DeserializeSoakResult(
+      sim::SerializeSoakResult(with_violations), &again));
+  ASSERT_EQ(again.violations.size(), with_violations.violations.size());
+  EXPECT_EQ(again.violations.back().kind, "duplicate");
+  EXPECT_EQ(again.violations.back().detail, "tag=1 seq=9");
+
+  // Truncations and garbage never crash the decoder.
+  for (std::size_t n = 0; n < payload.size(); n += 11) {
+    sim::SoakResult scratch;
+    EXPECT_FALSE(
+        sim::DeserializeSoakResult(payload.substr(0, n), &scratch));
+  }
 }
 
 TEST(SoakReplayParserTest, DigestStringEscapingRoundTrips) {

@@ -46,10 +46,11 @@ int main(int argc, char** argv) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
 
-  const auto replay = sim::ParseSoakReplay(buffer.str());
+  std::string parse_error;
+  const auto replay = sim::ParseSoakReplay(buffer.str(), &parse_error);
   if (!replay.has_value()) {
-    std::fprintf(stderr, "replay_soak: %s is not a valid replay record\n",
-                 path);
+    std::fprintf(stderr, "replay_soak: %s is not a valid replay record: %s\n",
+                 path, parse_error.c_str());
     return 2;
   }
 

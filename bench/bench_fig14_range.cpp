@@ -21,6 +21,11 @@ int main(int argc, char** argv) {
   const runtime::RobustSweepOptions robust =
       runtime::RobustOptionsFromArgs(argc, argv);
   const std::string out_dir = bench::OutDirFromArgs(argc, argv);
+  const std::string usage =
+      std::string("bench_fig14_range ") + bench::kRuntimeUsage;
+  if (const int rc = cli::RejectUnknownArgs(argc, argv, usage.c_str())) {
+    return rc;
+  }
 
   const std::vector<double> tx_tag = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
   std::printf("=== Fig. 14: communication range (operational regime) ===\n");

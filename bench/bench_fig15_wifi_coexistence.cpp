@@ -30,6 +30,11 @@ void PrintCdf(const char* label, const std::vector<double>& samples) {
 int main(int argc, char** argv) {
   runtime::InitThreadsFromArgs(argc, argv);
   const std::string out_dir = bench::OutDirFromArgs(argc, argv);
+  if (const int rc = cli::RejectUnknownArgs(
+          argc, argv,
+          "bench_fig15_wifi_coexistence [--threads N] [--out-dir DIR]")) {
+    return rc;
+  }
 
   Rng rng(15);
   const mac::CoexistenceConfig config;

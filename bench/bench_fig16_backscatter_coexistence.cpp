@@ -22,6 +22,12 @@ using namespace freerider;
 int main(int argc, char** argv) {
   runtime::InitThreadsFromArgs(argc, argv);
   const std::string out_dir = bench::OutDirFromArgs(argc, argv);
+  if (const int rc = cli::RejectUnknownArgs(
+          argc, argv,
+          "bench_fig16_backscatter_coexistence [--threads N] "
+          "[--out-dir DIR]")) {
+    return rc;
+  }
 
   Rng rng(16);
   const mac::CoexistenceConfig config;

@@ -60,6 +60,11 @@ int main(int argc, char** argv) {
   const runtime::RobustSweepOptions robust =
       runtime::RobustOptionsFromArgs(argc, argv);
   const std::string out_dir = bench::OutDirFromArgs(argc, argv);
+  const std::string usage =
+      std::string("bench_fig17_mac_multitag ") + bench::kRuntimeUsage;
+  if (const int rc = cli::RejectUnknownArgs(argc, argv, usage.c_str())) {
+    return rc;
+  }
 
   Rng rng(17);
   const mac::CampaignConfig config;

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/cli.h"
 #include "sim/link.h"
 #include "sim/multitag.h"
 #include "sim/sweep.h"
@@ -42,7 +43,10 @@ void Row(sim::TablePrinter& table, const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = cli::RejectUnknownArgs(argc, argv, "bench_impairments")) {
+    return rc;
+  }
   std::printf("=== Robustness: link degradation under injected faults ===\n");
   std::printf("WiFi LOS at 5 m, adaptive redundancy, 12 packets per row\n\n");
 

@@ -95,18 +95,14 @@ double MicrobenchTasksPerSecond(runtime::Executor& executor,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_dir = ".";
+  const std::string out_dir = bench::OutDirFromArgs(argc, argv);
   std::size_t packets = 12;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
-      out_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
-      packets = std::strtoull(argv[++i], nullptr, 10);
-    } else {
-      std::fprintf(stderr, "usage: bench_runtime [--out-dir DIR]"
-                           " [--packets N]\n");
-      return 2;
-    }
+  bool args_ok = true;
+  cli::ConsumeSize(argc, argv, "--packets", &packets, &args_ok);
+  if (!args_ok) return cli::kUsageError;
+  if (const int rc = cli::RejectUnknownArgs(
+          argc, argv, "bench_runtime [--out-dir DIR] [--packets N]")) {
+    return rc;
   }
 
   const unsigned hw = std::thread::hardware_concurrency();

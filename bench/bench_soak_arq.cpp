@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "runtime/checkpoint.h"
 #include "runtime/executor.h"
 #include "runtime/recovery.h"
@@ -143,18 +144,15 @@ int main(int argc, char** argv) {
       runtime::RobustOptionsFromArgs(argc, argv);
   std::size_t rounds = 2000;
   std::string out_dir = ".";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
-      rounds = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
-      out_dir = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_soak_arq [--rounds N] [--out-dir DIR]"
-                   " [--threads N] [--checkpoint PATH] [--resume [PATH]]"
-                   " [--watchdog-s X]\n");
-      return 2;
-    }
+  bool args_ok = true;
+  cli::ConsumeSize(argc, argv, "--rounds", &rounds, &args_ok);
+  cli::ConsumeValue(argc, argv, "--out-dir", &out_dir);
+  if (!args_ok) return cli::kUsageError;
+  if (const int rc = cli::RejectUnknownArgs(
+          argc, argv,
+          "bench_soak_arq [--rounds N] [--out-dir DIR] [--threads N]"
+          " [--checkpoint PATH] [--resume [PATH]] [--watchdog-s X]")) {
+    return rc;
   }
 
   std::printf("=== Chaos soak: selective-repeat ARQ under impairment "

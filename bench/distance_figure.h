@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "runtime/executor.h"
 #include "runtime/recovery.h"
 #include "sim/sweep.h"
@@ -42,19 +43,15 @@ inline bool WriteTextFile(const std::string& path,
 /// returns "." when absent.
 inline std::string OutDirFromArgs(int& argc, char** argv) {
   std::string out_dir = ".";
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
-      out_dir = argv[++i];
-    } else if (std::strncmp(argv[i], "--out-dir=", 10) == 0) {
-      out_dir = argv[i] + 10;
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  argc = out;
+  cli::ConsumeValue(argc, argv, "--out-dir", &out_dir);
   return out_dir;
 }
+
+/// The usage tail every runtime-driven bench shares (the flags the
+/// runtime's own parsers consume).
+inline constexpr const char* kRuntimeUsage =
+    "[--threads N] [--out-dir DIR] [--checkpoint PATH] [--resume [PATH]] "
+    "[--watchdog-s X]";
 
 inline int RunDistanceFigure(int argc, char** argv, const std::string& title,
                              const std::string& slug, core::RadioType radio,
@@ -66,6 +63,10 @@ inline int RunDistanceFigure(int argc, char** argv, const std::string& title,
   const runtime::RobustSweepOptions robust =
       runtime::RobustOptionsFromArgs(argc, argv);
   const std::string out_dir = OutDirFromArgs(argc, argv);
+  const std::string usage = "bench_" + slug + " " + kRuntimeUsage;
+  if (const int rc = cli::RejectUnknownArgs(argc, argv, usage.c_str())) {
+    return rc;
+  }
 
   std::printf("=== %s ===\n", title.c_str());
   std::printf("TX-to-tag %.1f m, %zu excitation frames per point, "

@@ -1,0 +1,106 @@
+// Unified CLI argument validation for the bench/ and tools/ entry
+// points.
+//
+// The historical pattern — each binary running its own partial flag
+// loop — silently ignored anything it did not recognise, so a typo
+// (`--thread 8`, `--rounds=100` on a binary that wanted `--rounds
+// 100`) produced a *default* run that looked like the requested one.
+// For benches whose entire value is comparability, a silently-wrong
+// run is worse than no run.
+//
+// The contract every entry point now follows:
+//   1. consume known flags with the Consume* helpers (or the existing
+//      compacting parsers — runtime::InitThreadsFromArgs etc., which
+//      remove what they recognise);
+//   2. call RejectUnknownArgs(argc, argv, usage) exactly once, after
+//      all consumers: anything still in argv is unknown, and the
+//      binary prints the offending argument + its usage line to
+//      stderr and exits with kUsageError (2) — never a silent default.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace freerider::cli {
+
+/// Exit code for bad invocations, shared by every entry point.
+inline constexpr int kUsageError = 2;
+
+/// Consume `--name VALUE` or `--name=VALUE` from argv (compacting it).
+/// Returns true when the flag was present and a value captured.
+inline bool ConsumeValue(int& argc, char** argv, const char* name,
+                         std::string* value) {
+  const std::size_t name_len = std::strlen(name);
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      *value = argv[++i];
+      found = true;
+    } else if (std::strncmp(argv[i], name, name_len) == 0 &&
+               argv[i][name_len] == '=') {
+      *value = argv[i] + name_len + 1;
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return found;
+}
+
+/// Consume an unsigned integer flag. A present-but-unparsable value is
+/// a usage error, reported like an unknown flag (return via *ok).
+inline bool ConsumeSize(int& argc, char** argv, const char* name,
+                        std::size_t* value, bool* ok) {
+  std::string raw;
+  if (!ConsumeValue(argc, argv, name, &raw)) return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
+    std::fprintf(stderr, "error: %s expects an unsigned integer, got '%s'\n",
+                 name, raw.c_str());
+    *ok = false;
+    return false;
+  }
+  *value = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+inline bool ConsumeU64(int& argc, char** argv, const char* name,
+                       std::uint64_t* value, bool* ok) {
+  std::size_t v = 0;
+  const bool found = ConsumeSize(argc, argv, name, &v, ok);
+  if (found) *value = v;
+  return found;
+}
+
+/// Consume a bare `--name` switch from argv (compacting it).
+inline bool ConsumeFlag(int& argc, char** argv, const char* name) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return found;
+}
+
+/// The terminal validation step: after every known-flag consumer has
+/// compacted argv, anything left is unknown. Returns 0 when argv is
+/// clean; otherwise prints the first offender and the usage line to
+/// stderr and returns kUsageError for main() to propagate.
+inline int RejectUnknownArgs(int argc, char** argv, const char* usage) {
+  if (argc <= 1) return 0;
+  std::fprintf(stderr, "error: unknown argument '%s'\n", argv[1]);
+  std::fprintf(stderr, "usage: %s\n", usage);
+  return kUsageError;
+}
+
+}  // namespace freerider::cli

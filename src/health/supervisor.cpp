@@ -1,0 +1,411 @@
+#include "health/supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/checkpoint.h"
+
+namespace freerider::health {
+namespace {
+
+constexpr std::uint64_t kSupervisorStateVersion = 1;
+
+}  // namespace
+
+const char* TagHealthName(TagHealth state) {
+  switch (state) {
+    case TagHealth::kHealthy: return "healthy";
+    case TagHealth::kDegraded: return "degraded";
+    case TagHealth::kProbation: return "probation";
+    case TagHealth::kQuarantined: return "quarantined";
+    case TagHealth::kRecovered: return "recovered";
+  }
+  return "?";
+}
+
+std::size_t QuarantineDetectionBound(const SupervisorConfig& config) {
+  // Silence accrual to Probation, then one probe cycle (send + response
+  // window, re-armed every probe_interval) per allowed failure, plus a
+  // round of slack for the command to ride the next announcement.
+  return config.silent_to_probation +
+         config.probe_failures_to_quarantine *
+             (config.probe_interval_rounds + config.probe_response_rounds) +
+         2;
+}
+
+LinkSupervisor::LinkSupervisor(std::size_t num_tags,
+                               const SupervisorConfig& config)
+    : config_(config), tags_(num_tags) {
+  config_.ewma_alpha = std::clamp(config_.ewma_alpha, 1e-3, 1.0);
+  if (config_.probe_interval_rounds == 0) config_.probe_interval_rounds = 1;
+  if (config_.probe_response_rounds == 0) config_.probe_response_rounds = 1;
+  if (config_.probe_failures_to_quarantine == 0) {
+    config_.probe_failures_to_quarantine = 1;
+  }
+  if (config_.silent_to_probation == 0) config_.silent_to_probation = 1;
+  config_.command_blocks_per_round =
+      std::clamp<std::size_t>(config_.command_blocks_per_round, 1,
+                              kMaxHealthBlocks);
+  for (std::size_t t = 0; t < tags_.size(); ++t) {
+    tags_[t].cmd.tag_id = static_cast<std::uint8_t>(t + 1);
+  }
+}
+
+std::uint8_t LinkSupervisor::BoostFor(const TagState& tag) const {
+  switch (tag.state) {
+    case TagHealth::kHealthy:
+      return tag.retx_primed && tag.retx >= config_.retx_boost ? 1 : 0;
+    case TagHealth::kDegraded:
+    case TagHealth::kRecovered: {
+      std::uint8_t boost = 1;
+      if (tag.loss >= config_.boost2_loss) boost = 2;
+      if (tag.loss >= config_.boost3_loss) boost = 3;
+      return std::min<std::uint8_t>(boost, kMaxBoostSteps);
+    }
+    case TagHealth::kProbation:
+    case TagHealth::kQuarantined:
+      // A probe must have the best possible chance of landing: the
+      // cost is one slot every probe interval, the payoff is a
+      // correct dead-or-alive verdict.
+      return kMaxBoostSteps;
+  }
+  return 0;
+}
+
+void LinkSupervisor::RefreshCommand(TagState& tag, std::size_t index) {
+  TagCommand want;
+  want.tag_id = static_cast<std::uint8_t>(index + 1);
+  want.admit = tag.state != TagHealth::kProbation &&
+               tag.state != TagHealth::kQuarantined;
+  want.probe = tag.probe_outstanding;
+  want.boost_steps = BoostFor(tag);
+  if (want != tag.cmd) {
+    tag.cmd = want;
+    tag.command_dirty = true;
+  }
+}
+
+void LinkSupervisor::Transition(TagState& tag, std::size_t index,
+                                std::size_t round, TagHealth to) {
+  const TagHealth from = tag.state;
+  if (from == to) return;
+  tag.state = to;
+  if (transitions_.size() < kMaxTransitionLog) {
+    transitions_.push_back(
+        {round, static_cast<std::uint8_t>(index + 1), from, to});
+  }
+  switch (to) {
+    case TagHealth::kDegraded:
+      ++stats_.degradations;
+      break;
+    case TagHealth::kProbation:
+      ++stats_.probations;
+      tag.probe_failures = 0;
+      // First probe goes out with the next announcement.
+      tag.probe_outstanding = true;
+      tag.probe_sent_round = round + 1;
+      tag.last_probe_round = round + 1;
+      break;
+    case TagHealth::kQuarantined:
+      ++stats_.quarantines;
+      tag.probe_outstanding = false;
+      // Stagger the first re-probe a full quarantine interval out.
+      tag.last_probe_round = round;
+      fresh_quarantines_.push_back(index);
+      break;
+    case TagHealth::kRecovered:
+      ++stats_.recoveries;
+      tag.probe_outstanding = false;
+      tag.probe_failures = 0;
+      tag.clean_rounds = 0;
+      if (from == TagHealth::kQuarantined) {
+        fresh_readmissions_.push_back(index);
+      }
+      break;
+    case TagHealth::kHealthy:
+      if (from == TagHealth::kRecovered) ++stats_.readmissions;
+      break;
+  }
+}
+
+void LinkSupervisor::ObserveRound(const RoundObservation& obs) {
+  round_ = obs.round + 1;
+  const double alpha = config_.ewma_alpha;
+  const std::size_t active = obs.singles + obs.collisions;
+  if (active > 0) {
+    const double crc_fail =
+        static_cast<double>(obs.collisions) / static_cast<double>(active);
+    crc_fail_ = crc_primed_ ? (1.0 - alpha) * crc_fail_ + alpha * crc_fail
+                            : crc_fail;
+    crc_primed_ = true;
+  }
+
+  for (std::size_t t = 0; t < tags_.size(); ++t) {
+    TagState& tag = tags_[t];
+    const TagRoundObservation o =
+        t < obs.tags.size() ? obs.tags[t] : TagRoundObservation{};
+    const bool heard = o.frames_heard > 0;
+    const bool expected = tag.cmd.admit || tag.probe_outstanding;
+
+    if (expected) {
+      const double loss_obs = heard ? 0.0 : 1.0;
+      tag.loss = tag.loss_primed ? (1.0 - alpha) * tag.loss + alpha * loss_obs
+                                 : loss_obs;
+      tag.loss_primed = true;
+      const double retx_obs =
+          (o.duplicates + o.nacks_outstanding) > 0 ? 1.0 : 0.0;
+      tag.retx = tag.retx_primed ? (1.0 - alpha) * tag.retx + alpha * retx_obs
+                                 : retx_obs;
+      tag.retx_primed = true;
+      if (heard) {
+        tag.silent_rounds = 0;
+        ++tag.clean_rounds;
+      } else {
+        ++tag.silent_rounds;
+        tag.clean_rounds = 0;
+      }
+    }
+
+    // Probe resolution: an answer is any CRC-valid frame; a probe that
+    // outlives its response window is a failure.
+    if (heard && tag.probe_outstanding) {
+      tag.probe_outstanding = false;
+      tag.probe_failures = 0;
+    } else if (tag.probe_outstanding &&
+               obs.round + 1 >=
+                   tag.probe_sent_round + config_.probe_response_rounds) {
+      tag.probe_outstanding = false;
+      ++tag.probe_failures;
+      ++stats_.probe_failures;
+    }
+
+    // State machine. Quarantined is only reachable from Probation with
+    // the probe-failure budget exhausted — the model-based test pins
+    // this against a reference transition table.
+    switch (tag.state) {
+      case TagHealth::kHealthy:
+        if (tag.loss_primed && tag.loss >= config_.degrade_loss) {
+          Transition(tag, t, obs.round, TagHealth::kDegraded);
+        }
+        break;
+      case TagHealth::kDegraded:
+        if (tag.silent_rounds >= config_.silent_to_probation) {
+          Transition(tag, t, obs.round, TagHealth::kProbation);
+        } else if (tag.loss <= config_.recover_loss) {
+          Transition(tag, t, obs.round, TagHealth::kHealthy);
+        }
+        break;
+      case TagHealth::kProbation:
+        if (heard) {
+          Transition(tag, t, obs.round, TagHealth::kRecovered);
+        } else if (tag.probe_failures >=
+                   config_.probe_failures_to_quarantine) {
+          Transition(tag, t, obs.round, TagHealth::kQuarantined);
+        }
+        break;
+      case TagHealth::kQuarantined:
+        if (heard) {
+          Transition(tag, t, obs.round, TagHealth::kRecovered);
+        }
+        break;
+      case TagHealth::kRecovered:
+        if (tag.silent_rounds >= config_.silent_to_probation) {
+          Transition(tag, t, obs.round, TagHealth::kProbation);
+        } else if (tag.clean_rounds >= config_.recovered_hold_rounds &&
+                   tag.loss <= config_.recover_loss) {
+          Transition(tag, t, obs.round, TagHealth::kHealthy);
+        }
+        break;
+    }
+
+    // Probe scheduling for the states that probe.
+    if ((tag.state == TagHealth::kProbation ||
+         tag.state == TagHealth::kQuarantined) &&
+        !tag.probe_outstanding) {
+      const std::size_t interval = tag.state == TagHealth::kProbation
+                                       ? config_.probe_interval_rounds
+                                       : config_.quarantine_reprobe_rounds;
+      if (obs.round + 1 >= tag.last_probe_round + interval) {
+        tag.probe_outstanding = true;
+        tag.probe_sent_round = obs.round + 1;
+        tag.last_probe_round = obs.round + 1;
+      }
+    }
+
+    RefreshCommand(tag, t);
+    if (tag.cmd.boost_steps > 0) ++stats_.boost_commands;
+  }
+}
+
+TagCommand LinkSupervisor::command(std::size_t tag) const {
+  return tags_[tag].cmd;
+}
+
+std::size_t LinkSupervisor::admitted_tags() const {
+  std::size_t n = 0;
+  for (const TagState& t : tags_) {
+    if (t.cmd.admit) ++n;
+  }
+  return n;
+}
+
+HealthExtension LinkSupervisor::BuildExtension() {
+  HealthExtension ext;
+  const std::size_t blocks =
+      std::min(config_.command_blocks_per_round, tags_.size());
+  auto include = [&](std::size_t index) {
+    if (ext.commands.size() >= blocks) return;
+    for (const TagCommand& c : ext.commands) {
+      if (c.tag_id == index + 1) return;
+    }
+    ext.commands.push_back(tags_[index].cmd);
+    tags_[index].command_dirty = false;
+    if (tags_[index].cmd.probe) ++stats_.probes_sent;
+  };
+  // 1. Probes — a probe that never airs can never be answered.
+  for (std::size_t t = 0; t < tags_.size(); ++t) {
+    if (tags_[t].cmd.probe) include(t);
+  }
+  // 2. Changed commands (quarantine/boost updates reach tags fast).
+  for (std::size_t t = 0; t < tags_.size(); ++t) {
+    if (tags_[t].command_dirty) include(t);
+  }
+  // 3. Round-robin background refresh (commands are sticky but a tag
+  // that missed an announcement must eventually re-hear its command).
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    include((rotation_ + i) % tags_.size());
+  }
+  rotation_ = tags_.empty() ? 0 : (rotation_ + blocks) % tags_.size();
+  return ext;
+}
+
+std::vector<std::size_t> LinkSupervisor::TakeFreshQuarantines() {
+  return std::exchange(fresh_quarantines_, {});
+}
+
+std::vector<std::size_t> LinkSupervisor::TakeFreshReadmissions() {
+  return std::exchange(fresh_readmissions_, {});
+}
+
+std::string LinkSupervisor::Serialize() const {
+  runtime::PayloadWriter w;
+  w.U64(kSupervisorStateVersion);
+  w.U64(tags_.size());
+  for (const TagState& t : tags_) {
+    w.U64(static_cast<std::uint64_t>(t.state));
+    w.F64(t.loss);
+    w.F64(t.retx);
+    w.U64(t.loss_primed ? 1 : 0);
+    w.U64(t.retx_primed ? 1 : 0);
+    w.U64(t.silent_rounds);
+    w.U64(t.clean_rounds);
+    w.U64(t.probe_failures);
+    w.U64(t.probe_outstanding ? 1 : 0);
+    w.U64(t.probe_sent_round);
+    w.U64(t.last_probe_round);
+    w.U64(t.command_dirty ? 1 : 0);
+    w.U64(t.cmd.tag_id);
+    w.U64(t.cmd.admit ? 1 : 0);
+    w.U64(t.cmd.probe ? 1 : 0);
+    w.U64(t.cmd.boost_steps);
+  }
+  w.F64(crc_fail_);
+  w.U64(crc_primed_ ? 1 : 0);
+  w.U64(round_);
+  w.U64(rotation_);
+  w.U64(stats_.degradations);
+  w.U64(stats_.probations);
+  w.U64(stats_.quarantines);
+  w.U64(stats_.recoveries);
+  w.U64(stats_.readmissions);
+  w.U64(stats_.probes_sent);
+  w.U64(stats_.probe_failures);
+  w.U64(stats_.boost_commands);
+  w.U64(transitions_.size());
+  for (const HealthTransition& tr : transitions_) {
+    w.U64(tr.round);
+    w.U64(tr.tag_id);
+    w.U64(static_cast<std::uint64_t>(tr.from));
+    w.U64(static_cast<std::uint64_t>(tr.to));
+  }
+  return w.Take();
+}
+
+bool LinkSupervisor::Deserialize(const std::string& payload) {
+  runtime::PayloadReader r(payload);
+  std::uint64_t v = 0;
+  auto u = [&](std::size_t* field) {
+    if (!r.U64(&v)) return false;
+    *field = static_cast<std::size_t>(v);
+    return true;
+  };
+  auto b = [&](bool* field) {
+    if (!r.U64(&v) || v > 1) return false;
+    *field = v == 1;
+    return true;
+  };
+  std::uint64_t version = 0;
+  if (!r.U64(&version) || version != kSupervisorStateVersion) return false;
+  std::uint64_t num_tags = 0;
+  if (!r.U64(&num_tags) || num_tags != tags_.size()) return false;
+  std::vector<TagState> tags(tags_.size());
+  for (TagState& t : tags) {
+    if (!r.U64(&v) || v > 4) return false;
+    t.state = static_cast<TagHealth>(v);
+    std::uint64_t tag_id = 0;
+    std::uint64_t boost = 0;
+    if (!r.F64(&t.loss) || !r.F64(&t.retx) || !b(&t.loss_primed) ||
+        !b(&t.retx_primed) || !u(&t.silent_rounds) || !u(&t.clean_rounds) ||
+        !u(&t.probe_failures) || !b(&t.probe_outstanding) ||
+        !u(&t.probe_sent_round) || !u(&t.last_probe_round) ||
+        !b(&t.command_dirty) || !r.U64(&tag_id) || tag_id > 255 ||
+        !b(&t.cmd.admit) || !b(&t.cmd.probe) || !r.U64(&boost) ||
+        boost > kMaxBoostSteps) {
+      return false;
+    }
+    t.cmd.tag_id = static_cast<std::uint8_t>(tag_id);
+    t.cmd.boost_steps = static_cast<std::uint8_t>(boost);
+  }
+  double crc_fail = 0.0;
+  bool crc_primed = false;
+  std::size_t round = 0;
+  std::size_t rotation = 0;
+  SupervisorStats stats;
+  if (!r.F64(&crc_fail) || !b(&crc_primed) || !u(&round) || !u(&rotation) ||
+      !u(&stats.degradations) || !u(&stats.probations) ||
+      !u(&stats.quarantines) || !u(&stats.recoveries) ||
+      !u(&stats.readmissions) || !u(&stats.probes_sent) ||
+      !u(&stats.probe_failures) || !u(&stats.boost_commands)) {
+    return false;
+  }
+  std::size_t num_transitions = 0;
+  if (!u(&num_transitions) || num_transitions > kMaxTransitionLog) {
+    return false;
+  }
+  std::vector<HealthTransition> transitions(num_transitions);
+  for (HealthTransition& tr : transitions) {
+    std::uint64_t tag_id = 0;
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+    if (!u(&tr.round) || !r.U64(&tag_id) || tag_id > 255 || !r.U64(&from) ||
+        from > 4 || !r.U64(&to) || to > 4) {
+      return false;
+    }
+    tr.tag_id = static_cast<std::uint8_t>(tag_id);
+    tr.from = static_cast<TagHealth>(from);
+    tr.to = static_cast<TagHealth>(to);
+  }
+  if (!r.AtEnd()) return false;
+  tags_ = std::move(tags);
+  crc_fail_ = crc_fail;
+  crc_primed_ = crc_primed;
+  round_ = round;
+  rotation_ = rotation;
+  stats_ = stats;
+  transitions_ = std::move(transitions);
+  fresh_quarantines_.clear();
+  fresh_readmissions_.clear();
+  return true;
+}
+
+}  // namespace freerider::health

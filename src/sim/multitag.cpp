@@ -10,6 +10,7 @@
 #include "core/translator.h"
 #include "core/xor_decoder.h"
 #include "dsp/signal_ops.h"
+#include "health/wire.h"
 #include "phy80211/receiver.h"
 #include "phy80211/transmitter.h"
 #include "tag/envelope_detector.h"
@@ -35,6 +36,11 @@ struct FullStackSim::SimTag {
   std::uint8_t id = 0;
   std::uint8_t sequence = 0;  ///< Legacy fire-and-forget counter.
   std::unique_ptr<transport::TagTransport> arq;
+  /// Last health command heard (sticky: admit/boost persist until the
+  /// next command block for this tag survives the air).
+  health::TagCommand cmd;
+  /// Probe is edge-triggered: respond in the round it was heard.
+  bool probe_this_round = false;
 };
 
 namespace {
@@ -85,6 +91,21 @@ FullStackSim::FullStackSim(const FullStackConfig& config, Rng& rng)
     coordinator_ = std::make_unique<transport::CoordinatorTransport>(
         config_.num_tags, config_.transport);
   }
+  // Supervisor and dynamics are constructed off the master stream:
+  // the supervisor is a pure function of observations and the dynamics
+  // run on their own counter-based seed, so enabling neither perturbs
+  // the legacy rng draw order above.
+  if (config_.supervisor.enabled && config_.transport.enabled) {
+    supervisor_ = std::make_unique<health::LinkSupervisor>(
+        config_.num_tags, config_.supervisor);
+    prev_duplicates_.assign(config_.num_tags, 0);
+    for (SimTag& t : tags_) t.cmd.tag_id = t.id;
+  }
+  tag_offering_.assign(config_.num_tags, 1);
+  if (config_.dynamics.AnyEnabled()) {
+    dynamics_ = std::make_unique<impair::ChannelDynamics>(config_.dynamics,
+                                                          config_.num_tags);
+  }
 }
 
 FullStackSim::~FullStackSim() = default;
@@ -100,8 +121,17 @@ const transport::TagTransport* FullStackSim::tag_transport(
 
 RoundReport FullStackSim::StepRound() {
   const bool arq = config_.transport.enabled;
+  const bool sup = supervisor_ != nullptr;
+  const bool dyn = dynamics_ != nullptr;
   RoundReport report;
   report.round = round_;
+
+  if (dyn) {
+    dynamics_->BeginRound(round_);
+    for (std::size_t t = 0; t < config_.num_tags; ++t) {
+      if (dynamics_->link(t).blackout) ++stats_.blackout_tag_rounds;
+    }
+  }
 
   ++stats_.rounds;
   const std::size_t slots = scheduler_.current_slots();
@@ -120,8 +150,10 @@ RoundReport FullStackSim::StepRound() {
   }
 
   if (arq) {
-    for (SimTag& t : tags_) {
+    for (std::size_t ti = 0; ti < tags_.size(); ++ti) {
+      SimTag& t = tags_[ti];
       t.arq->OnRoundStart(round_);
+      if (!tag_offering_[ti]) continue;
       for (std::size_t i = 0; i < config_.offered_per_round; ++i) {
         t.arq->Enqueue(round_);
       }
@@ -136,16 +168,33 @@ RoundReport FullStackSim::StepRound() {
   mac::RoundAnnouncement announcement;
   announcement.slots = slots;
   announcement.sequence = static_cast<std::uint8_t>(round_);
-  const BitVector payload =
-      arq ? transport::BuildAnnouncementExtended(announcement,
-                                                 coordinator_->BuildExtension())
-          : mac::BuildAnnouncement(announcement);
+  BitVector payload;
+  if (sup) {
+    // Version-2 extension: ACK blocks and health command blocks share
+    // one announcement (the v2 ACK budget is tighter than v1's).
+    transport::AckExtension acks = coordinator_->BuildExtension();
+    if (acks.acks.size() > health::kMaxAckBlocksV2) {
+      acks.acks.resize(health::kMaxAckBlocksV2);
+    }
+    payload = health::BuildAnnouncementHealth(announcement, acks,
+                                              supervisor_->BuildExtension());
+  } else if (arq) {
+    payload = transport::BuildAnnouncementExtended(
+        announcement, coordinator_->BuildExtension());
+  } else {
+    payload = mac::BuildAnnouncement(announcement);
+  }
   const BitVector message = mac::BuildPlmMessage(payload);
   const auto pulses =
       mac::EncodePlm(message, 0.0, config_.plm_power_at_tag_dbm, plm);
   stats_.airtime_s +=
       pulses.back().start_s + pulses.back().duration_s + plm.gap_s;
-  for (SimTag& t : tags_) {
+  for (std::size_t ti = 0; ti < tags_.size(); ++ti) {
+    SimTag& t = tags_[ti];
+    // A blacked-out tag hears nothing at all: no excitation reaches it,
+    // so no pulses, no announcement, no commands (they are sticky and
+    // re-sent round-robin, so the loop catches up when the link does).
+    if (dyn && dynamics_->link(ti).blackout) continue;
     // The physical detector model first (misses, jitter — main rng),
     // then the injected envelope faults (injector's own rng).
     std::vector<tag::MeasuredPulse> detected;
@@ -156,7 +205,28 @@ RoundReport FullStackSim::StepRound() {
     for (const auto& m : injector_.ImpairPulses(std::move(detected))) {
       t.controller.OnPulse(m);
     }
-    if (arq) {
+    if (sup) {
+      // Version-2 parse: ACK blocks feed the selective-repeat queue,
+      // health blocks update the tag's sticky command state.
+      if (auto heard = t.controller.TakeAnnouncementPayload()) {
+        const auto parsed = health::ParseAnnouncementHealth(*heard);
+        if (parsed.has_value()) {
+          if (parsed->ext_rejected) ++stats_.transport_ext_rejected;
+          if (parsed->acks.has_value()) {
+            for (const transport::TagAck& ack : parsed->acks->acks) {
+              if (ack.tag_id == t.id) t.arq->OnAck(ack, round_);
+            }
+          }
+          if (parsed->health.has_value()) {
+            for (const health::TagCommand& cmd : parsed->health->commands) {
+              if (cmd.tag_id != t.id) continue;
+              t.cmd = cmd;
+              if (cmd.probe) t.probe_this_round = true;
+            }
+          }
+        }
+      }
+    } else if (arq) {
       // Whatever announcement the tag heard, its ACK block (if the
       // round-robin included us and the extension survived the air)
       // feeds the selective-repeat queue.
@@ -184,6 +254,7 @@ RoundReport FullStackSim::StepRound() {
   std::size_t singles_observed = 0;
   std::size_t collisions_observed = 0;
   std::size_t empties_observed = 0;
+  std::vector<std::size_t> raw_per_tag(sup ? config_.num_tags : 0, 0);
   for (std::size_t slot = 0; slot < slots; ++slot) {
     ++stats_.slots_total;
     const phy80211::TxFrame excitation = phy80211::BuildFrame(
@@ -211,27 +282,58 @@ RoundReport FullStackSim::StepRound() {
     IqBuffer composite;
     for (std::size_t t = 0; t < config_.num_tags; ++t) {
       if (!tags_[t].controller.OnSlotBoundary()) continue;
+      // No excitation reaches a blacked-out tag: nothing to reflect,
+      // whatever its controller believes about the slot grid.
+      if (dyn && dynamics_->link(t).blackout) continue;
+      if (sup && !tags_[t].cmd.admit && !tags_[t].probe_this_round) {
+        continue;  // parked by the supervisor: sit the round out
+      }
       BitVector bits;
       core::TranslateConfig tag_tcfg = tcfg;
       if (arq) {
+        std::uint8_t seq = 0;
+        std::size_t steps = 0;
         const auto tx = tags_[t].arq->NextFrame(round_);
-        if (!tx.has_value()) continue;  // queue empty: slot stays silent
-        // Escalate redundancy one ×2 ladder step per escalation, but
-        // never past the point where the frame stops fitting in one
-        // excitation — a frame that cannot land is worse than one that
-        // lands at lower redundancy.
-        std::size_t redundancy = tcfg.redundancy << tx->escalation_steps;
+        if (tx.has_value()) {
+          seq = tx->seq;
+          steps = tx->escalation_steps;
+        } else if (sup && tags_[t].probe_this_round) {
+          // Probe keepalive with an empty queue: re-send the newest
+          // sequence. The transport reads it as a duplicate (harmless);
+          // the supervisor counts any CRC-valid frame as the answer.
+          seq = static_cast<std::uint8_t>(tags_[t].arq->next_seq() - 1);
+        } else {
+          continue;  // queue empty: slot stays silent
+        }
+        // Escalate redundancy one ×2 ladder step per ARQ escalation
+        // plus the supervisor's commanded boost, but never past the
+        // point where the frame stops fitting in one excitation — a
+        // frame that cannot land is worse than one that lands at
+        // lower redundancy.
+        if (sup) steps += tags_[t].cmd.boost_steps;
+        std::size_t redundancy = tcfg.redundancy << steps;
         while (redundancy > tcfg.redundancy &&
                capacity_at(redundancy) < frame_bits) {
           redundancy >>= 1;
         }
         tag_tcfg.redundancy = redundancy;
-        const Bytes payload = {tags_[t].id, tx->seq};
+        const Bytes payload = {tags_[t].id, seq};
         bits = core::EncodeTagFrame(payload);
       } else {
         bits = tags_[t].LegacySlotBits();
       }
       report.fired.push_back(tags_[t].id);
+      if (dyn) {
+        // Frame-level fade: each surviving ×2 redundancy step is an
+        // independent chance through the burst-error channel, so the
+        // commanded boost buys real survival probability.
+        const std::size_t reps =
+            std::max<std::size_t>(tag_tcfg.redundancy / tcfg.redundancy, 1);
+        if (!dynamics_->FrameSurvives(t, slot, reps)) {
+          ++stats_.faded_frames;
+          continue;  // transmission spent, reflection lost in the fade
+        }
+      }
       bits.resize(capacity_at(tag_tcfg.redundancy), 0);
       const IqBuffer reflection = core::Translate(scaled, bits, tag_tcfg);
       if (faults.tag_clock_ppm != 0.0 || faults.start_slip_samples != 0.0) {
@@ -267,8 +369,10 @@ RoundReport FullStackSim::StepRound() {
       // single decode.
       std::vector<std::size_t> candidates = {tcfg.redundancy};
       if (arq) {
-        for (std::size_t step = 1;
-             step <= config_.transport.max_escalation_steps; ++step) {
+        const std::size_t max_steps =
+            config_.transport.max_escalation_steps +
+            (sup ? health::kMaxBoostSteps : 0);
+        for (std::size_t step = 1; step <= max_steps; ++step) {
           const std::size_t redundancy = tcfg.redundancy << step;
           if (capacity_at(redundancy) >= frame_bits) {
             candidates.push_back(redundancy);
@@ -294,6 +398,7 @@ RoundReport FullStackSim::StepRound() {
           ++stats_.deliveries;
           ++stats_.per_tag_deliveries[id - 1];
           ++report.raw_frames;
+          if (sup) ++raw_per_tag[id - 1];
           delivered = true;
           if (arq) {
             for (const std::uint8_t s :
@@ -322,6 +427,40 @@ RoundReport FullStackSim::StepRound() {
         report.delivered.push_back({id, s});
       }
     }
+  }
+
+  if (sup) {
+    health::RoundObservation obs;
+    obs.round = round_;
+    obs.singles = singles_observed;
+    obs.collisions = collisions_observed;
+    obs.empties = empties_observed;
+    obs.tags.resize(config_.num_tags);
+    for (std::size_t t = 0; t < config_.num_tags; ++t) {
+      const transport::TagRxStats& rx = coordinator_->rx(t).stats();
+      obs.tags[t].frames_heard = raw_per_tag[t];
+      obs.tags[t].duplicates = rx.duplicates - prev_duplicates_[t];
+      prev_duplicates_[t] = rx.duplicates;
+      obs.tags[t].nacks_outstanding = coordinator_->rx(t).BufferedOoo();
+    }
+    supervisor_->ObserveRound(obs);
+    // Quarantine frees the tag's reassembly memory (S-bugfix: a silent
+    // tag must not pin its OOO buffer forever); a readmitted tag gets
+    // a stream re-anchor so its first frames after the silence are not
+    // dup-dropped by a stale delivery point. Healthy tags' ARQ state
+    // is untouched by either.
+    for (const std::size_t t : supervisor_->TakeFreshQuarantines()) {
+      coordinator_->rx(t).EvictOoo();
+    }
+    for (const std::size_t t : supervisor_->TakeFreshReadmissions()) {
+      coordinator_->rx(t).BeginResync();
+    }
+    report.health.reserve(config_.num_tags);
+    for (std::size_t t = 0; t < config_.num_tags; ++t) {
+      report.health.push_back(
+          static_cast<std::uint8_t>(supervisor_->health(t)));
+    }
+    for (SimTag& t : tags_) t.probe_this_round = false;
   }
 
   stats_.observed_collisions += collisions_observed;
@@ -376,7 +515,17 @@ FullStackStats FullStackSim::Stats() const {
       stats.transport_delivered += rx.delivered;
       stats.transport_duplicates += rx.duplicates;
       stats.transport_holes_skipped += rx.holes_skipped;
+      stats.health_ooo_evicted += rx.ooo_evicted;
+      stats.health_resyncs += rx.resyncs;
     }
+  }
+  if (supervisor_ != nullptr) {
+    const health::SupervisorStats& hs = supervisor_->stats();
+    stats.health_quarantines = hs.quarantines;
+    stats.health_recoveries = hs.recoveries;
+    stats.health_probes_sent = hs.probes_sent;
+    stats.health_probe_failures = hs.probe_failures;
+    stats.health_boost_commands = hs.boost_commands;
   }
   return stats;
 }

@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "health/supervisor.h"
+#include "impair/dynamics.h"
 #include "impair/impair.h"
 #include "mac/slotted_aloha.h"
 #include "mac/tag_mac.h"
@@ -89,6 +91,15 @@ struct FullStackConfig {
   transport::TransportConfig transport;
   /// Transport mode: frames the application enqueues per tag per round.
   std::size_t offered_per_round = 1;
+  /// Closed-loop link supervisor (health/supervisor.h). Requires the
+  /// transport; ignored otherwise. Disabled by default — off keeps
+  /// every legacy result bit-for-bit unchanged (the announcement stays
+  /// version 1 and no supervisor state exists).
+  health::SupervisorConfig supervisor;
+  /// Time-varying link dynamics (impair/dynamics.h): burst fades,
+  /// mobility, blackouts. Runs on its own counter-based streams, so a
+  /// fully-disabled config draws nothing and perturbs nothing.
+  impair::DynamicsConfig dynamics;
 };
 
 struct FullStackStats {
@@ -120,6 +131,17 @@ struct FullStackStats {
   std::size_t transport_escalations = 0;   ///< Sends above base redundancy.
   std::size_t transport_ext_rejected = 0;  ///< Corrupt ACK extensions seen.
   std::size_t transport_rejected_full = 0; ///< Enqueues refused (queue full).
+  // Supervisor accounting (all zero with the supervisor disabled) ----
+  std::size_t health_quarantines = 0;
+  std::size_t health_recoveries = 0;
+  std::size_t health_probes_sent = 0;
+  std::size_t health_probe_failures = 0;
+  std::size_t health_boost_commands = 0;   ///< Rounds×tags commanded >0 boost.
+  std::size_t health_ooo_evicted = 0;      ///< OOO frames freed at quarantine.
+  std::size_t health_resyncs = 0;          ///< Streams re-anchored on return.
+  // Dynamics accounting (all zero with dynamics disabled) ------------
+  std::size_t faded_frames = 0;            ///< Reflections lost to fades.
+  std::size_t blackout_tag_rounds = 0;     ///< Tag-rounds spent blacked out.
 };
 
 /// What one simulated round did — the soak harness checks its
@@ -139,6 +161,10 @@ struct RoundReport {
   std::vector<std::uint8_t> fired;
   std::size_t raw_frames = 0;   ///< CRC-valid frames before dedup.
   std::size_t duplicates = 0;   ///< Transport-rejected duplicates.
+  /// Per-tag health state after this round (supervisor mode only,
+  /// values are health::TagHealth) — the stress harness audits the
+  /// quarantine detection bound against this.
+  std::vector<std::uint8_t> health;
 };
 
 class FullStackSim {
@@ -164,6 +190,13 @@ class FullStackSim {
     config_.offered_per_round = offered;
   }
 
+  /// Stop (or resume) offering load to one tag — harnesses use this
+  /// when a device is known dead, the way real traffic sources stop
+  /// addressing an unplugged node. Draws nothing from any rng stream.
+  void SetTagOffering(std::size_t tag, bool offering) {
+    if (tag < tag_offering_.size()) tag_offering_[tag] = offering ? 1 : 0;
+  }
+
   /// Derived stats over everything stepped so far.
   FullStackStats Stats() const;
 
@@ -173,6 +206,11 @@ class FullStackSim {
   const transport::CoordinatorTransport* coordinator_transport() const {
     return coordinator_.get();
   }
+  /// Supervisor / dynamics introspection (null when disabled).
+  const health::LinkSupervisor* supervisor() const { return supervisor_.get(); }
+  health::LinkSupervisor* supervisor() { return supervisor_.get(); }
+  const impair::ChannelDynamics* dynamics() const { return dynamics_.get(); }
+  impair::ChannelDynamics* dynamics() { return dynamics_.get(); }
 
  private:
   struct SimTag;
@@ -187,6 +225,13 @@ class FullStackSim {
   mac::SlotScheduler scheduler_;
   impair::FaultInjector injector_;
   std::unique_ptr<transport::CoordinatorTransport> coordinator_;
+  std::unique_ptr<health::LinkSupervisor> supervisor_;
+  std::unique_ptr<impair::ChannelDynamics> dynamics_;
+  /// Previous-round duplicate totals per tag (supervisor observation
+  /// wants per-round deltas, the transport keeps running totals).
+  std::vector<std::size_t> prev_duplicates_;
+  /// Per-tag offer gate (SetTagOffering); 1 = offered load flows.
+  std::vector<std::uint8_t> tag_offering_;
   std::size_t round_ = 0;
   std::size_t consecutive_failed_rounds_ = 0;
   FullStackStats stats_;

@@ -1,0 +1,363 @@
+#include "sim/stress.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "runtime/checkpoint.h"
+
+namespace freerider::sim {
+namespace {
+
+std::string Fmt(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list measure;
+  va_copy(measure, args);
+  const int size = std::vsnprintf(nullptr, 0, format, measure);
+  va_end(measure);
+  std::string out(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
+  std::vsnprintf(out.data(), out.size() + 1, format, args);
+  va_end(args);
+  return out;
+}
+
+/// Per-tag sequence-space tracker (64-bit position, so it never
+/// aliases across 8-bit wraps). Re-anchored when the transport
+/// declares an explicit stream resync — the one sanctioned repeat.
+struct TagTrack {
+  bool anchored = false;
+  std::uint64_t position = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t skipped = 0;
+  std::size_t resyncs_seen = 0;
+};
+
+}  // namespace
+
+StressResult RunStress(const StressConfig& config) {
+  FullStackConfig sim_cfg;
+  sim_cfg.num_tags = config.num_tags;
+  sim_cfg.rounds = config.rounds + config.drain_rounds;
+  sim_cfg.transport = config.transport;
+  sim_cfg.transport.enabled = true;
+  sim_cfg.supervisor = config.supervisor;
+  sim_cfg.supervisor.enabled = config.supervisor_on;
+  sim_cfg.dynamics = config.dynamics;
+  sim_cfg.offered_per_round = 0;  // the harness schedules offers itself
+  if (config.HasDeadTag()) {
+    impair::BlackoutWindow death;
+    death.begin_round = config.dead_round;
+    death.end_round = config.rounds + config.drain_rounds + 1;
+    death.tags = {config.dead_tag};
+    sim_cfg.dynamics.blackouts.push_back(death);
+  }
+
+  Rng rng(config.seed);
+  FullStackSim sim(sim_cfg, rng);
+  StressResult result;
+  std::vector<TagTrack> track(config.num_tags);
+
+  auto violate = [&](std::size_t round, const char* kind,
+                     std::string detail) {
+    result.violations.push_back({round, kind, std::move(detail)});
+  };
+
+  const std::size_t total_rounds = config.rounds + config.drain_rounds;
+  for (std::size_t round = 0; round < total_rounds; ++round) {
+    const bool offering = round < config.rounds && config.offer_every != 0 &&
+                          round % config.offer_every == 0;
+    sim.SetOfferedPerRound(offering ? 1 : 0);
+    // The workload stops addressing the dead tag once it dies — the
+    // way real traffic sources drop an unplugged node. Frames already
+    // queued at death stay offered (and charged) in both arms.
+    if (config.HasDeadTag() && round == config.dead_round) {
+      sim.SetTagOffering(config.dead_tag, false);
+    }
+
+    const RoundReport report = sim.StepRound();
+
+    // A resync this round re-anchors the tag's tracker: the transport
+    // deliberately forgot the old delivery point, and the sequences it
+    // delivers next are anchored to the first frame heard.
+    for (std::size_t t = 0; t < config.num_tags; ++t) {
+      const std::size_t resyncs =
+          sim.coordinator_transport()->rx(t).stats().resyncs;
+      if (resyncs != track[t].resyncs_seen) {
+        track[t].resyncs_seen = resyncs;
+        track[t].anchored = false;
+      }
+    }
+
+    std::vector<std::optional<std::uint8_t>> skip(config.num_tags);
+    for (const RoundReport::Delivery& s : report.skipped) {
+      skip[s.tag_id - 1] = s.seq;
+    }
+    auto consume_skip = [&](std::size_t t) {
+      TagTrack& tk = track[t];
+      if (tk.anchored && skip[t].has_value() &&
+          *skip[t] == static_cast<std::uint8_t>(tk.position)) {
+        skip[t].reset();
+        ++tk.position;
+        ++tk.skipped;
+        return true;
+      }
+      return false;
+    };
+
+    for (const RoundReport::Delivery& d : report.delivered) {
+      const std::size_t t = d.tag_id - 1;
+      TagTrack& tk = track[t];
+      if (!tk.anchored) {
+        tk.anchored = true;
+        tk.position = d.seq;
+      }
+      if (d.seq != static_cast<std::uint8_t>(tk.position)) {
+        consume_skip(t);
+      }
+      const std::uint8_t expected = static_cast<std::uint8_t>(tk.position);
+      if (d.seq == expected) {
+        ++tk.position;
+        ++tk.delivered;
+        continue;
+      }
+      const bool behind = transport::SeqDistance(d.seq, expected) < 128;
+      violate(round, behind ? "duplicate" : "reorder",
+              Fmt("tag=%u seq=%u expected=%u", d.tag_id, d.seq, expected));
+    }
+    for (std::size_t t = 0; t < config.num_tags; ++t) {
+      if (!skip[t].has_value()) continue;
+      if (!track[t].anchored) {
+        // A skip before any delivery anchors the stream one past it.
+        track[t].anchored = true;
+        track[t].position = static_cast<std::uint64_t>(*skip[t]) + 1;
+        ++track[t].skipped;
+        continue;
+      }
+      const std::uint8_t expected =
+          static_cast<std::uint8_t>(track[t].position);
+      if (!consume_skip(t)) {
+        violate(round, "skip-out-of-order",
+                Fmt("tag=%zu seq=%u expected=%u", t + 1, *skip[t], expected));
+      }
+    }
+  }
+
+  const FullStackStats stats = sim.Stats();
+  result.offered = stats.transport_offered;
+  result.delivered = stats.transport_delivered;
+  result.expired = stats.transport_expired;
+  result.rejected_full = stats.transport_rejected_full;
+  result.duplicates = stats.transport_duplicates;
+  result.skipped = stats.transport_holes_skipped;
+  result.faded_frames = stats.faded_frames;
+  // Triage aid (docs/link_health.md): FREERIDER_STRESS_DEBUG=1 dumps
+  // per-tag transport accounting and the full health-transition log to
+  // stderr. Never drawn from, never on by default.
+  if (std::getenv("FREERIDER_STRESS_DEBUG") != nullptr) {
+    for (std::size_t t = 0; t < config.num_tags; ++t) {
+      const transport::TagTransport* tx = sim.tag_transport(t);
+      const transport::TagRxStats& rx =
+          sim.coordinator_transport()->rx(t).stats();
+      std::fprintf(stderr,
+                   "[stress] tag=%zu offered=%zu acked=%zu delivered=%llu "
+                   "skipped=%llu expired=%zu rej=%zu resyncs=%zu "
+                   "evicted=%zu state=%s\n",
+                   t + 1, tx->stats().offered, tx->stats().acked,
+                   static_cast<unsigned long long>(track[t].delivered),
+                   static_cast<unsigned long long>(track[t].skipped),
+                   tx->stats().expired, tx->stats().rejected_full,
+                   rx.resyncs, rx.ooo_evicted,
+                   sim.supervisor() != nullptr
+                       ? health::TagHealthName(sim.supervisor()->health(t))
+                       : "-");
+    }
+    if (sim.supervisor() != nullptr) {
+      for (const health::HealthTransition& tr :
+           sim.supervisor()->transitions()) {
+        std::fprintf(stderr, "[stress] transition round=%zu tag=%u %s->%s\n",
+                     tr.round, tr.tag_id, health::TagHealthName(tr.from),
+                     health::TagHealthName(tr.to));
+      }
+    }
+  }
+  result.blackout_tag_rounds = stats.blackout_tag_rounds;
+  result.quarantines = stats.health_quarantines;
+  result.recoveries = stats.health_recoveries;
+  result.probes_sent = stats.health_probes_sent;
+  result.boost_commands = stats.health_boost_commands;
+  result.resyncs = stats.health_resyncs;
+  result.ooo_evicted = stats.health_ooo_evicted;
+  result.delivery_ratio =
+      result.offered > 0 ? static_cast<double>(result.delivered) /
+                               static_cast<double>(result.offered)
+                         : 0.0;
+
+  const health::LinkSupervisor* supervisor = sim.supervisor();
+  if (supervisor != nullptr) {
+    // Healthy-tag isolation: recovery actions (stream resync, OOO
+    // eviction) may only ever touch tags the supervisor actually
+    // quarantined — in-flight ARQ state of healthy tags is sacrosanct.
+    std::set<std::uint8_t> quarantined_ids;
+    for (const health::HealthTransition& tr : supervisor->transitions()) {
+      if (tr.to == health::TagHealth::kQuarantined) {
+        quarantined_ids.insert(tr.tag_id);
+      }
+    }
+    for (std::size_t t = 0; t < config.num_tags; ++t) {
+      if (quarantined_ids.count(static_cast<std::uint8_t>(t + 1)) > 0) {
+        continue;
+      }
+      const transport::TagRxStats& rx =
+          sim.coordinator_transport()->rx(t).stats();
+      if (rx.resyncs > 0) {
+        violate(total_rounds, "resync_healthy",
+                Fmt("tag=%zu resyncs=%zu", t + 1, rx.resyncs));
+      }
+      if (rx.ooo_evicted > 0) {
+        violate(total_rounds, "evict_healthy",
+                Fmt("tag=%zu evicted=%zu", t + 1, rx.ooo_evicted));
+      }
+    }
+    // Quarantine detection bound for the configured dead tag. A deep
+    // fade may already have the tag Quarantined when it dies; what the
+    // contract requires is that the tag sits in Quarantined no later
+    // than dead_round + bound and never leaves afterwards — it is
+    // silent forever, so any post-death recovery would be a phantom.
+    if (config.HasDeadTag()) {
+      result.dead_tag_audited = true;
+      result.detection_bound = health::QuarantineDetectionBound(
+          config.supervisor);
+      const std::uint8_t dead_id =
+          static_cast<std::uint8_t>(config.dead_tag + 1);
+      bool in_quarantine = false;
+      std::size_t entered = 0;
+      for (const health::HealthTransition& tr : supervisor->transitions()) {
+        if (tr.tag_id != dead_id) continue;
+        if (tr.to == health::TagHealth::kQuarantined) {
+          if (!in_quarantine) {
+            in_quarantine = true;
+            entered = tr.round;
+          }
+        } else {
+          in_quarantine = false;
+        }
+      }
+      if (in_quarantine) {
+        result.quarantine_round = entered;
+        // Last heard round is at latest dead_round - 1; a quarantine
+        // already standing at death counts as instant detection.
+        result.detection_rounds =
+            entered > config.dead_round ? entered - config.dead_round + 1 : 0;
+      }
+      result.quarantine_bound_met =
+          in_quarantine && result.detection_rounds <= result.detection_bound;
+      if (!in_quarantine) {
+        violate(total_rounds, "no_quarantine",
+                Fmt("tag=%u dead_round=%zu", dead_id, config.dead_round));
+      } else if (!result.quarantine_bound_met) {
+        violate(total_rounds, "quarantine_late",
+                Fmt("tag=%u detection=%zu bound=%zu", dead_id,
+                    result.detection_rounds, result.detection_bound));
+      }
+    }
+  }
+
+  result.passed = result.violations.empty();
+
+  std::string digest;
+  for (const StressViolation& v : result.violations) {
+    digest += Fmt("violation round=%zu kind=%s %s\n", v.round,
+                  v.kind.c_str(), v.detail.c_str());
+  }
+  digest += Fmt(
+      "stress ratio=%a offered=%zu delivered=%zu expired=%zu rejfull=%zu "
+      "dup=%zu skipped=%zu faded=%zu blackout=%zu quar=%zu recov=%zu "
+      "probes=%zu boosts=%zu resyncs=%zu evicted=%zu qround=%zu detect=%zu "
+      "bound=%zu\n",
+      result.delivery_ratio, result.offered, result.delivered,
+      result.expired, result.rejected_full, result.duplicates, result.skipped,
+      result.faded_frames, result.blackout_tag_rounds, result.quarantines,
+      result.recoveries, result.probes_sent, result.boost_commands,
+      result.resyncs, result.ooo_evicted, result.quarantine_round,
+      result.detection_rounds, result.detection_bound);
+  result.digest = std::move(digest);
+  return result;
+}
+
+std::string SerializeStressResult(const StressResult& result) {
+  runtime::PayloadWriter w;
+  w.U64(result.passed ? 1 : 0);
+  w.F64(result.delivery_ratio);
+  w.U64(result.offered);
+  w.U64(result.delivered);
+  w.U64(result.expired);
+  w.U64(result.rejected_full);
+  w.U64(result.duplicates);
+  w.U64(result.skipped);
+  w.U64(result.faded_frames);
+  w.U64(result.blackout_tag_rounds);
+  w.U64(result.quarantines);
+  w.U64(result.recoveries);
+  w.U64(result.probes_sent);
+  w.U64(result.boost_commands);
+  w.U64(result.resyncs);
+  w.U64(result.ooo_evicted);
+  w.U64(result.dead_tag_audited ? 1 : 0);
+  w.U64(result.quarantine_bound_met ? 1 : 0);
+  w.U64(result.quarantine_round);
+  w.U64(result.detection_rounds);
+  w.U64(result.detection_bound);
+  w.U64(result.violations.size());
+  for (const StressViolation& v : result.violations) {
+    w.U64(v.round);
+    w.Str(v.kind);
+    w.Str(v.detail);
+  }
+  w.Str(result.digest);
+  return w.Take();
+}
+
+bool DeserializeStressResult(const std::string& payload,
+                             StressResult* result) {
+  runtime::PayloadReader r(payload);
+  StressResult out;
+  std::uint64_t v = 0;
+  auto u = [&](std::size_t* field) {
+    if (!r.U64(&v)) return false;
+    *field = static_cast<std::size_t>(v);
+    return true;
+  };
+  auto b = [&](bool* field) {
+    if (!r.U64(&v) || v > 1) return false;
+    *field = v == 1;
+    return true;
+  };
+  std::size_t num_violations = 0;
+  if (!b(&out.passed) || !r.F64(&out.delivery_ratio) || !u(&out.offered) ||
+      !u(&out.delivered) || !u(&out.expired) || !u(&out.rejected_full) ||
+      !u(&out.duplicates) || !u(&out.skipped) || !u(&out.faded_frames) ||
+      !u(&out.blackout_tag_rounds) || !u(&out.quarantines) ||
+      !u(&out.recoveries) || !u(&out.probes_sent) ||
+      !u(&out.boost_commands) || !u(&out.resyncs) ||
+      !u(&out.ooo_evicted) || !b(&out.dead_tag_audited) ||
+      !b(&out.quarantine_bound_met) || !u(&out.quarantine_round) ||
+      !u(&out.detection_rounds) || !u(&out.detection_bound) ||
+      !u(&num_violations) || num_violations > (1u << 20)) {
+    return false;
+  }
+  out.violations.resize(num_violations);
+  for (StressViolation& viol : out.violations) {
+    if (!u(&viol.round) || !r.Str(&viol.kind) || !r.Str(&viol.detail)) {
+      return false;
+    }
+  }
+  if (!r.Str(&out.digest) || !r.AtEnd()) return false;
+  *result = std::move(out);
+  return true;
+}
+
+}  // namespace freerider::sim

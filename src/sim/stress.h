@@ -1,0 +1,113 @@
+// Long-horizon stress harness for the self-healing link supervisor.
+//
+// A stress campaign drives the full-stack simulator for thousands of
+// rounds under *time-varying* channel dynamics (impair/dynamics.h):
+// Gilbert–Elliott burst fades, mobility drift, scheduled blackouts,
+// and optionally one tag that dies mid-campaign and never returns.
+// The same schedule runs with the supervisor on or off — the paired
+// comparison bench_stress_supervisor reports — and every run is
+// audited against the supervisor's contract:
+//
+//   * no duplicate / no reorder — per tag, transport deliveries
+//     advance the sequence space strictly forward (the tracker is
+//     re-anchored across an explicit stream resync, which is the only
+//     place the transport itself allows a repeat);
+//   * bounded quarantine detection — a tag configured to die must be
+//     Quarantined within QuarantineDetectionBound() rounds of its
+//     death (or already quarantined when it dies) and must never
+//     leave Quarantined afterwards (supervisor-on runs only);
+//   * healthy-tag isolation — a tag that was never quarantined must
+//     never have its receive stream resynced or its OOO buffer
+//     evicted: recovery actions are surgical, not global.
+//
+// Determinism contract: everything derives from StressConfig (seed,
+// schedule, knobs); the dynamics run on counter-based per-(tag, round)
+// streams, so RunStress is a pure function — the digest of a config
+// is bit-stable across runs, thread counts, and checkpoint/resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/multitag.h"
+
+namespace freerider::sim {
+
+struct StressConfig {
+  std::uint64_t seed = 1;
+  std::size_t num_tags = 6;
+  /// Rounds with offered load.
+  std::size_t rounds = 1200;
+  /// Extra rounds with no new offers so in-flight frames can finish.
+  std::size_t drain_rounds = 200;
+  /// Enqueue one frame per tag every this many rounds (1 = every round).
+  std::size_t offer_every = 2;
+  /// The paired A/B knob: same schedule, supervisor on or off.
+  bool supervisor_on = true;
+  /// Transport knobs; `enabled` is forced on by RunStress.
+  transport::TransportConfig transport;
+  /// Supervisor knobs; `enabled` is forced to supervisor_on.
+  health::SupervisorConfig supervisor;
+  /// The time-varying channel under test.
+  impair::DynamicsConfig dynamics;
+  /// Optional dead tag: 0-based index blacked out from `dead_round` to
+  /// the end of the campaign (num_tags or larger = no dead tag). The
+  /// quarantine-bound audit keys off this.
+  std::size_t dead_tag = static_cast<std::size_t>(-1);
+  std::size_t dead_round = 0;
+
+  bool HasDeadTag() const { return dead_tag < num_tags; }
+};
+
+struct StressViolation {
+  std::size_t round = 0;
+  std::string kind;    ///< duplicate | reorder | resync_healthy | ...
+  std::string detail;
+};
+
+struct StressResult {
+  /// All audited invariants held (the delivery target is the bench's
+  /// call — it compares on vs off).
+  bool passed = false;
+  /// transport_delivered / transport_offered. Offers a blacked-out
+  /// tag's queue refuses (capacity) never count as offered.
+  double delivery_ratio = 0.0;
+  std::size_t offered = 0;
+  std::size_t delivered = 0;
+  std::size_t expired = 0;
+  std::size_t rejected_full = 0;
+  std::size_t duplicates = 0;
+  /// Frames the coordinator gave up waiting for (hole skip): the
+  /// stream advanced past them, so they are permanently undelivered.
+  std::size_t skipped = 0;
+  std::size_t faded_frames = 0;
+  std::size_t blackout_tag_rounds = 0;
+  std::size_t quarantines = 0;
+  std::size_t recoveries = 0;
+  std::size_t probes_sent = 0;
+  std::size_t boost_commands = 0;
+  std::size_t resyncs = 0;
+  std::size_t ooo_evicted = 0;
+  // Quarantine-bound audit (dead-tag + supervisor-on runs only).
+  bool dead_tag_audited = false;
+  bool quarantine_bound_met = true;
+  std::size_t quarantine_round = 0;   ///< Round the dead tag was quarantined.
+  std::size_t detection_rounds = 0;   ///< Rounds from last heard to quarantine.
+  std::size_t detection_bound = 0;    ///< QuarantineDetectionBound(config).
+  std::vector<StressViolation> violations;
+  /// Canonical outcome string (doubles in hex-float): two runs agree
+  /// iff their digests are equal byte-for-byte.
+  std::string digest;
+};
+
+/// Run one stress campaign. Deterministic in `config`.
+StressResult RunStress(const StressConfig& config);
+
+/// Bit-exact StressResult (de)serialization for checkpoint payloads —
+/// a restored result reproduces the bench row (and digest) exactly.
+std::string SerializeStressResult(const StressResult& result);
+bool DeserializeStressResult(const std::string& payload,
+                             StressResult* result);
+
+}  // namespace freerider::sim

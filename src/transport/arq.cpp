@@ -112,23 +112,40 @@ void TagTransport::OnAck(const TagAck& ack, std::size_t round) {
   (void)round;
   if (queue_.empty()) return;
   const std::uint8_t base = queue_.front().seq;
-  // `cumulative` acknowledges everything at or before it. Guard
-  // against corrupt/stale ACKs claiming sequences we never sent: the
-  // acknowledged range may not reach past our newest outstanding seq.
   const std::uint8_t newest = queue_.back().seq;
-  const std::uint8_t cum_dist = SeqDistance(base, ack.cumulative);
-  if (cum_dist < 128 && SeqCoveredBy(base, ack.cumulative, newest)) {
+  // Serial-number validity: a live ACK's cumulative sits in
+  // [base - 1, newest] (base - 1 = "nothing new acknowledged"). All
+  // distances are measured from base - 1 so the comparison stays a
+  // plain unsigned one even when the 8-bit counter has wrapped between
+  // base and newest. Anything outside that range is stale feedback
+  // from (at least) a window ago — after wraparound its NACK bits
+  // would alias *live* sequences (missing = cumulative + 1 + i lands
+  // inside the queue), triggering spurious retransmissions and
+  // redundancy escalation, so the whole block must be ignored, not
+  // just the cumulative.
+  const std::uint8_t anchor = static_cast<std::uint8_t>(base - 1);
+  const std::uint8_t span = SeqDistance(anchor, newest);
+  const std::uint8_t cum_dist = SeqDistance(anchor, ack.cumulative);
+  if (span >= 128 || cum_dist > span) return;
+  if (cum_dist > 0) {
+    // `cumulative` acknowledges everything at or before it.
     while (!queue_.empty() &&
            SeqCoveredBy(base, queue_.front().seq, ack.cumulative)) {
       queue_.pop_front();
       ++stats_.acked;
     }
   }
-  // NACK bitmap: explicit resend requests.
+  if (queue_.empty()) return;
+  // NACK bitmap: explicit resend requests. Each claimed-missing
+  // sequence must itself lie within the send window of the (possibly
+  // just-advanced) base — bits past the window are aliases of the
+  // stale half of the sequence space.
+  const std::uint8_t new_base = queue_.front().seq;
   for (std::size_t i = 0; i < kNackBitmapBits; ++i) {
     if ((ack.nack_bitmap >> i) & 1u) {
       const std::uint8_t missing =
           static_cast<std::uint8_t>(ack.cumulative + 1 + i);
+      if (SeqDistance(new_base, missing) >= config_.window) continue;
       for (Entry& e : queue_) {
         if (e.seq == missing) {
           if (!e.nack_pending) {
@@ -168,6 +185,29 @@ std::vector<std::uint8_t> CoordinatorTagRx::FlushInOrder() {
 
 std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
                                                     std::size_t round) {
+  if (resync_pending_) {
+    resync_pending_ = false;
+    const std::uint8_t gap = SeqDistance(next_expected_, seq);
+    if (gap >= config_.window) {
+      // The first frame heard after the silence is outside the send
+      // window of the old delivery point: the tag has moved on (gave
+      // its backlog up and possibly wrapped the 8-bit space), so
+      // serial comparison against the stale anchor would misclassify
+      // live frames as duplicates. Re-anchor on what we heard. Frames
+      // the tag retransmits across the re-anchor may be delivered
+      // twice — callers needing exactly-once track positions above
+      // the transport (see sim/stress).
+      next_expected_ = seq;
+      rx_bitmap_ = 0;
+      blocked_ = false;
+      ++stats_.resyncs;
+    }
+    // Inside the window the stream is still continuous: the tag kept
+    // its backlog, the old anchor is exactly right, and re-anchoring
+    // would flush every older undelivered frame the moment our
+    // cumulative ACK caught up with the newer sequence. Fall through
+    // to normal processing.
+  }
   const std::uint8_t d = SeqDistance(next_expected_, seq);
   if (d >= 128) {
     // Behind the delivery point: a retransmission of something already
@@ -225,6 +265,28 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnRoundEnd(
   blocked_ = rx_bitmap_ != 0;
   if (blocked_) blocked_since_round_ = round;
   return delivered;
+}
+
+void CoordinatorTagRx::EvictOoo() {
+  std::uint32_t bitmap = rx_bitmap_;
+  while (bitmap != 0) {
+    stats_.ooo_evicted += bitmap & 1u;
+    bitmap >>= 1;
+  }
+  rx_bitmap_ = 0;
+  blocked_ = false;
+}
+
+void CoordinatorTagRx::BeginResync() { resync_pending_ = true; }
+
+std::size_t CoordinatorTagRx::BufferedOoo() const {
+  std::size_t n = 0;
+  std::uint32_t bitmap = rx_bitmap_;
+  while (bitmap != 0) {
+    n += bitmap & 1u;
+    bitmap >>= 1;
+  }
+  return n;
 }
 
 TagAck CoordinatorTagRx::Ack(std::uint8_t tag_id) const {

@@ -143,6 +143,8 @@ struct TagRxStats {
   std::size_t out_of_order = 0;     ///< Buffered past a hole.
   std::size_t holes_skipped = 0;    ///< Sequences given up on.
   std::size_t beyond_window = 0;    ///< Frames outside the rx window.
+  std::size_t ooo_evicted = 0;      ///< Buffered frames dropped by eviction.
+  std::size_t resyncs = 0;          ///< Stream re-anchors after silence.
 };
 
 /// Per-tag receive state at the coordinator.
@@ -163,6 +165,26 @@ class CoordinatorTagRx {
   /// Snapshot for the announcement extension.
   TagAck Ack(std::uint8_t tag_id) const;
 
+  /// Drop every buffered out-of-order frame and clear the hole clock.
+  /// The link supervisor calls this on the quarantine transition: a
+  /// tag that went silent mid-frame must not pin its reassembly buffer
+  /// (and the coordinator's NACK state) forever.
+  void EvictOoo();
+
+  /// Re-anchor the stream: the next CRC-valid frame heard becomes the
+  /// new delivery point regardless of the old next_expected_. Used
+  /// when a tag returns from quarantine/blackout — after a long
+  /// silence the serial-number comparison window is meaningless, and
+  /// without a resync every resumed frame would land in the "behind
+  /// the delivery point" half and be dropped as a duplicate forever.
+  void BeginResync();
+
+  bool resync_pending() const { return resync_pending_; }
+  /// Out-of-order frames currently buffered (open NACK holes ahead of
+  /// the delivery point feed the supervisor's retransmit-pressure
+  /// estimator).
+  std::size_t BufferedOoo() const;
+
   const TagRxStats& stats() const { return stats_; }
   std::uint8_t next_expected() const { return next_expected_; }
 
@@ -176,6 +198,7 @@ class CoordinatorTagRx {
   std::uint32_t rx_bitmap_ = 0;
   std::size_t blocked_since_round_ = 0;
   bool blocked_ = false;
+  bool resync_pending_ = false;
   TagRxStats stats_;
 };
 

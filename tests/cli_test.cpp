@@ -1,0 +1,87 @@
+// Unified CLI contract across tools/ and bench/ (common/cli.h): every
+// binary rejects an unknown flag with exit code 2 and prints its usage
+// line to stderr — no tool silently ignores a typo'd flag and burns an
+// hour of compute on the wrong configuration.
+//
+// Binary paths are injected by CMake as compile definitions
+// ($<TARGET_FILE:...>), so the test exercises the real executables.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+CliResult RunCli(const std::string& binary, const std::string& args) {
+  // Unique per test process: ctest -jN runs the cases in parallel and a
+  // shared path would interleave their captures.
+  const std::string err_path = testing::TempDir() + "cli_test_stderr." +
+                               std::to_string(::getpid()) + ".txt";
+  const std::string command =
+      binary + " " + args + " >/dev/null 2>" + err_path;
+  const int raw = std::system(command.c_str());
+  CliResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(err_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  result.stderr_text = text.str();
+  std::remove(err_path.c_str());
+  return result;
+}
+
+std::vector<std::string> AllBinaries() {
+  return {
+      CLI_BENCH_STRESS_SUPERVISOR, CLI_BENCH_SOAK_ARQ,
+      CLI_BENCH_RUNTIME,           CLI_BENCH_IMPAIRMENTS,
+      CLI_BENCH_FIG14_RANGE,       CLI_BENCH_FIG17_MAC_MULTITAG,
+      CLI_CRASH_CAMPAIGN,          CLI_REPLAY_SOAK,
+  };
+}
+
+}  // namespace
+
+TEST(CliContractTest, UnknownFlagExitsTwoWithUsageOnStderr) {
+  for (const std::string& binary : AllBinaries()) {
+    const CliResult result = RunCli(binary, "--definitely-not-a-flag");
+    EXPECT_EQ(result.exit_code, 2) << binary;
+    EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos)
+        << binary << " stderr: " << result.stderr_text;
+    EXPECT_NE(result.stderr_text.find("--definitely-not-a-flag"),
+              std::string::npos)
+        << binary << " stderr: " << result.stderr_text;
+  }
+}
+
+TEST(CliContractTest, UnknownFlagRejectedEvenAfterKnownFlags) {
+  // A known flag must not mask a later unknown one.
+  const CliResult result =
+      RunCli(CLI_BENCH_STRESS_SUPERVISOR, "--rounds 600 --oops");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+  EXPECT_NE(result.stderr_text.find("--oops"), std::string::npos);
+}
+
+TEST(CliContractTest, MalformedNumericValueExitsTwo) {
+  const CliResult result =
+      RunCli(CLI_BENCH_STRESS_SUPERVISOR, "--rounds banana");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_FALSE(result.stderr_text.empty());
+}
+
+TEST(CliContractTest, ReplaySoakWithoutJournalPrintsUsage) {
+  const CliResult result = RunCli(CLI_REPLAY_SOAK, "");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos);
+}

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "mac/slotted_aloha.h"
 #include "runtime/checkpoint.h"
@@ -312,19 +313,15 @@ bool QuarantineSelfCheck(const std::string& dir) {
 int main(int argc, char** argv) {
   std::string out_dir = ".";
   std::size_t kills_per_trial = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
-      out_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--kills") == 0 && i + 1 < argc) {
-      kills_per_trial = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--quick") == 0) {
-      kills_per_trial = 1;
-    } else {
-      std::fprintf(stderr,
-                   "usage: crash_campaign [--out-dir DIR] [--kills N] "
-                   "[--quick]\n");
-      return 2;
-    }
+  bool args_ok = true;
+  cli::ConsumeValue(argc, argv, "--out-dir", &out_dir);
+  cli::ConsumeSize(argc, argv, "--kills", &kills_per_trial, &args_ok);
+  if (cli::ConsumeFlag(argc, argv, "--quick")) kills_per_trial = 1;
+  if (!args_ok) return cli::kUsageError;
+  if (const int rc = cli::RejectUnknownArgs(
+          argc, argv, "crash_campaign [--out-dir DIR] [--kills N] "
+                      "[--quick]")) {
+    return rc;
   }
 
   const std::uint64_t harness_seeds[] = {1, 2, 3};

@@ -16,27 +16,26 @@
 #include <sstream>
 #include <string>
 
+#include "common/cli.h"
 #include "sim/soak.h"
 
 using namespace freerider;
 
 int main(int argc, char** argv) {
-  bool print = false;
-  const char* path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--print") == 0) {
-      print = true;
-    } else if (path == nullptr) {
-      path = argv[i];
-    } else {
-      std::fprintf(stderr, "usage: replay_soak [--print] <record.json>\n");
-      return 2;
-    }
+  constexpr const char* kUsage = "replay_soak [--print] <record.json>";
+  const bool print = cli::ConsumeFlag(argc, argv, "--print");
+  // Exactly one positional (the record path) may remain; any unknown
+  // flag or extra operand is a usage error, not a silent default.
+  if (argc >= 2 && argv[1][0] == '-') {
+    std::fprintf(stderr, "error: unknown argument '%s'\n", argv[1]);
+    std::fprintf(stderr, "usage: %s\n", kUsage);
+    return cli::kUsageError;
   }
-  if (path == nullptr) {
-    std::fprintf(stderr, "usage: replay_soak [--print] <record.json>\n");
-    return 2;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s\n", kUsage);
+    return cli::kUsageError;
   }
+  const char* path = argv[1];
 
   std::ifstream in(path);
   if (!in) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/translator.h"
 #include "phy80211/constellation.h"
@@ -43,7 +44,11 @@ CaseResult Run(const IqBuffer& modified, phy80211::Modulation mod) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ablation_amplitude_invalid (takes no flags)")) {
+    return rc;
+  }
   Rng rng(66);
   std::printf("=== Ablation: amplitude vs phase codeword translation on OFDM ===\n");
   std::printf("(Fig. 2: invalid codewords from amplitude modification)\n\n");

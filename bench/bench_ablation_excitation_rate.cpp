@@ -12,6 +12,7 @@
 
 #include "channel/awgn.h"
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/translator.h"
 #include "core/xor_decoder.h"
@@ -21,7 +22,11 @@
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ablation_excitation_rate (takes no flags)")) {
+    return rc;
+  }
   Rng rng(58);
   channel::ReceiverFrontEnd fe;
   fe.sample_rate_hz = phy80211::kSampleRateHz;

@@ -11,6 +11,7 @@
 #include "channel/awgn.h"
 #include "channel/multipath.h"
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/translator.h"
 #include "core/xor_decoder.h"
@@ -106,7 +107,11 @@ Stats RunZigbee(double rx_dbm, std::size_t num_taps, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ablation_multipath (takes no flags)")) {
+    return rc;
+  }
   Rng rng(92);
   std::printf("=== Ablation: flat vs frequency-selective multipath ===\n");
   std::printf("Rayleigh taps, 3 dB/tap decay, Rician LOS tap (K = 6 dB)\n\n");

@@ -5,6 +5,7 @@
 
 #include "channel/awgn.h"
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/translator.h"
 #include "core/xor_decoder.h"
@@ -47,7 +48,11 @@ double TagBerWithRx(const phy80211::RxConfig& rxcfg, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ablation_pilot_correction (takes no flags)")) {
+    return rc;
+  }
   Rng rng(44);
   std::printf("=== Ablation: pilot-tone phase correction (paper 3.2.1) ===\n");
   std::printf("high-SNR link (-70 dBm), N = 4, 20 packets per case\n\n");

@@ -6,6 +6,7 @@
 
 #include "channel/awgn.h"
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/quaternary.h"
 #include "core/translator.h"
@@ -64,7 +65,11 @@ double RunBer(double rx_dbm, bool quaternary, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ablation_quaternary (takes no flags)")) {
+    return rc;
+  }
   Rng rng(46);
   std::printf("=== Ablation: binary vs quaternary codeword translation ===\n");
   std::printf("12 Mbps QPSK excitation, N = 4 OFDM symbols per window\n\n");

@@ -8,6 +8,7 @@
 
 #include "channel/awgn.h"
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/translator.h"
 #include "core/xor_decoder.h"
@@ -17,7 +18,11 @@
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ablation_redundancy (takes no flags)")) {
+    return rc;
+  }
   Rng rng(33);
   const double rx_dbm = -88.0;  // ~9 dB SNR: the interesting regime
   const std::size_t packets = 30;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "dsp/signal_ops.h"
 #include "phyble/frame.h"
@@ -40,7 +41,11 @@ double FlipRate(double delta_f_hz, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ablation_sideband (takes no flags)")) {
+    return rc;
+  }
   Rng rng(55);
   std::printf("=== Ablation: Bluetooth delta-f choice (Eq. 10 / Fig. 8) ===\n");
   std::printf("modulation index %.2f, deviation %.0f kHz, channel %.0f MHz\n\n",

@@ -9,6 +9,7 @@
 
 #include "channel/awgn.h"
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/translator.h"
 #include "core/xor_decoder.h"
@@ -63,7 +64,11 @@ Outcome Run(double rx_dbm, bool soft, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ablation_soft_viterbi (takes no flags)")) {
+    return rc;
+  }
   Rng rng(91);
   std::printf("=== Ablation: hard vs soft Viterbi at the backscatter RX ===\n");
   std::printf("802.11g 6 Mbps excitation, tag N = 4, 30 frames per point\n\n");

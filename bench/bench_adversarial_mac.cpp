@@ -1,0 +1,250 @@
+// Adversarial acceptance bench for the Byzantine-tolerant MAC
+// (src/impair/rogue, src/mac/policing, the supervisor's misbehavior
+// evidence channel and the transport replay guard).
+//
+// Three seeds, each planting a different rogue pair among 6 tags
+// (4 honest victims + 2 rogues), run twice — defenses on and defenses
+// off — as a seed×{on,off} task grid on the runtime executor. The
+// rogue casts:
+//
+//   * seed 0: babbling idiot + sequence replayer;
+//   * seed 1: slot thief + identity clone (cloning the thief, so the
+//     victims' identities stay clean and the two rogues sink together);
+//   * seed 2: babbling idiot + slot thief.
+//
+// Both arms keep the plain link supervisor running, so "off" is the
+// strongest pre-policing baseline: the attack collapses it anyway,
+// because a babbler colliding every victim slot makes the victims look
+// silent and the supervisor parks *them*.
+//
+// Acceptance (exit nonzero on any miss):
+//   * defenses-on victim delivery >= 95% of offered frames on every
+//     seed, with zero transport invariant violations (including zero
+//     stale deliveries on the replayer's stream);
+//   * defenses-off is materially worse (>= 20 percentage points below
+//     the paired on-run) — the policing layer is load-bearing;
+//   * every audited rogue identity is Quarantined within its derived
+//     bound (MisbehaviorDetectionBound for frame-level offenders,
+//     QuarantineDetectionBound for a clone's abandoned own id) and is
+//     still parked when the campaign ends.
+//
+// Determinism: each campaign is a pure function of its
+// AdversarialConfig; stdout and BENCH_adversarial_mac.json are
+// byte-identical at every --threads value and across a SIGKILL +
+// --resume cycle.
+//
+//   bench_adversarial_mac [--rounds N] [--out-dir DIR] [--threads N]
+//                         [--checkpoint PATH] [--resume [PATH]]
+//                         [--watchdog-s X]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "distance_figure.h"
+#include "runtime/checkpoint.h"
+#include "runtime/executor.h"
+#include "runtime/recovery.h"
+#include "sim/adversarial.h"
+#include "sim/sweep.h"
+
+using namespace freerider;
+
+namespace {
+
+sim::AdversarialConfig MakeConfig(std::size_t seed_index, bool defenses_on,
+                                  std::size_t rounds) {
+  sim::AdversarialConfig config;
+  static const std::uint64_t kSeeds[] = {47ull, 2161ull, 77003ull};
+  config.seed = kSeeds[seed_index];
+  config.num_tags = 6;
+  config.rounds = rounds;
+  config.drain_rounds = rounds / 4;
+  config.offer_every = 2;
+  config.defenses_on = defenses_on;
+
+  // Same transport posture as the stress bench: generous retries so
+  // the defended arm can absorb the few pre-quarantine collisions.
+  config.transport.max_transmissions = 16;
+  config.transport.expiry_rounds = 1000000;
+  config.transport.queue_capacity = 24;
+  config.transport.rto_rounds = 3;
+  config.transport.max_escalation_steps = 1;
+  config.transport.hole_skip_rounds = 96;
+
+  config.rogue.seed = config.seed ^ 0x726F677565ull;
+  config.rogue.tags.resize(config.num_tags);
+  auto plant = [&](std::size_t tag, impair::RogueModel model) {
+    config.rogue.tags[tag].model = model;
+    return &config.rogue.tags[tag];
+  };
+  switch (seed_index) {
+    case 0:
+      plant(4, impair::RogueModel::kBabbler);
+      plant(5, impair::RogueModel::kReplayer);
+      break;
+    case 1: {
+      plant(4, impair::RogueModel::kSlotThief);
+      impair::RogueSpec* clone = plant(5, impair::RogueModel::kClone);
+      clone->clone_of = 4;  // clone the thief: rogues sink together
+      break;
+    }
+    default:
+      plant(4, impair::RogueModel::kBabbler);
+      plant(5, impair::RogueModel::kSlotThief);
+      break;
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::InitThreadsFromArgs(argc, argv);
+  runtime::RobustSweepOptions robust =
+      runtime::RobustOptionsFromArgs(argc, argv);
+  std::size_t rounds = 600;
+  std::string out_dir = ".";
+  bool args_ok = true;
+  cli::ConsumeSize(argc, argv, "--rounds", &rounds, &args_ok);
+  cli::ConsumeValue(argc, argv, "--out-dir", &out_dir);
+  if (!args_ok) return cli::kUsageError;
+  if (const int rc = cli::RejectUnknownArgs(
+          argc, argv,
+          "bench_adversarial_mac [--rounds N] [--out-dir DIR]"
+          " [--threads N] [--checkpoint PATH] [--resume [PATH]]"
+          " [--watchdog-s X]")) {
+    return rc;
+  }
+  // The thresholds are calibrated for 600 offered rounds: shorter runs
+  // overweight the pre-quarantine rounds where rogues do their damage.
+  if (rounds < 600) rounds = 600;
+
+  std::printf("=== Adversarial: Byzantine rogues vs the policed MAC ===\n");
+  std::printf("%zu offered rounds + drain, 6 tags (4 victims + 2 rogues), "
+              "3 rogue casts x defenses {on,off}\n\n",
+              rounds);
+
+  const std::size_t num_seeds = 3;
+  std::vector<sim::AdversarialResult> on_results(num_seeds);
+  std::vector<sim::AdversarialResult> off_results(num_seeds);
+  robust.campaign = runtime::CampaignId("adversarial_mac", rounds);
+  runtime::RecoveryRunner runner(runtime::DefaultExecutor(), robust);
+  const runtime::RobustSweepReport report = runner.Run(
+      {num_seeds, 2},
+      [&](std::size_t p, std::size_t t) {
+        const bool on = t == 0;
+        sim::AdversarialResult& slot = on ? on_results[p] : off_results[p];
+        slot = sim::RunAdversarial(MakeConfig(p, on, rounds));
+        runtime::RobustTaskResult out;
+        out.payload = sim::SerializeAdversarialResult(slot);
+        return out;
+      },
+      [&](std::size_t p, std::size_t t, const std::string& payload) {
+        sim::AdversarialResult& slot =
+            t == 0 ? on_results[p] : off_results[p];
+        return sim::DeserializeAdversarialResult(payload, &slot);
+      });
+
+  static const char* kCastNames[] = {"babbler+replayer", "thief+clone",
+                                     "babbler+thief"};
+  sim::TablePrinter table({"cast", "defenses", "victim %", "offered",
+                           "delivered", "extra", "replay rej", "stale rej",
+                           "evidence", "quar", "bans", "violations"});
+  for (std::size_t p = 0; p < num_seeds; ++p) {
+    for (int t = 0; t < 2; ++t) {
+      const sim::AdversarialResult& r =
+          t == 0 ? on_results[p] : off_results[p];
+      table.AddRow({kCastNames[p], t == 0 ? "on" : "off",
+                    sim::TablePrinter::Num(100.0 * r.victim_delivery, 2),
+                    std::to_string(r.victim_offered),
+                    std::to_string(r.victim_delivered),
+                    std::to_string(r.rogue_extra_frames),
+                    std::to_string(r.replay_rejected),
+                    std::to_string(r.stale_rejected),
+                    std::to_string(r.police_evidence),
+                    std::to_string(r.misbehavior_quarantines),
+                    std::to_string(r.bans),
+                    std::to_string(r.violations_total)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  sim::TablePrinter audit_table({"cast", "rogue", "wire id", "path",
+                                 "quarantined round", "bound", "within",
+                                 "parked at end"});
+  bool all_ok = true;
+  double min_gap_pp = 100.0;
+  for (std::size_t p = 0; p < num_seeds; ++p) {
+    const sim::AdversarialResult& on = on_results[p];
+    const sim::AdversarialResult& off = off_results[p];
+    bool seed_ok = true;
+    for (const sim::RogueAudit& a : on.audits) {
+      audit_table.AddRow(
+          {kCastNames[p], a.model, std::to_string(a.wire_id),
+           a.via_misbehavior ? "misbehavior" : "silence",
+           a.quarantined ? std::to_string(a.quarantine_round) : "-",
+           std::to_string(a.bound), a.bound_met ? "yes" : "NO (BUG)",
+           a.parked_at_end ? "yes" : "NO (BUG)"});
+      if (!a.quarantined || !a.bound_met || !a.parked_at_end) {
+        seed_ok = false;
+        std::printf("FAIL (%s): rogue %s (wire id %u) not contained "
+                    "within bound %zu\n",
+                    kCastNames[p], a.model.c_str(), a.wire_id, a.bound);
+      }
+    }
+    if (on.violations_total != 0) {
+      seed_ok = false;
+      std::printf("FAIL (%s): %zu invariant violations with defenses on:\n",
+                  kCastNames[p], on.violations_total);
+      for (const sim::StressViolation& v : on.violations) {
+        std::printf("  round %zu: %s %s\n", v.round, v.kind.c_str(),
+                    v.detail.c_str());
+      }
+    }
+    if (on.victim_delivery < 0.95) {
+      seed_ok = false;
+      std::printf("FAIL (%s): defended victim delivery %.2f%% < 95%%\n",
+                  kCastNames[p], 100.0 * on.victim_delivery);
+    }
+    const double gap_pp = 100.0 * (on.victim_delivery - off.victim_delivery);
+    min_gap_pp = gap_pp < min_gap_pp ? gap_pp : min_gap_pp;
+    if (gap_pp < 20.0) {
+      seed_ok = false;
+      std::printf("FAIL (%s): defenses buy only %.2f pp "
+                  "(on %.2f%% vs off %.2f%%)\n",
+                  kCastNames[p], gap_pp, 100.0 * on.victim_delivery,
+                  100.0 * off.victim_delivery);
+    }
+    all_ok = all_ok && seed_ok;
+  }
+  std::printf("rogue containment audit (defenses on):\n%s\n",
+              audit_table.ToString().c_str());
+
+  sim::TablePrinter verdict({"check", "result"});
+  verdict.AddRow({"defended victim delivery >= 95%",
+                  all_ok ? "pass" : "see FAIL lines"});
+  char gap_buf[64];
+  std::snprintf(gap_buf, sizeof(gap_buf), "min gap %.2f pp", min_gap_pp);
+  verdict.AddRow({"undefended arm materially worse", gap_buf});
+  verdict.AddRow({"all rogues quarantined within bound",
+                  all_ok ? "pass" : "see FAIL lines"});
+  std::printf("%s\n", verdict.ToString().c_str());
+
+  bench::WriteTextFile(out_dir + "/BENCH_adversarial_mac.json",
+                       table.ToJson("adversarial_mac") +
+                           audit_table.ToJson("adversarial_containment") +
+                           verdict.ToJson("verdict"));
+  bench::WriteTextFile(out_dir + "/TIMING_adversarial_mac.json",
+                       report.SummaryJson("adversarial_mac"));
+  std::fprintf(stderr, "[runtime] %s",
+               report.SummaryJson("adversarial_mac").c_str());
+  std::printf(
+      "Reading: slot policing + the misbehavior evidence channel detect\n"
+      "and park every rogue within the derived bound, the replay guard\n"
+      "keeps stale frames out of the application stream, and the honest\n"
+      "victims' delivery stays above 95%%; without the defenses the same\n"
+      "rogues collapse the floor (a babbler even gets the *victims*\n"
+      "parked, because their slots never decode).\n");
+  return all_ok ? 0 : 1;
+}

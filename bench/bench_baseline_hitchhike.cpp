@@ -11,6 +11,7 @@
 
 #include "channel/awgn.h"
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/hitchhike.h"
 #include "core/translator.h"
@@ -80,7 +81,11 @@ std::size_t FreeriderBitsPerFrame(Rng& rng, double rx_dbm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_baseline_hitchhike (takes no flags)")) {
+    return rc;
+  }
   Rng rng(77);
   std::printf("=== Baseline: HitchHike (802.11b) vs FreeRider (802.11g/n) ===\n\n");
 

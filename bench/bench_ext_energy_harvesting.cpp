@@ -6,13 +6,18 @@
 #include <cstdio>
 
 #include "channel/link_budget.h"
+#include "common/cli.h"
 #include "sim/sweep.h"
 #include "tag/harvester.h"
 #include "tag/power_model.h"
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ext_energy_harvesting (takes no flags)")) {
+    return rc;
+  }
   std::printf("=== Extension: RF energy harvesting feasibility ===\n\n");
 
   const auto wifi_power =

@@ -10,12 +10,17 @@
 // assumptions against the actual PHY.
 #include <cstdio>
 
+#include "common/cli.h"
 #include "sim/multitag.h"
 #include "sim/sweep.h"
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ext_full_stack (takes no flags)")) {
+    return rc;
+  }
   Rng rng(48);
   std::printf("=== Extension: full-stack multi-tag rounds (no abstractions) ===\n");
   std::printf("per slot: one 800-byte 802.11g frame; tags reflect 2-byte\n"

@@ -5,13 +5,18 @@
 // Aloha's zero-state churn tolerance.
 #include <cstdio>
 
+#include "common/cli.h"
 #include "mac/slotted_aloha.h"
 #include "mac/tdm.h"
 #include "sim/sweep.h"
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_ext_tdm_mac (takes no flags)")) {
+    return rc;
+  }
   Rng rng(45);
   std::printf("=== Extension: TDM vs Framed Slotted Aloha ===\n\n");
 

@@ -7,6 +7,7 @@
 // probability is ~0.03 %.
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "mac/ambient_traffic.h"
@@ -15,7 +16,11 @@
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_fig3_packet_durations (takes no flags)")) {
+    return rc;
+  }
   Rng rng(2024);
   const mac::AmbientTrafficConfig config;
 

@@ -9,6 +9,7 @@
 
 #include "channel/link_budget.h"
 #include "common/bits.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "mac/ambient_traffic.h"
 #include "mac/plm.h"
@@ -48,7 +49,11 @@ bool SendOneMessage(double power_dbm, const mac::AmbientTrafficConfig& ambient,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_fig4_plm_accuracy (takes no flags)")) {
+    return rc;
+  }
   Rng rng(7);
   const channel::PathLossModel path = channel::LosModel();
   const double tx_dbm = 15.0;  // paper Fig. 4 setting

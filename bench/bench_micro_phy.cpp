@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "channel/awgn.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "dsp/fft.h"
 #include "phy80211/convolutional.h"
@@ -93,4 +94,16 @@ BENCHMARK(BM_BleTxRx36B);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): benchmark::Initialize consumes the
+// flags google-benchmark owns (--benchmark_*), then the shared CLI
+// contract rejects whatever is left instead of silently ignoring it.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (const int rc = freerider::cli::RejectUnknownArgs(
+          argc, argv, "bench_micro_phy [--benchmark_* flags]")) {
+    return rc;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

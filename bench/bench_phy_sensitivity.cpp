@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "channel/awgn.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "phy80211/receiver.h"
 #include "phy80211/transmitter.h"
@@ -38,7 +39,11 @@ double MeasurePer(double rx_dbm, double nf_db, double fs, TxFn tx, RxOkFn ok,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_phy_sensitivity (takes no flags)")) {
+    return rc;
+  }
   Rng rng(61);
   std::printf("=== Substrate characterization: PER vs RX power ===\n");
   std::printf("100-byte-class frames, 20 per point, AWGN only\n\n");

@@ -9,11 +9,16 @@
 // reproduced here — different excitation architectures entirely).
 #include <cstdio>
 
+#include "common/cli.h"
 #include "sim/sweep.h"
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_related_work_range (takes no flags)")) {
+    return rc;
+  }
   std::printf("=== Related work: backscatter range comparison ===\n\n");
 
   // Measure FreeRider's WiFi LOS range (TX 1 m from tag, PRR >= 0.5).

@@ -6,6 +6,7 @@
 // (tag 0) or flips it (tag 1), and the decoder XORs.
 #include <cstdio>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "core/translator.h"
 #include "core/xor_decoder.h"
@@ -16,7 +17,11 @@
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_table1_xor_logic (takes no flags)")) {
+    return rc;
+  }
   std::printf("=== Table 1: backscatter decode logic ===\n");
   std::printf("(decoded codeword, excitation codeword) -> tag bit\n\n");
 

@@ -3,12 +3,17 @@
 // 1-3 µW the codeword-translation control logic.
 #include <cstdio>
 
+#include "common/cli.h"
 #include "sim/sweep.h"
 #include "tag/power_model.h"
 
 using namespace freerider;
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc =
+          cli::RejectUnknownArgs(argc, argv, "bench_tag_power (takes no flags)")) {
+    return rc;
+  }
   std::printf("=== Tag power budget (paper 3.3) ===\n\n");
   sim::TablePrinter table({"translator", "shift clock (uW)", "RF switch (uW)",
                            "control logic (uW)", "total (uW)"});

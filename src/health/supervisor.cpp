@@ -1,6 +1,7 @@
 #include "health/supervisor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "runtime/checkpoint.h"
@@ -8,7 +9,9 @@
 namespace freerider::health {
 namespace {
 
-constexpr std::uint64_t kSupervisorStateVersion = 1;
+/// Version 2: misbehavior policing state (score, strikes, ban) and the
+/// misbehavior flag on logged transitions.
+constexpr std::uint64_t kSupervisorStateVersion = 2;
 
 }  // namespace
 
@@ -33,6 +36,26 @@ std::size_t QuarantineDetectionBound(const SupervisorConfig& config) {
          2;
 }
 
+std::size_t MisbehaviorDetectionBound(const SupervisorConfig& config) {
+  // Continuous evidence from score 0 reaches 1 - (1-α)^n after n
+  // rounds; solving 1 - (1-α)^n ≥ θ gives n* = ⌈ln(1−θ)/ln(1−α)⌉.
+  // The tested bound assumes evidence lands at least every other
+  // observed round (×2) and adds 4 rounds of slack: decay on the
+  // evidence-free rounds plus the park command riding the next
+  // announcement. Mirrors the ctor clamps so the bound matches what
+  // the supervisor actually runs.
+  const double alpha = std::clamp(config.misbehavior_alpha, 1e-3, 1.0);
+  const double theta =
+      std::clamp(config.misbehavior_threshold, 0.05, 1.0 - 1e-9);
+  std::size_t n_star = 1;
+  if (alpha < 1.0 && alpha < theta) {
+    n_star = static_cast<std::size_t>(
+        std::ceil(std::log(1.0 - theta) / std::log(1.0 - alpha)));
+    n_star = std::max<std::size_t>(n_star, 1);
+  }
+  return 2 * n_star + 4;
+}
+
 LinkSupervisor::LinkSupervisor(std::size_t num_tags,
                                const SupervisorConfig& config)
     : config_(config), tags_(num_tags) {
@@ -46,6 +69,17 @@ LinkSupervisor::LinkSupervisor(std::size_t num_tags,
   config_.command_blocks_per_round =
       std::clamp<std::size_t>(config_.command_blocks_per_round, 1,
                               kMaxHealthBlocks);
+  config_.misbehavior_alpha = std::clamp(config_.misbehavior_alpha, 1e-3, 1.0);
+  config_.misbehavior_threshold =
+      std::clamp(config_.misbehavior_threshold, 0.05, 1.0);
+  config_.misbehavior_release =
+      std::clamp(config_.misbehavior_release, 0.0,
+                 config_.misbehavior_threshold);
+  config_.misbehavior_decay = std::clamp(config_.misbehavior_decay, 0.0, 1.0);
+  if (config_.flagrant_evidence == 0) config_.flagrant_evidence = 1;
+  if (config_.misbehavior_strikes_to_ban == 0) {
+    config_.misbehavior_strikes_to_ban = 1;
+  }
   for (std::size_t t = 0; t < tags_.size(); ++t) {
     tags_[t].cmd.tag_id = static_cast<std::uint8_t>(t + 1);
   }
@@ -86,13 +120,14 @@ void LinkSupervisor::RefreshCommand(TagState& tag, std::size_t index) {
 }
 
 void LinkSupervisor::Transition(TagState& tag, std::size_t index,
-                                std::size_t round, TagHealth to) {
+                                std::size_t round, TagHealth to,
+                                bool misbehavior) {
   const TagHealth from = tag.state;
   if (from == to) return;
   tag.state = to;
   if (transitions_.size() < kMaxTransitionLog) {
     transitions_.push_back(
-        {round, static_cast<std::uint8_t>(index + 1), from, to});
+        {round, static_cast<std::uint8_t>(index + 1), from, to, misbehavior});
   }
   switch (to) {
     case TagHealth::kDegraded:
@@ -118,6 +153,11 @@ void LinkSupervisor::Transition(TagState& tag, std::size_t index,
       tag.probe_outstanding = false;
       tag.probe_failures = 0;
       tag.clean_rounds = 0;
+      // Served the sentence: an evidence-driven quarantine is released
+      // only once the score decayed to misbehavior_release, so the
+      // guilty flag clears here (strikes and any ban are permanent).
+      tag.misbehaving = false;
+      tag.relapse_armed = false;
       if (from == TagHealth::kQuarantined) {
         fresh_readmissions_.push_back(index);
       }
@@ -179,9 +219,82 @@ void LinkSupervisor::ObserveRound(const RoundObservation& obs) {
       ++stats_.probe_failures;
     }
 
-    // State machine. Quarantined is only reachable from Probation with
-    // the probe-failure budget exhausted — the model-based test pins
-    // this against a reference transition table.
+    // Misbehavior evidence channel. The score updates before the
+    // silence state machine so flagrant evidence parks the offender in
+    // the same round it is observed, and so a guilty tag's probe
+    // answers cannot readmit it through the kQuarantined→kRecovered
+    // edge below while the score is still hot.
+    bool misbehavior_hold = false;
+    if (config_.policing_enabled) {
+      const std::size_t evidence = o.misbehavior_evidence;
+      if (evidence > 0) ++stats_.evidence_rounds;
+      if (evidence >= config_.flagrant_evidence) {
+        tag.misbehavior_score = 1.0;
+      } else if (evidence > 0) {
+        tag.misbehavior_score =
+            (1.0 - config_.misbehavior_alpha) * tag.misbehavior_score +
+            config_.misbehavior_alpha;
+      } else {
+        tag.misbehavior_score *= 1.0 - config_.misbehavior_decay;
+      }
+      // Arm the relapse detector once a parked offender's score has
+      // decayed to release (probing resumes below); a later re-cross
+      // of the threshold is a fresh offense, not the original one.
+      if (tag.state == TagHealth::kQuarantined && tag.misbehaving &&
+          tag.misbehavior_score <= config_.misbehavior_release) {
+        tag.relapse_armed = true;
+      }
+      if (tag.misbehavior_score >= config_.misbehavior_threshold) {
+        if (tag.state != TagHealth::kQuarantined) {
+          tag.misbehaving = true;
+          tag.relapse_armed = false;
+          ++tag.strikes;
+          ++stats_.misbehavior_quarantines;
+          if (!tag.banned && tag.strikes >= config_.misbehavior_strikes_to_ban) {
+            tag.banned = true;
+            ++stats_.bans;
+          }
+          Transition(tag, t, obs.round, TagHealth::kQuarantined,
+                     /*misbehavior=*/true);
+        } else if (tag.relapse_armed || !tag.misbehaving) {
+          // Already parked but this crossing is a fresh offense: either
+          // the relapse detector armed (score had decayed to release)
+          // or the original quarantine was silence-driven and the tag
+          // only now turned hostile.
+          const bool relapse = tag.relapse_armed;
+          tag.misbehaving = true;
+          tag.relapse_armed = false;
+          ++tag.strikes;
+          if (relapse) {
+            ++stats_.misbehavior_relapses;
+          } else {
+            ++stats_.misbehavior_quarantines;
+          }
+          if (!tag.banned && tag.strikes >= config_.misbehavior_strikes_to_ban) {
+            tag.banned = true;
+            ++stats_.bans;
+          }
+        }
+      }
+      // Sticky quarantine: while guilty-and-hot (or banned for good)
+      // the ordinary silence machine is suspended — no probe-answer
+      // readmission, no Probation bookkeeping.
+      misbehavior_hold =
+          tag.banned ||
+          (tag.state == TagHealth::kQuarantined && tag.misbehaving &&
+           tag.misbehavior_score > config_.misbehavior_release);
+    }
+
+    // State machine. Silence-driven Quarantined is only reachable from
+    // Probation with the probe-failure budget exhausted; the
+    // misbehavior channel above is the one sanctioned shortcut and
+    // stamps its transitions — the model-based test pins both against
+    // a reference transition table.
+    if (misbehavior_hold) {
+      RefreshCommand(tag, t);
+      if (tag.cmd.boost_steps > 0) ++stats_.boost_commands;
+      continue;
+    }
     switch (tag.state) {
       case TagHealth::kHealthy:
         if (tag.loss_primed && tag.loss >= config_.degrade_loss) {
@@ -308,6 +421,11 @@ std::string LinkSupervisor::Serialize() const {
     w.U64(t.cmd.admit ? 1 : 0);
     w.U64(t.cmd.probe ? 1 : 0);
     w.U64(t.cmd.boost_steps);
+    w.F64(t.misbehavior_score);
+    w.U64(t.misbehaving ? 1 : 0);
+    w.U64(t.strikes);
+    w.U64(t.banned ? 1 : 0);
+    w.U64(t.relapse_armed ? 1 : 0);
   }
   w.F64(crc_fail_);
   w.U64(crc_primed_ ? 1 : 0);
@@ -321,12 +439,17 @@ std::string LinkSupervisor::Serialize() const {
   w.U64(stats_.probes_sent);
   w.U64(stats_.probe_failures);
   w.U64(stats_.boost_commands);
+  w.U64(stats_.evidence_rounds);
+  w.U64(stats_.misbehavior_quarantines);
+  w.U64(stats_.misbehavior_relapses);
+  w.U64(stats_.bans);
   w.U64(transitions_.size());
   for (const HealthTransition& tr : transitions_) {
     w.U64(tr.round);
     w.U64(tr.tag_id);
     w.U64(static_cast<std::uint64_t>(tr.from));
     w.U64(static_cast<std::uint64_t>(tr.to));
+    w.U64(tr.misbehavior ? 1 : 0);
   }
   return w.Take();
 }
@@ -365,6 +488,10 @@ bool LinkSupervisor::Deserialize(const std::string& payload) {
     }
     t.cmd.tag_id = static_cast<std::uint8_t>(tag_id);
     t.cmd.boost_steps = static_cast<std::uint8_t>(boost);
+    if (!r.F64(&t.misbehavior_score) || !b(&t.misbehaving) ||
+        !u(&t.strikes) || !b(&t.banned) || !b(&t.relapse_armed)) {
+      return false;
+    }
   }
   double crc_fail = 0.0;
   bool crc_primed = false;
@@ -375,7 +502,9 @@ bool LinkSupervisor::Deserialize(const std::string& payload) {
       !u(&stats.degradations) || !u(&stats.probations) ||
       !u(&stats.quarantines) || !u(&stats.recoveries) ||
       !u(&stats.readmissions) || !u(&stats.probes_sent) ||
-      !u(&stats.probe_failures) || !u(&stats.boost_commands)) {
+      !u(&stats.probe_failures) || !u(&stats.boost_commands) ||
+      !u(&stats.evidence_rounds) || !u(&stats.misbehavior_quarantines) ||
+      !u(&stats.misbehavior_relapses) || !u(&stats.bans)) {
     return false;
   }
   std::size_t num_transitions = 0;
@@ -388,7 +517,7 @@ bool LinkSupervisor::Deserialize(const std::string& payload) {
     std::uint64_t from = 0;
     std::uint64_t to = 0;
     if (!u(&tr.round) || !r.U64(&tag_id) || tag_id > 255 || !r.U64(&from) ||
-        from > 4 || !r.U64(&to) || to > 4) {
+        from > 4 || !r.U64(&to) || to > 4 || !b(&tr.misbehavior)) {
       return false;
     }
     tr.tag_id = static_cast<std::uint8_t>(tag_id);

@@ -86,11 +86,45 @@ struct SupervisorConfig {
   std::size_t recovered_hold_rounds = 8;
   /// Health command blocks per announcement (≤ kMaxHealthBlocks).
   std::size_t command_blocks_per_round = kMaxHealthBlocks;
+
+  // Misbehavior policing (the Byzantine evidence channel; off by
+  // default — every pre-policing consumer keeps bit-identical
+  // behaviour). Evidence rounds drive a per-tag EWMA score toward 1;
+  // clean rounds decay it. At or above `misbehavior_threshold` the tag
+  // is quarantined from *any* state; the quarantine is sticky (probe
+  // answers do not readmit) until the score decays to
+  // `misbehavior_release`, and repeat offenses accumulate strikes
+  // toward a permanent ban.
+  bool policing_enabled = false;
+  /// EWMA gain applied on rounds with misbehavior evidence.
+  double misbehavior_alpha = 0.4;
+  /// Score at or above this quarantines the tag (misbehavior edge).
+  double misbehavior_threshold = 0.7;
+  /// Probes (and therefore readmission) resume only below this.
+  double misbehavior_release = 0.15;
+  /// Per-round multiplicative decay on evidence-free rounds.
+  double misbehavior_decay = 0.1;
+  /// Evidence count in a single round that saturates the score
+  /// immediately (a babbling idiot must not get n* grace rounds).
+  std::size_t flagrant_evidence = 4;
+  /// Misbehavior quarantines (entries + probe-cycle relapses) before
+  /// the tag is banned: admit stays 0 and probing stops for good.
+  std::size_t misbehavior_strikes_to_ban = 2;
 };
 
 /// Worst-case rounds from a tag's last heard frame to its Quarantined
 /// transition under `config` (the documented detection bound).
 std::size_t QuarantineDetectionBound(const SupervisorConfig& config);
+
+/// Worst-case rounds from a tag's *first misbehavior evidence* to its
+/// misbehavior quarantine, assuming evidence lands in at least every
+/// other observed round (sub-flagrant offenders whose frames sometimes
+/// collide). Derivation (DESIGN.md §10): continuous evidence crosses
+/// the threshold after n* = ⌈ln(1−θ)/ln(1−α)⌉ rounds; half-duty
+/// evidence doubles that, and 4 rounds of slack cover inter-evidence
+/// decay plus the park command riding the next announcement. Flagrant
+/// offenders saturate in one round and beat this bound trivially.
+std::size_t MisbehaviorDetectionBound(const SupervisorConfig& config);
 
 /// What the coordinator observed about one tag in one round.
 struct TagRoundObservation {
@@ -100,6 +134,10 @@ struct TagRoundObservation {
   std::size_t duplicates = 0;
   /// Holes currently open in the tag's receive window (NACK pressure).
   std::size_t nacks_outstanding = 0;
+  /// Misbehavior evidence charged this round (slot-occupancy police,
+  /// replay rejections, identity-collision suspicion — mac/policing.h).
+  /// Ignored unless policing_enabled.
+  std::size_t misbehavior_evidence = 0;
 };
 
 struct RoundObservation {
@@ -119,6 +157,11 @@ struct HealthTransition {
   std::uint8_t tag_id = 0;  ///< 1-based, as on the air.
   TagHealth from = TagHealth::kHealthy;
   TagHealth to = TagHealth::kHealthy;
+  /// The transition was driven by the misbehavior evidence channel
+  /// (the only way Quarantined is reachable from Healthy/Degraded/
+  /// Recovered — the model-based test keys the legal-edge table on
+  /// this flag).
+  bool misbehavior = false;
 };
 
 struct SupervisorStats {
@@ -130,6 +173,11 @@ struct SupervisorStats {
   std::size_t probes_sent = 0;
   std::size_t probe_failures = 0;
   std::size_t boost_commands = 0;  ///< Rounds×tags with boost_steps > 0.
+  // Misbehavior policing (all zero unless policing_enabled) ----------
+  std::size_t evidence_rounds = 0;          ///< Tag-rounds with evidence.
+  std::size_t misbehavior_quarantines = 0;  ///< Evidence-driven entries.
+  std::size_t misbehavior_relapses = 0;     ///< Re-offenses while parked.
+  std::size_t bans = 0;                     ///< Tags struck out for good.
 };
 
 class LinkSupervisor {
@@ -153,6 +201,19 @@ class LinkSupervisor {
   TagHealth health(std::size_t tag) const { return tags_[tag].state; }
   /// Loss EWMA (diagnostics / stress reporting).
   double loss_ewma(std::size_t tag) const { return tags_[tag].loss; }
+  /// Misbehavior score EWMA (0 with policing disabled).
+  double misbehavior_score(std::size_t tag) const {
+    return tags_[tag].misbehavior_score;
+  }
+  /// The tag's current quarantine was evidence-driven (sticky until
+  /// the score decays to misbehavior_release).
+  bool misbehavior_quarantined(std::size_t tag) const {
+    return tags_[tag].misbehaving;
+  }
+  std::size_t misbehavior_strikes(std::size_t tag) const {
+    return tags_[tag].strikes;
+  }
+  bool banned(std::size_t tag) const { return tags_[tag].banned; }
   /// Global CRC-failure-rate EWMA (collisions / active slots).
   double crc_fail_ewma() const { return crc_fail_; }
   std::size_t num_tags() const { return tags_.size(); }
@@ -196,10 +257,20 @@ class LinkSupervisor {
     std::size_t last_probe_round = 0;
     bool command_dirty = true;  ///< Command changed since last broadcast.
     TagCommand cmd;
+    // Misbehavior policing state --------------------------------------
+    double misbehavior_score = 0.0;  ///< Evidence EWMA (no priming: one
+                                     ///< stray glitch never quarantines).
+    bool misbehaving = false;   ///< Current quarantine is evidence-driven.
+    std::size_t strikes = 0;    ///< Misbehavior quarantines + relapses.
+    bool banned = false;        ///< Struck out: parked forever, no probes.
+    /// Re-offense detector while quarantined: armed when the score has
+    /// decayed to release (probing resumed), fires a strike when the
+    /// score re-crosses the threshold.
+    bool relapse_armed = false;
   };
 
   void Transition(TagState& tag, std::size_t index, std::size_t round,
-                  TagHealth to);
+                  TagHealth to, bool misbehavior = false);
   void RefreshCommand(TagState& tag, std::size_t index);
   std::uint8_t BoostFor(const TagState& tag) const;
 

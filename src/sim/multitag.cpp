@@ -106,6 +106,23 @@ FullStackSim::FullStackSim(const FullStackConfig& config, Rng& rng)
     dynamics_ = std::make_unique<impair::ChannelDynamics>(config_.dynamics,
                                                           config_.num_tags);
   }
+  // Rogues and the police are also off the master stream (the engine
+  // runs on its own counter-based seed, the police draws nothing), so
+  // an all-honest config perturbs nothing.
+  if (config_.rogue.AnyEnabled()) {
+    rogue_ = std::make_unique<impair::RogueEngine>(config_.rogue,
+                                                   config_.num_tags);
+  }
+  if (config_.policing.enabled && config_.transport.enabled) {
+    police_ =
+        std::make_unique<mac::SlotPolice>(config_.policing, config_.num_tags);
+  }
+  if (config_.transport.enabled) {
+    prev_replay_.assign(config_.num_tags, 0);
+    prev_stale_.assign(config_.num_tags, 0);
+    prev_beyond_.assign(config_.num_tags, 0);
+    embargo_evidence_.assign(config_.num_tags, 0);
+  }
 }
 
 FullStackSim::~FullStackSim() = default;
@@ -123,8 +140,12 @@ RoundReport FullStackSim::StepRound() {
   const bool arq = config_.transport.enabled;
   const bool sup = supervisor_ != nullptr;
   const bool dyn = dynamics_ != nullptr;
+  const bool rogues = rogue_ != nullptr;
   RoundReport report;
   report.round = round_;
+
+  if (rogues) rogue_->BeginRound(round_);
+  if (police_) police_->BeginRound(round_);
 
   if (dyn) {
     dynamics_->BeginRound(round_);
@@ -195,6 +216,12 @@ RoundReport FullStackSim::StepRound() {
     // so no pulses, no announcement, no commands (they are sticky and
     // re-sent round-robin, so the loop catches up when the link does).
     if (dyn && dynamics_->link(ti).blackout) continue;
+    // A flapper in its off-phase has left the cell: same deal.
+    if (rogues && !rogue_->Joined(ti)) continue;
+    // A clone listens under the identity it assumed — it hears (and
+    // obeys, per the threat model) the commands addressed to its
+    // victim's id.
+    const std::uint8_t listen_id = rogues ? rogue_->WireId(ti) : t.id;
     // The physical detector model first (misses, jitter — main rng),
     // then the injected envelope faults (injector's own rng).
     std::vector<tag::MeasuredPulse> detected;
@@ -214,12 +241,12 @@ RoundReport FullStackSim::StepRound() {
           if (parsed->ext_rejected) ++stats_.transport_ext_rejected;
           if (parsed->acks.has_value()) {
             for (const transport::TagAck& ack : parsed->acks->acks) {
-              if (ack.tag_id == t.id) t.arq->OnAck(ack, round_);
+              if (ack.tag_id == listen_id) t.arq->OnAck(ack, round_);
             }
           }
           if (parsed->health.has_value()) {
             for (const health::TagCommand& cmd : parsed->health->commands) {
-              if (cmd.tag_id != t.id) continue;
+              if (cmd.tag_id != listen_id) continue;
               t.cmd = cmd;
               if (cmd.probe) t.probe_this_round = true;
             }
@@ -236,9 +263,34 @@ RoundReport FullStackSim::StepRound() {
           if (parsed->ext_rejected) ++stats_.transport_ext_rejected;
           if (parsed->ext.has_value()) {
             for (const transport::TagAck& ack : parsed->ext->acks) {
-              if (ack.tag_id == t.id) t.arq->OnAck(ack, round_);
+              if (ack.tag_id == listen_id) t.arq->OnAck(ack, round_);
             }
           }
+        }
+      }
+    }
+  }
+
+  // A forging rogue (a compromised second exciter) airs corrupted
+  // version-2 extensions of its own: every present tag runs them
+  // through the same codec as the genuine announcement. Structural
+  // validation plus the CRC is the whole defense; the rare survivor is
+  // counted (the CRC-8 residual-risk metric) but carries only bogus
+  // sticky state that the genuine round-robin re-announce overwrites —
+  // nothing crashes and nothing is silently dropped.
+  if (rogues) {
+    for (std::size_t f = 0; f < config_.num_tags; ++f) {
+      if (!rogue_->ForgesThisRound(f)) continue;
+      const BitVector forged = rogue_->ForgedExtension(f);
+      for (std::size_t ti = 0; ti < tags_.size(); ++ti) {
+        if (dyn && dynamics_->link(ti).blackout) continue;
+        if (!rogue_->Joined(ti)) continue;
+        ++stats_.forged_ext_heard;
+        const auto parsed = health::ParseAnnouncementHealth(forged);
+        if (!parsed.has_value() || parsed->ext_rejected) {
+          ++stats_.forged_ext_rejected;
+        } else {
+          ++stats_.forged_ext_accepted;
         }
       }
     }
@@ -281,16 +333,34 @@ RoundReport FullStackSim::StepRound() {
     // Superpose every firing tag's reflection.
     IqBuffer composite;
     for (std::size_t t = 0; t < config_.num_tags; ++t) {
-      if (!tags_[t].controller.OnSlotBoundary()) continue;
+      const bool honest_slot = tags_[t].controller.OnSlotBoundary();
       // No excitation reaches a blacked-out tag: nothing to reflect,
       // whatever its controller believes about the slot grid.
       if (dyn && dynamics_->link(t).blackout) continue;
-      if (sup && !tags_[t].cmd.admit && !tags_[t].probe_this_round) {
+      // A flapper in its off-phase has left the cell entirely.
+      if (rogues && !rogue_->Joined(t)) continue;
+      const bool is_rogue = rogues && rogue_->is_rogue(t);
+      impair::RogueSlotAction ra;
+      if (is_rogue) ra = rogue_->SlotAction(t, slot);
+      if (sup && !tags_[t].cmd.admit && !tags_[t].probe_this_round &&
+          !(is_rogue && !rogue_->spec(t).obeys_park)) {
         continue;  // parked by the supervisor: sit the round out
       }
+      // A rogue "extra fire" is a reflection the honest MAC/ARQ path
+      // would never have produced (babbler, slot thief, forger junk):
+      // it overrides the firmware and goes on the air at base
+      // redundancy with the rogue's wire id and garbage sequence.
+      const bool rogue_fire = is_rogue && ra.extra_fire;
+      if (!honest_slot && !rogue_fire) continue;
+      std::uint8_t fired_id = tags_[t].id;
       BitVector bits;
       core::TranslateConfig tag_tcfg = tcfg;
-      if (arq) {
+      if (rogue_fire) {
+        ++stats_.rogue_extra_frames;
+        fired_id = ra.wire_id;
+        const Bytes payload = {ra.wire_id, ra.seq};
+        bits = core::EncodeTagFrame(payload);
+      } else if (arq) {
         std::uint8_t seq = 0;
         std::size_t steps = 0;
         const auto tx = tags_[t].arq->NextFrame(round_);
@@ -317,12 +387,28 @@ RoundReport FullStackSim::StepRound() {
           redundancy >>= 1;
         }
         tag_tcfg.redundancy = redundancy;
-        const Bytes payload = {tags_[t].id, seq};
+        if (is_rogue) {
+          // Rogues that ride the honest transmit path rewrite what
+          // goes on the air: the replayer's stale sequence, the
+          // clone's assumed identity and interleaved counter.
+          fired_id = rogue_->WireId(t);
+          switch (rogue_->spec(t).model) {
+            case impair::RogueModel::kReplayer:
+              seq = rogue_->ReplaySeq(t);
+              break;
+            case impair::RogueModel::kClone:
+              seq = rogue_->CloneSeq(t);
+              break;
+            default:
+              break;
+          }
+        }
+        const Bytes payload = {fired_id, seq};
         bits = core::EncodeTagFrame(payload);
       } else {
         bits = tags_[t].LegacySlotBits();
       }
-      report.fired.push_back(tags_[t].id);
+      report.fired.push_back(fired_id);
       if (dyn) {
         // Frame-level fade: each surviving ×2 redundancy step is an
         // independent chance through the burst-error channel, so the
@@ -390,7 +476,13 @@ RoundReport FullStackSim::StepRound() {
             continue;
           }
           const std::uint8_t id = f.payload[0];
-          if (id < 1 || id > config_.num_tags) continue;
+          if (id < 1 || id > config_.num_tags) {
+            // Unattributable identity (forger junk): classified and
+            // counted, never silently dropped, never delivered.
+            ++stats_.rx_invalid_id;
+            if (police_) police_->OnUnattributedFrame();
+            continue;
+          }
           const std::uint8_t seq = f.payload[1];
           if (arq && !seen.insert({id, seq}).second) {
             continue;  // same frame decoded at two candidate levels
@@ -400,10 +492,35 @@ RoundReport FullStackSim::StepRound() {
           ++report.raw_frames;
           if (sup) ++raw_per_tag[id - 1];
           delivered = true;
+          if (police_) police_->OnFrame(id - 1, seq);
           if (arq) {
-            for (const std::uint8_t s :
-                 coordinator_->rx(id - 1).OnFrame(seq, round_)) {
-              report.delivered.push_back({id, s});
+            if (sup && config_.supervisor.policing_enabled &&
+                supervisor_->misbehavior_quarantined(id - 1)) {
+              // Suspect embargo: a misbehavior-quarantined id still
+              // answers probes (the frame was heard and counted above)
+              // but its data is barred from the application stream
+              // until the identity is rehabilitated — stale or cloned
+              // frames must not ride a probe round into the app. The
+              // frame is still *classified* against the untouched
+              // stream state: a probe answer that would have been
+              // rejected as stale / beyond-window / a replay alias is
+              // fresh evidence, which is what keeps a replayer from
+              // talking its way out of quarantine one probe at a time.
+              ++stats_.suspect_frames_dropped;
+              switch (coordinator_->rx(id - 1).Classify(seq)) {
+                case transport::RxError::kStaleReplay:
+                case transport::RxError::kBeyondWindow:
+                case transport::RxError::kReplayAlias:
+                  ++embargo_evidence_[id - 1];
+                  break;
+                default:
+                  break;
+              }
+            } else {
+              for (const std::uint8_t s :
+                   coordinator_->rx(id - 1).OnFrame(seq, round_)) {
+                report.delivered.push_back({id, s});
+              }
             }
           }
         }
@@ -429,6 +546,11 @@ RoundReport FullStackSim::StepRound() {
     }
   }
 
+  // Close the police's round even without a supervisor: the occupancy
+  // and identity statistics roll regardless of who consumes them.
+  std::vector<std::size_t> evidence;
+  if (police_) evidence = police_->EndRound();
+
   if (sup) {
     health::RoundObservation obs;
     obs.round = round_;
@@ -442,6 +564,23 @@ RoundReport FullStackSim::StepRound() {
       obs.tags[t].duplicates = rx.duplicates - prev_duplicates_[t];
       prev_duplicates_[t] = rx.duplicates;
       obs.tags[t].nacks_outstanding = coordinator_->rx(t).BufferedOoo();
+      // Misbehavior evidence = slot-occupancy + identity-collision
+      // charges from the police, plus this round's replay / stale /
+      // beyond-window rejections on the tag's transport stream.
+      if (config_.supervisor.policing_enabled) {
+        std::size_t ev = t < evidence.size() ? evidence[t] : 0;
+        ev += rx.replay_rejected - prev_replay_[t];
+        ev += rx.stale_rejected - prev_stale_[t];
+        ev += rx.beyond_window - prev_beyond_[t];
+        // Rejection-class frames heard under the suspect embargo
+        // (classified against the stream, never run through it).
+        ev += embargo_evidence_[t];
+        obs.tags[t].misbehavior_evidence = ev;
+      }
+      embargo_evidence_[t] = 0;
+      prev_replay_[t] = rx.replay_rejected;
+      prev_stale_[t] = rx.stale_rejected;
+      prev_beyond_[t] = rx.beyond_window;
     }
     supervisor_->ObserveRound(obs);
     // Quarantine frees the tag's reassembly memory (S-bugfix: a silent
@@ -454,6 +593,10 @@ RoundReport FullStackSim::StepRound() {
     }
     for (const std::size_t t : supervisor_->TakeFreshReadmissions()) {
       coordinator_->rx(t).BeginResync();
+      // Challenge/re-announce recovery for a suspected identity
+      // collision completes here: the stream re-anchors and the
+      // collision detector re-arms from scratch.
+      if (police_) police_->ResetIdentity(t);
     }
     report.health.reserve(config_.num_tags);
     for (std::size_t t = 0; t < config_.num_tags; ++t) {
@@ -517,6 +660,8 @@ FullStackStats FullStackSim::Stats() const {
       stats.transport_holes_skipped += rx.holes_skipped;
       stats.health_ooo_evicted += rx.ooo_evicted;
       stats.health_resyncs += rx.resyncs;
+      stats.transport_replay_rejected += rx.replay_rejected;
+      stats.transport_stale_rejected += rx.stale_rejected;
     }
   }
   if (supervisor_ != nullptr) {
@@ -526,6 +671,16 @@ FullStackStats FullStackSim::Stats() const {
     stats.health_probes_sent = hs.probes_sent;
     stats.health_probe_failures = hs.probe_failures;
     stats.health_boost_commands = hs.boost_commands;
+    stats.misbehavior_quarantines = hs.misbehavior_quarantines;
+    stats.misbehavior_bans = hs.bans;
+  }
+  if (police_ != nullptr) {
+    stats.police_evidence = police_->stats().evidence_total;
+    for (std::size_t t = 0; t < config_.num_tags; ++t) {
+      stats.police_multi_fire_rounds += police_->tag_stats(t).multi_fire_rounds;
+      stats.police_collision_suspicions +=
+          police_->tag_stats(t).collision_suspicions;
+    }
   }
   return stats;
 }

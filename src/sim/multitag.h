@@ -39,6 +39,8 @@
 #include "health/supervisor.h"
 #include "impair/dynamics.h"
 #include "impair/impair.h"
+#include "impair/rogue.h"
+#include "mac/policing.h"
 #include "mac/slotted_aloha.h"
 #include "mac/tag_mac.h"
 #include "runtime/sweep_engine.h"
@@ -100,6 +102,14 @@ struct FullStackConfig {
   /// mobility, blackouts. Runs on its own counter-based streams, so a
   /// fully-disabled config draws nothing and perturbs nothing.
   impair::DynamicsConfig dynamics;
+  /// Byzantine participants (impair/rogue.h): babblers, slot thieves,
+  /// replayers, forgers, clones, flappers. All-honest = no engine, no
+  /// draws, bit-identical legacy behaviour.
+  impair::RogueConfig rogue;
+  /// Coordinator-side MAC policing (mac/policing.h). Requires the
+  /// transport; evidence reaches the supervisor's misbehavior channel
+  /// only when supervisor.policing_enabled is also set.
+  mac::PolicingConfig policing;
 };
 
 struct FullStackStats {
@@ -142,6 +152,24 @@ struct FullStackStats {
   // Dynamics accounting (all zero with dynamics disabled) ------------
   std::size_t faded_frames = 0;            ///< Reflections lost to fades.
   std::size_t blackout_tag_rounds = 0;     ///< Tag-rounds spent blacked out.
+  // Adversarial accounting (all zero with rogues/policing disabled) --
+  std::size_t rogue_extra_frames = 0;      ///< Reflections rogues added.
+  std::size_t rx_invalid_id = 0;           ///< CRC-valid, id out of range.
+  std::size_t forged_ext_heard = 0;        ///< Forged downlinks tags parsed.
+  std::size_t forged_ext_rejected = 0;     ///< ...killed by the codec.
+  std::size_t forged_ext_accepted = 0;     ///< ...that survived (CRC-8
+                                           ///< residual risk, never applied).
+  std::size_t transport_replay_rejected = 0;  ///< Forward-alias rejections.
+  std::size_t transport_stale_rejected = 0;   ///< Deep-stale rejections.
+  /// Frames heard from a misbehavior-quarantined id: they still answer
+  /// probes but are embargoed from the application stream until the
+  /// identity is rehabilitated.
+  std::size_t suspect_frames_dropped = 0;
+  std::size_t police_evidence = 0;            ///< Evidence charged, total.
+  std::size_t police_multi_fire_rounds = 0;   ///< Tag-rounds over budget.
+  std::size_t police_collision_suspicions = 0;
+  std::size_t misbehavior_quarantines = 0;
+  std::size_t misbehavior_bans = 0;
 };
 
 /// What one simulated round did — the soak harness checks its
@@ -211,6 +239,9 @@ class FullStackSim {
   health::LinkSupervisor* supervisor() { return supervisor_.get(); }
   const impair::ChannelDynamics* dynamics() const { return dynamics_.get(); }
   impair::ChannelDynamics* dynamics() { return dynamics_.get(); }
+  /// Rogue engine / MAC police introspection (null when disabled).
+  const impair::RogueEngine* rogues() const { return rogue_.get(); }
+  const mac::SlotPolice* police() const { return police_.get(); }
 
  private:
   struct SimTag;
@@ -227,9 +258,20 @@ class FullStackSim {
   std::unique_ptr<transport::CoordinatorTransport> coordinator_;
   std::unique_ptr<health::LinkSupervisor> supervisor_;
   std::unique_ptr<impair::ChannelDynamics> dynamics_;
+  std::unique_ptr<impair::RogueEngine> rogue_;
+  std::unique_ptr<mac::SlotPolice> police_;
   /// Previous-round duplicate totals per tag (supervisor observation
   /// wants per-round deltas, the transport keeps running totals).
   std::vector<std::size_t> prev_duplicates_;
+  /// Previous-round replay/stale/beyond-window totals per tag (the
+  /// deltas are misbehavior evidence for the supervisor).
+  std::vector<std::size_t> prev_replay_;
+  std::vector<std::size_t> prev_stale_;
+  std::vector<std::size_t> prev_beyond_;
+  /// This round's rejection-class frames heard under the suspect
+  /// embargo (classified, never run through the stream); consumed and
+  /// zeroed by the supervisor observation each round.
+  std::vector<std::size_t> embargo_evidence_;
   /// Per-tag offer gate (SetTagOffering); 1 = offered load flows.
   std::vector<std::uint8_t> tag_offering_;
   std::size_t round_ = 0;

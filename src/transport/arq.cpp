@@ -13,6 +13,18 @@ bool SeqCoveredBy(std::uint8_t base, std::uint8_t seq, std::uint8_t reference) {
 
 }  // namespace
 
+const char* RxErrorName(RxError error) {
+  switch (error) {
+    case RxError::kNone: return "none";
+    case RxError::kDuplicate: return "duplicate";
+    case RxError::kStaleReplay: return "stale_replay";
+    case RxError::kReplayAlias: return "replay_alias";
+    case RxError::kBeyondWindow: return "beyond_window";
+    case RxError::kDuplicateOoo: return "duplicate_ooo";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------- tag
 
 TagTransport::TagTransport(const TransportConfig& config) : config_(config) {
@@ -168,13 +180,20 @@ CoordinatorTagRx::CoordinatorTagRx(const TransportConfig& config)
   if (config_.window == 0) config_.window = 1;
 }
 
+void CoordinatorTagRx::RecordDelivered(std::uint8_t seq) {
+  delivered_pos_[seq] = position_++;
+  delivered_seen_.set(seq);
+}
+
 std::vector<std::uint8_t> CoordinatorTagRx::FlushInOrder() {
   std::vector<std::uint8_t> delivered;
+  RecordDelivered(next_expected_);
   delivered.push_back(next_expected_++);
   ++stats_.delivered;
   // The arrival that called us filled the head; drain the buffered run.
   rx_bitmap_ >>= 1;
   while (rx_bitmap_ & 1u) {
+    RecordDelivered(next_expected_);
     delivered.push_back(next_expected_++);
     ++stats_.delivered;
     rx_bitmap_ >>= 1;
@@ -185,6 +204,7 @@ std::vector<std::uint8_t> CoordinatorTagRx::FlushInOrder() {
 
 std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
                                                     std::size_t round) {
+  last_error_ = RxError::kNone;
   if (resync_pending_) {
     resync_pending_ = false;
     const std::uint8_t gap = SeqDistance(next_expected_, seq);
@@ -196,10 +216,13 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
       // live frames as duplicates. Re-anchor on what we heard. Frames
       // the tag retransmits across the re-anchor may be delivered
       // twice — callers needing exactly-once track positions above
-      // the transport (see sim/stress).
+      // the transport (see sim/stress). The replay-guard memory is
+      // position-anchored to the old stream, so it is cleared with the
+      // anchor: those retransmissions are sanctioned, not replays.
       next_expected_ = seq;
       rx_bitmap_ = 0;
       blocked_ = false;
+      delivered_seen_.reset();
       ++stats_.resyncs;
     }
     // Inside the window the stream is still continuous: the tag kept
@@ -211,8 +234,17 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
   const std::uint8_t d = SeqDistance(next_expected_, seq);
   if (d >= 128) {
     // Behind the delivery point: a retransmission of something already
-    // delivered (or skipped). Pure duplicate.
+    // delivered (or skipped). A *plausible* retransmission trails by
+    // at most a window or two (ACK lag, hole-skips); anything deeper
+    // is a stale replay and counts as misbehavior evidence.
     ++stats_.duplicates;
+    const std::uint8_t behind = SeqDistance(seq, next_expected_);
+    if (behind > config_.replay_stale_behind) {
+      ++stats_.stale_rejected;
+      last_error_ = RxError::kStaleReplay;
+    } else {
+      last_error_ = RxError::kDuplicate;
+    }
     return {};
   }
   if (d == 0) {
@@ -227,11 +259,25 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
     // or hostile. Accepting it would let one bogus sequence fast-
     // forward the stream over real data.
     ++stats_.beyond_window;
+    last_error_ = RxError::kBeyondWindow;
+    return {};
+  }
+  if (config_.replay_guard && delivered_seen_.test(seq) &&
+      position_ - delivered_pos_[seq] < 256) {
+    // In the forward window, but this exact sequence was delivered
+    // less than a full wrap of stream positions ago — a legitimate
+    // new instance is impossible by serial arithmetic (the tag would
+    // have had to wrap the whole 8-bit space first). This is a replay
+    // aliased across the wrap; accepting it would hand the replayed
+    // payload to the application as fresh out-of-order data.
+    ++stats_.replay_rejected;
+    last_error_ = RxError::kReplayAlias;
     return {};
   }
   const std::uint32_t bit = std::uint32_t{1} << d;
   if (rx_bitmap_ & bit) {
     ++stats_.duplicates;
+    last_error_ = RxError::kDuplicateOoo;
     return {};
   }
   rx_bitmap_ |= bit;
@@ -255,9 +301,14 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnRoundEnd(
   // mirror of this timeout). Skip exactly one hole per round so a
   // burst of expiries drains gradually and visibly.
   ++stats_.holes_skipped;
+  // A skipped sequence consumes a stream position but is never marked
+  // delivered — its late retransmission must classify as a duplicate
+  // behind the delivery point, not trip the replay guard.
+  ++position_;
   skipped.push_back(next_expected_++);
   rx_bitmap_ >>= 1;
   while (rx_bitmap_ & 1u) {
+    RecordDelivered(next_expected_);
     delivered.push_back(next_expected_++);
     ++stats_.delivered;
     rx_bitmap_ >>= 1;

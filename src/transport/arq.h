@@ -28,6 +28,8 @@
 // stream forever; skips are reported, never silent.
 #pragma once
 
+#include <array>
+#include <bitset>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -64,7 +66,37 @@ struct TransportConfig {
   /// Receiver-side give-up: skip a missing sequence after the stream
   /// has been blocked on it this many rounds.
   std::size_t hole_skip_rounds = 64;
+  /// Replay protection: reject an in-window arrival whose sequence was
+  /// already delivered fewer than 256 stream positions ago. Exact by
+  /// serial arithmetic — a legitimate new instance of the same 8-bit
+  /// sequence requires a full wrap of the space — so it costs honest
+  /// tags nothing and closes the across-the-wrap forward alias a
+  /// replaying rogue can reach. The memory is cleared on a stream
+  /// resync (the re-anchor makes old positions meaningless and the tag
+  /// may legally retransmit across it).
+  bool replay_guard = true;
+  /// Classification threshold for behind-the-delivery-point arrivals:
+  /// deeper than this many sequences behind is a *stale replay*
+  /// (misbehavior evidence), not a plausible retransmission. Honest
+  /// retries trail the delivery point by at most a window or two even
+  /// through hole-skips.
+  std::size_t replay_stale_behind = 64;
 };
+
+/// Receive-path error taxonomy: every frame the coordinator does not
+/// deliver is classified, counted and surfaced — malformed or hostile
+/// input never crashes the receive path and is never silently dropped.
+enum class RxError : std::uint8_t {
+  kNone = 0,        ///< Frame delivered (or buffered) normally.
+  kDuplicate,       ///< Behind the delivery point: plausible retransmit.
+  kStaleReplay,     ///< Deep behind the delivery point: replayed frame.
+  kReplayAlias,     ///< In-window but delivered <256 positions ago —
+                    ///< a replay aliased across the 8-bit wrap.
+  kBeyondWindow,    ///< Ahead of the receive window: corrupt or hostile.
+  kDuplicateOoo,    ///< Already buffered out-of-order: retransmit race.
+};
+
+const char* RxErrorName(RxError error);
 
 /// Serial (mod-256) sequence comparison: distance from `from` to `to`
 /// going forward.
@@ -145,6 +177,8 @@ struct TagRxStats {
   std::size_t beyond_window = 0;    ///< Frames outside the rx window.
   std::size_t ooo_evicted = 0;      ///< Buffered frames dropped by eviction.
   std::size_t resyncs = 0;          ///< Stream re-anchors after silence.
+  std::size_t replay_rejected = 0;  ///< Forward-aliased replays refused.
+  std::size_t stale_rejected = 0;   ///< Deep-stale replays among duplicates.
 };
 
 /// Per-tag receive state at the coordinator.
@@ -187,9 +221,43 @@ class CoordinatorTagRx {
 
   const TagRxStats& stats() const { return stats_; }
   std::uint8_t next_expected() const { return next_expected_; }
+  /// Classification of the last OnFrame call (kNone = delivered or
+  /// buffered). The taxonomy feeds the MAC police's evidence stream.
+  RxError last_error() const { return last_error_; }
+
+  /// What OnFrame *would* classify this sequence as, without mutating
+  /// any receive state (kNone = it would deliver, buffer, or sanction
+  /// a pending resync re-anchor). Used for frames that are heard but
+  /// embargoed from the stream — a misbehavior-quarantined tag's probe
+  /// answers must still be classified so a stale or beyond-window
+  /// answer keeps incriminating it, while the untouched stream state
+  /// keeps an honestly-rehabilitating tag's classification identical
+  /// to what delivery would have seen.
+  RxError Classify(std::uint8_t seq) const {
+    if (resync_pending_ && SeqDistance(next_expected_, seq) >= config_.window) {
+      return RxError::kNone;  // would re-anchor: sanctioned
+    }
+    const std::uint8_t d = SeqDistance(next_expected_, seq);
+    if (d >= 128) {
+      return SeqDistance(seq, next_expected_) > config_.replay_stale_behind
+                 ? RxError::kStaleReplay
+                 : RxError::kDuplicate;
+    }
+    if (d == 0) return RxError::kNone;
+    if (d >= config_.window) return RxError::kBeyondWindow;
+    if (config_.replay_guard && delivered_seen_.test(seq) &&
+        position_ - delivered_pos_[seq] < 256) {
+      return RxError::kReplayAlias;
+    }
+    if ((rx_bitmap_ & (std::uint32_t{1} << d)) != 0) {
+      return RxError::kDuplicateOoo;
+    }
+    return RxError::kNone;
+  }
 
  private:
   std::vector<std::uint8_t> FlushInOrder();
+  void RecordDelivered(std::uint8_t seq);
 
   TransportConfig config_;
   std::uint8_t next_expected_ = 0;
@@ -199,6 +267,13 @@ class CoordinatorTagRx {
   std::size_t blocked_since_round_ = 0;
   bool blocked_ = false;
   bool resync_pending_ = false;
+  RxError last_error_ = RxError::kNone;
+  /// Replay-guard memory: the stream position at which each 8-bit
+  /// sequence was last delivered. Positions are 64-bit so they never
+  /// alias; the guard compares against a full wrap (256 positions).
+  std::uint64_t position_ = 0;
+  std::array<std::uint64_t, 256> delivered_pos_{};
+  std::bitset<256> delivered_seen_;
   TagRxStats stats_;
 };
 

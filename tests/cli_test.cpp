@@ -41,19 +41,29 @@ CliResult RunCli(const std::string& binary, const std::string& args) {
   return result;
 }
 
+// Every bench/ and tools/ entry point, injected by CMake as one
+// '|'-joined list so a binary added to the build is swept here
+// automatically (tests/CMakeLists.txt appends it to CLI_SWEPT_TARGETS
+// in the same edit that adds the target).
 std::vector<std::string> AllBinaries() {
-  return {
-      CLI_BENCH_STRESS_SUPERVISOR, CLI_BENCH_SOAK_ARQ,
-      CLI_BENCH_RUNTIME,           CLI_BENCH_IMPAIRMENTS,
-      CLI_BENCH_FIG14_RANGE,       CLI_BENCH_FIG17_MAC_MULTITAG,
-      CLI_CRASH_CAMPAIGN,          CLI_REPLAY_SOAK,
-  };
+  std::vector<std::string> binaries;
+  std::istringstream in(CLI_ALL_BINARIES);
+  std::string entry;
+  while (std::getline(in, entry, '|')) {
+    if (!entry.empty()) binaries.push_back(entry);
+  }
+  return binaries;
 }
 
 }  // namespace
 
 TEST(CliContractTest, UnknownFlagExitsTwoWithUsageOnStderr) {
-  for (const std::string& binary : AllBinaries()) {
+  const std::vector<std::string> binaries = AllBinaries();
+  // Guard against the list silently collapsing (a bad generator
+  // expression would yield one garbled entry, and the loop below would
+  // "pass" on nothing).
+  ASSERT_GE(binaries.size(), 32u);
+  for (const std::string& binary : binaries) {
     const CliResult result = RunCli(binary, "--definitely-not-a-flag");
     EXPECT_EQ(result.exit_code, 2) << binary;
     EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos)
@@ -62,6 +72,16 @@ TEST(CliContractTest, UnknownFlagExitsTwoWithUsageOnStderr) {
               std::string::npos)
         << binary << " stderr: " << result.stderr_text;
   }
+}
+
+TEST(CliContractTest, MicroPhyRejectsUnknownFlagAfterBenchmarkInit) {
+  // bench_micro_phy routes argv through benchmark::Initialize first;
+  // google-benchmark's own flags stay valid, anything else still hits
+  // the shared rejection path.
+  const CliResult result = RunCli(CLI_BENCH_MICRO_PHY, "--definitely-not-a-flag");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find("usage:"), std::string::npos)
+      << result.stderr_text;
 }
 
 TEST(CliContractTest, UnknownFlagRejectedEvenAfterKnownFlags) {

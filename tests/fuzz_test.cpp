@@ -7,7 +7,9 @@
 
 #include "common/rng.h"
 #include "core/tag_frame.h"
+#include "health/wire.h"
 #include "impair/impair.h"
+#include "impair/rogue.h"
 #include "mac/plm.h"
 #include "mac/tag_mac.h"
 #include "phy80211/mpdu.h"
@@ -272,6 +274,142 @@ TEST(Fuzz, ExtendedAnnouncementParserOnMutatedValidPayloads) {
       EXPECT_EQ(parsed->ext->acks, ext.acks);
     }
   }
+}
+
+namespace {
+
+/// A loaded, valid version-2 (health) announcement for mutation fuzz.
+BitVector ValidHealthAnnouncement() {
+  mac::RoundAnnouncement round;
+  round.slots = 12;
+  round.sequence = 201;
+  transport::AckExtension acks;
+  acks.acks.push_back({1, 9, 0x0021});
+  acks.acks.push_back({4, 250, 0x8000});
+  health::HealthExtension cmds;
+  health::TagCommand cmd;
+  cmd.tag_id = 3;
+  cmd.admit = true;
+  cmd.probe = true;
+  cmd.boost_steps = 2;
+  cmds.commands.push_back(cmd);
+  cmd.tag_id = 5;
+  cmd.admit = false;
+  cmd.probe = false;
+  cmd.boost_steps = 0;
+  cmds.commands.push_back(cmd);
+  return health::BuildAnnouncementHealth(round, acks, cmds);
+}
+
+/// Bounds every accepted parse must respect regardless of input.
+void ExpectHealthParseBounded(const health::HealthParseResult& parsed) {
+  if (parsed.acks.has_value()) {
+    EXPECT_LE(parsed.acks->acks.size(), health::kMaxAckBlocksV2);
+  }
+  if (parsed.health.has_value()) {
+    EXPECT_LE(parsed.health->commands.size(), health::kMaxHealthBlocks);
+    for (const health::TagCommand& cmd : parsed.health->commands) {
+      EXPECT_LE(cmd.boost_steps, health::kMaxBoostSteps);
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Fuzz, HealthAnnouncementParserOnRandomBits) {
+  // Arbitrary bit soup into the version-2 parser: never crash, and any
+  // extension it does accept obeys every structural bound.
+  Rng rng(881);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t n = rng.NextBelow(400);
+    const auto parsed = health::ParseAnnouncementHealth(RandomBits(rng, n));
+    if (parsed.has_value()) ExpectHealthParseBounded(*parsed);
+  }
+}
+
+TEST(Fuzz, HealthAnnouncementTruncatedAtEveryPosition) {
+  // A hostile or collision-cut downlink can end mid-extension at any
+  // bit. Every prefix must parse without crashing, and no truncation
+  // may yield a *different* accepted extension: either the cut lands
+  // before the extension starts (bare announcement, nothing parsed) or
+  // the length equation / CRC rejects it.
+  const BitVector clean = ValidHealthAnnouncement();
+  for (std::size_t len = 0; len < clean.size(); ++len) {
+    const BitVector cut(clean.begin(), clean.begin() + len);
+    const auto parsed = health::ParseAnnouncementHealth(cut);
+    if (len < 16) {
+      EXPECT_FALSE(parsed.has_value()) << "len " << len;
+      continue;
+    }
+    ASSERT_TRUE(parsed.has_value()) << "len " << len;
+    EXPECT_FALSE(parsed->acks.has_value()) << "len " << len;
+    EXPECT_FALSE(parsed->health.has_value()) << "len " << len;
+  }
+  // The untruncated payload still parses whole (the loop above really
+  // was cutting a valid message).
+  const auto whole = health::ParseAnnouncementHealth(clean);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_TRUE(whole->acks.has_value());
+  EXPECT_TRUE(whole->health.has_value());
+}
+
+TEST(Fuzz, HealthAnnouncementOnRandomDoubleBitFlips) {
+  // CRC-8 catches every single-bit error (health_test proves that
+  // exhaustively); multi-bit patterns are where a weak checksum would
+  // leak forged commands through. 2000 random double flips: anything
+  // accepted must decode to exactly what was sent.
+  Rng rng(882);
+  const BitVector clean = ValidHealthAnnouncement();
+  const auto reference = health::ParseAnnouncementHealth(clean);
+  ASSERT_TRUE(reference.has_value());
+  std::size_t rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    BitVector mutated = clean;
+    const std::size_t a = 16 + rng.NextBelow(mutated.size() - 16);
+    std::size_t b = 16 + rng.NextBelow(mutated.size() - 16);
+    while (b == a) b = 16 + rng.NextBelow(mutated.size() - 16);
+    mutated[a] ^= 1;
+    mutated[b] ^= 1;
+    const auto parsed = health::ParseAnnouncementHealth(mutated);
+    ASSERT_TRUE(parsed.has_value());
+    ExpectHealthParseBounded(*parsed);
+    if (parsed->ext_rejected) {
+      ++rejected;
+    } else if (parsed->acks.has_value() || parsed->health.has_value()) {
+      // An undetected double flip must at least not alter the content
+      // the coordinator acts on.
+      ASSERT_TRUE(parsed->acks.has_value());
+      ASSERT_TRUE(parsed->health.has_value());
+      EXPECT_EQ(parsed->acks->acks, reference->acks->acks);
+      EXPECT_EQ(parsed->health->commands, reference->health->commands);
+    }
+  }
+  // The codec must be doing real work, not waving everything through.
+  EXPECT_GT(rejected, 1900u);
+}
+
+TEST(Fuzz, HealthAnnouncementOnForgedCrcCorpus) {
+  // The forger rogue's corpus: random bodies under *correct* CRC-8s,
+  // plus corrupted and intact well-formed extensions. The checksum is
+  // no authenticator, so structural validation carries the load — no
+  // crash, and every acceptance stays inside the caps.
+  impair::RogueConfig config;
+  config.seed = 0xF0F0;
+  config.tags.resize(2);
+  config.tags[1].model = impair::RogueModel::kForger;
+  config.tags[1].forge_probability = 1.0;
+  impair::RogueEngine engine(config, 2);
+  std::size_t parsed_total = 0;
+  for (std::size_t round = 0; round < 600; ++round) {
+    engine.BeginRound(round);
+    ASSERT_TRUE(engine.ForgesThisRound(1));
+    const auto parsed =
+        health::ParseAnnouncementHealth(engine.ForgedExtension(1));
+    ASSERT_TRUE(parsed.has_value()) << "round " << round;
+    ExpectHealthParseBounded(*parsed);
+    ++parsed_total;
+  }
+  EXPECT_EQ(parsed_total, 600u);
 }
 
 TEST(Fuzz, ExtendedPlmReceiverOnRandomBits) {

@@ -45,15 +45,29 @@ RoundObservation MakeObs(std::size_t round,
 }
 
 /// The documented legal-transition table — the FSM may move along
-/// these edges and no others.
-bool LegalTransition(TagHealth from, TagHealth to) {
+/// these edges and no others. The misbehavior evidence channel adds
+/// exactly one family of edges: an evidence-driven jump straight to
+/// Quarantined from any other state (a flagrant offender must not get
+/// to serve out Degraded/Probation first).
+bool LegalTransition(TagHealth from, TagHealth to, bool misbehavior = false) {
   using H = TagHealth;
+  if (misbehavior) return to == H::kQuarantined && from != H::kQuarantined;
   static const std::set<std::pair<H, H>> kLegal = {
       {H::kHealthy, H::kDegraded},    {H::kDegraded, H::kHealthy},
       {H::kDegraded, H::kProbation},  {H::kProbation, H::kRecovered},
       {H::kProbation, H::kQuarantined}, {H::kQuarantined, H::kRecovered},
       {H::kRecovered, H::kProbation}, {H::kRecovered, H::kHealthy}};
   return kLegal.count({from, to}) > 0;
+}
+
+RoundObservation MakeObsEv(std::size_t round,
+                           const std::vector<std::size_t>& frames_heard,
+                           const std::vector<std::size_t>& evidence) {
+  RoundObservation obs = MakeObs(round, frames_heard);
+  for (std::size_t t = 0; t < evidence.size(); ++t) {
+    obs.tags[t].misbehavior_evidence = evidence[t];
+  }
+  return obs;
 }
 
 }  // namespace
@@ -112,7 +126,7 @@ TEST(HealthFsmModelTest, RandomSequencesFollowTheTransitionTable) {
         const HealthTransition& tr = log[transitions_seen];
         ASSERT_LT(tr.tag_id - 1, num_tags);
         const std::size_t t = tr.tag_id - 1;
-        EXPECT_TRUE(LegalTransition(tr.from, tr.to))
+        EXPECT_TRUE(LegalTransition(tr.from, tr.to, tr.misbehavior))
             << "seed " << seed << " round " << tr.round << " tag "
             << int{tr.tag_id} << ": " << health::TagHealthName(tr.from)
             << " -> " << health::TagHealthName(tr.to);
@@ -176,6 +190,234 @@ TEST(HealthFsmModelTest, QuarantinedOnlyAfterProbeFailureBudget) {
   }
   EXPECT_GT(sup.stats().quarantines, 0u);
   EXPECT_GT(sup.stats().recoveries, 0u);
+}
+
+// ------------------------------------------ misbehavior evidence edges
+
+TEST(MisbehaviorBoundTest, MatchesDocumentedFormula) {
+  SupervisorConfig config = Enabled();
+  // Defaults: alpha 0.4, threshold 0.7 -> ceil(ln 0.3 / ln 0.6) = 3
+  // evidence rounds, doubled for every-other-round evidence, +4 slack.
+  EXPECT_EQ(health::MisbehaviorDetectionBound(config), 10u);
+  config.misbehavior_alpha = 0.5;
+  EXPECT_EQ(health::MisbehaviorDetectionBound(config), 8u);
+}
+
+// Random heard/evidence sequences: every misbehavior-marked transition
+// must be an evidence-driven jump to Quarantined (the one edge family
+// the channel adds), scores stay in [0, 1], and a banned tag is parked
+// for good — never admitted, never probed.
+TEST(HealthFsmModelTest, MisbehaviorEdgesFollowTheExtendedTable) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::size_t num_tags = 4;
+    SupervisorConfig config = Enabled();
+  config.policing_enabled = true;
+    LinkSupervisor sup(num_tags, config);
+    Rng rng(seed * 1511);
+
+    std::vector<TagHealth> prev_state(num_tags, TagHealth::kHealthy);
+    std::size_t transitions_seen = 0;
+    std::size_t misbehavior_transitions = 0;
+
+    for (std::size_t round = 0; round < 400; ++round) {
+      std::vector<std::size_t> heard(num_tags, 0);
+      std::vector<std::size_t> evidence(num_tags, 0);
+      for (std::size_t t = 0; t < num_tags; ++t) {
+        const health::TagCommand cmd = sup.command(t);
+        if ((cmd.admit || cmd.probe) && rng.NextBelow(100) < 85) heard[t] = 1;
+        // Tag 1 offends in bursts, tag 3 occasionally and flagrantly;
+        // the others stay honest.
+        if (t == 1 && (round / 25) % 3 == 1 && rng.NextBelow(100) < 70) {
+          evidence[t] = 1 + rng.NextBelow(2);
+        }
+        if (t == 3 && rng.NextBelow(100) < 4) evidence[t] = 5;
+      }
+      sup.ObserveRound(MakeObsEv(round, heard, evidence));
+      sup.BuildExtension();
+
+      const auto& log = sup.transitions();
+      for (; transitions_seen < log.size(); ++transitions_seen) {
+        const HealthTransition& tr = log[transitions_seen];
+        ASSERT_LT(tr.tag_id - 1, num_tags);
+        const std::size_t t = tr.tag_id - 1;
+        EXPECT_TRUE(LegalTransition(tr.from, tr.to, tr.misbehavior))
+            << "seed " << seed << " round " << tr.round << " tag "
+            << int{tr.tag_id} << ": " << health::TagHealthName(tr.from)
+            << " -> " << health::TagHealthName(tr.to)
+            << (tr.misbehavior ? " (misbehavior)" : "");
+        EXPECT_EQ(tr.from, prev_state[t]);
+        prev_state[t] = tr.to;
+        if (tr.misbehavior) {
+          ++misbehavior_transitions;
+          EXPECT_GT(evidence[t] + 1, 1u);  // evidence this round drove it
+        }
+      }
+      for (std::size_t t = 0; t < num_tags; ++t) {
+        const double score = sup.misbehavior_score(t);
+        EXPECT_GE(score, 0.0);
+        EXPECT_LE(score, 1.0);
+        if (sup.banned(t)) {
+          EXPECT_FALSE(sup.command(t).admit);
+          EXPECT_FALSE(sup.command(t).probe);
+          EXPECT_EQ(sup.health(t), TagHealth::kQuarantined);
+        }
+        // Honest tags never accumulate score, let alone strikes.
+        if (t == 0 || t == 2) {
+          EXPECT_EQ(sup.misbehavior_score(t), 0.0);
+          EXPECT_EQ(sup.misbehavior_strikes(t), 0u);
+        }
+      }
+    }
+    EXPECT_GT(misbehavior_transitions, 0u) << "seed " << seed;
+    EXPECT_GE(sup.stats().misbehavior_quarantines, misbehavior_transitions)
+        << "seed " << seed;
+  }
+}
+
+// The bound's two legs: continuous evidence (the EWMA leg alone) and
+// evidence landing only every other round (the doubling the formula
+// prices in). Both must quarantine within MisbehaviorDetectionBound of
+// the *first* evidence round.
+TEST(MisbehaviorBoundTest, EvidenceQuarantinesWithinBound) {
+  for (const std::size_t stride : {std::size_t{1}, std::size_t{2}}) {
+    SupervisorConfig config = Enabled();
+  config.policing_enabled = true;
+    LinkSupervisor sup(1, config);
+    const std::size_t first_evidence = 20;
+    for (std::size_t round = 0; round < 80; ++round) {
+      const bool offending =
+          round >= first_evidence && (round - first_evidence) % stride == 0;
+      sup.ObserveRound(MakeObsEv(round, {1}, {offending ? 1u : 0u}));
+      sup.BuildExtension();
+    }
+    std::size_t quarantine_round = 0;
+    bool found = false;
+    for (const HealthTransition& tr : sup.transitions()) {
+      if (tr.to == TagHealth::kQuarantined && tr.misbehavior) {
+        quarantine_round = tr.round;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "stride " << stride;
+    EXPECT_LE(quarantine_round - first_evidence + 1,
+              health::MisbehaviorDetectionBound(config))
+        << "stride " << stride;
+    EXPECT_GE(sup.stats().misbehavior_quarantines, 1u);
+  }
+}
+
+// A flagrant burst (evidence >= flagrant_evidence in one round) must
+// not wait for the EWMA to integrate: the score saturates and the tag
+// is quarantined immediately, even straight out of Healthy.
+TEST(MisbehaviorBoundTest, FlagrantEvidenceQuarantinesImmediately) {
+  SupervisorConfig config = Enabled();
+  config.policing_enabled = true;
+  LinkSupervisor sup(1, config);
+  for (std::size_t round = 0; round < 5; ++round) {
+    sup.ObserveRound(MakeObsEv(round, {1}, {0}));
+    sup.BuildExtension();
+  }
+  sup.ObserveRound(MakeObsEv(5, {1}, {config.flagrant_evidence}));
+  sup.BuildExtension();
+  EXPECT_EQ(sup.health(0), TagHealth::kQuarantined);
+  ASSERT_FALSE(sup.transitions().empty());
+  const HealthTransition& tr = sup.transitions().back();
+  EXPECT_TRUE(tr.misbehavior);
+  EXPECT_EQ(tr.from, TagHealth::kHealthy);
+  EXPECT_EQ(tr.round, 5u);
+}
+
+// Strike escalation: offend -> quarantine (strike 1) -> rehabilitate
+// through decay, probation probes and readmission -> offend again ->
+// strike 2 -> banned. A banned tag is parked forever: no admit, no
+// probes, no way back.
+TEST(HealthFsmTest, RepeatOffenderIsBannedForGood) {
+  SupervisorConfig config = Enabled();
+  config.policing_enabled = true;
+  ASSERT_EQ(config.misbehavior_strikes_to_ban, 2u);
+  LinkSupervisor sup(1, config);
+  std::size_t round = 0;
+  // An honest tag answering whenever the coordinator wants it.
+  const auto drive = [&](std::size_t evidence) {
+    const health::TagCommand cmd = sup.command(0);
+    const std::size_t heard = (cmd.admit || cmd.probe) ? 1u : 0u;
+    sup.ObserveRound(MakeObsEv(round++, {heard}, {evidence}));
+    sup.BuildExtension();
+  };
+  for (; round < 10;) drive(0);
+  // First offense: evidence until the misbehavior quarantine lands.
+  while (sup.health(0) != TagHealth::kQuarantined) {
+    ASSERT_LT(round, 60u);
+    drive(1);
+  }
+  EXPECT_EQ(sup.misbehavior_strikes(0), 1u);
+  EXPECT_FALSE(sup.banned(0));
+  // Clean conduct: the score decays, the hold lifts, probes resume and
+  // the tag earns readmission.
+  while (sup.health(0) == TagHealth::kQuarantined) {
+    ASSERT_LT(round, 300u);
+    drive(0);
+  }
+  EXPECT_EQ(sup.health(0), TagHealth::kRecovered);
+  // Relapse: the second strike is the last.
+  while (!sup.banned(0)) {
+    ASSERT_LT(round, 400u);
+    drive(1);
+  }
+  EXPECT_EQ(sup.misbehavior_strikes(0), 2u);
+  EXPECT_EQ(sup.health(0), TagHealth::kQuarantined);
+  EXPECT_GE(sup.stats().misbehavior_quarantines, 2u);
+  // Parked for good: whatever happens on the air, the ban holds.
+  const std::size_t banned_at = round;
+  for (; round < banned_at + 100;) drive(0);
+  EXPECT_TRUE(sup.banned(0));
+  EXPECT_EQ(sup.health(0), TagHealth::kQuarantined);
+  EXPECT_FALSE(sup.command(0).admit);
+  EXPECT_FALSE(sup.command(0).probe);
+  EXPECT_EQ(sup.admitted_tags(), 0u);
+}
+
+// Misbehavior state (scores, strikes, bans, hold) is part of the
+// snapshot contract: a restored supervisor continues bit-identically
+// through an offense cycle in progress.
+TEST(SupervisorSerializeTest, MisbehaviorStateSurvivesSnapshot) {
+  const std::size_t num_tags = 2;
+  SupervisorConfig config = Enabled();
+  config.policing_enabled = true;
+  LinkSupervisor original(num_tags, config);
+  std::size_t round = 0;
+  const auto drive = [&round, num_tags](LinkSupervisor& sup,
+                                        std::size_t at) {
+    std::vector<std::size_t> heard(num_tags, 0);
+    for (std::size_t t = 0; t < num_tags; ++t) {
+      const health::TagCommand cmd = sup.command(t);
+      heard[t] = (cmd.admit || cmd.probe) ? 1u : 0u;
+    }
+    // Tag 1 offends in a 30-round cycle: quarantine, decay, relapse.
+    std::vector<std::size_t> evidence(num_tags, 0);
+    if (at % 30 < 6) evidence[1] = 1;
+    sup.ObserveRound(MakeObsEv(at, heard, evidence));
+    sup.BuildExtension();
+  };
+  // Stop mid-cycle with a live score and at least one strike on tag 1.
+  for (; round < 40; ++round) drive(original, round);
+  EXPECT_GE(original.misbehavior_strikes(1), 1u);
+  EXPECT_GT(original.misbehavior_score(1), 0.0);
+  const std::string snapshot = original.Serialize();
+
+  LinkSupervisor restored(num_tags, config);
+  ASSERT_TRUE(restored.Deserialize(snapshot));
+  EXPECT_EQ(restored.Serialize(), snapshot);
+  for (std::size_t r2 = round; r2 < round + 120; ++r2) {
+    drive(original, r2);
+    drive(restored, r2);
+    ASSERT_EQ(original.Serialize(), restored.Serialize())
+        << "diverged at round " << r2;
+    ASSERT_EQ(original.misbehavior_score(1), restored.misbehavior_score(1));
+  }
+  EXPECT_EQ(original.banned(1), restored.banned(1));
+  EXPECT_EQ(original.misbehavior_strikes(1), restored.misbehavior_strikes(1));
 }
 
 TEST(HealthFsmTest, DeadTagQuarantinedWithinBound) {

@@ -13,6 +13,8 @@
 
 using namespace freerider;
 using transport::CoordinatorTagRx;
+using transport::RxError;
+using transport::RxErrorName;
 using transport::SeqDistance;
 using transport::TagAck;
 using transport::TagTransport;
@@ -543,6 +545,124 @@ TEST(CoordinatorRxTest, ResyncConsumesItselfAfterOneFrame) {
   EXPECT_TRUE(rx.OnFrame(100, 2).empty());
   EXPECT_EQ(rx.stats().beyond_window, 1u);
   EXPECT_EQ(rx.stats().resyncs, 0u);
+}
+
+// ----------------------------- replay guard and the RxError taxonomy
+
+// The across-the-wrap forward alias: after 300 in-order deliveries the
+// delivery point sits at 44 and the window covers 45..59 — sequences
+// delivered 255 positions ago on the *previous* lap. A replayed copy
+// of one of them is in-window by serial arithmetic; only the
+// position-stamped guard can tell it from fresh data.
+TEST(CoordinatorRxTest, WrapAliasReplayRejectedByPositionGuard) {
+  CoordinatorTagRx rx(Enabled());
+  for (std::size_t i = 0; i < 300; ++i) {
+    ASSERT_EQ(rx.OnFrame(static_cast<std::uint8_t>(i), i).size(), 1u);
+  }
+  ASSERT_EQ(rx.next_expected(), 44);
+  // Non-mutating classifier agrees up front...
+  EXPECT_EQ(rx.Classify(45), RxError::kReplayAlias);
+  // ...and the receive path refuses the replay.
+  EXPECT_TRUE(rx.OnFrame(45, 300).empty());
+  EXPECT_EQ(rx.last_error(), RxError::kReplayAlias);
+  EXPECT_EQ(rx.stats().replay_rejected, 1u);
+  // The poisoned sequence was not buffered: delivering 44 flushes only
+  // 44, not a stale 45 from last lap.
+  EXPECT_EQ(rx.OnFrame(44, 300), (std::vector<std::uint8_t>{44}));
+}
+
+// Regression documentation for the pre-guard behaviour: with the guard
+// off the aliased replay is buffered as a legitimate out-of-order
+// arrival and flushed as fresh data — last lap's payload delivered a
+// second time. This is the bug the replay window closes.
+TEST(CoordinatorRxTest, WrapAliasAcceptedWhenGuardDisabled) {
+  TransportConfig config = Enabled();
+  config.replay_guard = false;
+  CoordinatorTagRx rx(config);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ASSERT_EQ(rx.OnFrame(static_cast<std::uint8_t>(i), i).size(), 1u);
+  }
+  EXPECT_TRUE(rx.OnFrame(45, 300).empty());  // buffered, not rejected
+  EXPECT_EQ(rx.stats().replay_rejected, 0u);
+  EXPECT_EQ(rx.OnFrame(44, 300), (std::vector<std::uint8_t>{44, 45}));
+}
+
+TEST(CoordinatorRxTest, DeepStaleClassifiedAsReplayNotRetransmit) {
+  CoordinatorTagRx rx(Enabled());
+  for (std::size_t i = 0; i < 100; ++i) rx.OnFrame(static_cast<std::uint8_t>(i), i);
+  ASSERT_EQ(rx.next_expected(), 100);
+  // 90 behind: far deeper than any honest retransmission can trail
+  // (replay_stale_behind = 64) — misbehavior evidence, own counter.
+  EXPECT_TRUE(rx.OnFrame(10, 100).empty());
+  EXPECT_EQ(rx.last_error(), RxError::kStaleReplay);
+  EXPECT_EQ(rx.stats().stale_rejected, 1u);
+  // 5 behind: a plausible retransmit, a benign duplicate only. (Stale
+  // replays count among duplicates too — stale_rejected is the split.)
+  EXPECT_TRUE(rx.OnFrame(95, 100).empty());
+  EXPECT_EQ(rx.last_error(), RxError::kDuplicate);
+  EXPECT_EQ(rx.stats().duplicates, 2u);
+  EXPECT_EQ(rx.stats().stale_rejected, 1u);
+}
+
+// BeginResync re-anchors the stream and must also void the replay
+// memory: the old positions are meaningless after a re-anchor and the
+// tag may legally resend sequences from before the silence.
+TEST(CoordinatorRxTest, ResyncReanchorClearsReplayMemory) {
+  CoordinatorTagRx rx(Enabled());
+  for (std::uint8_t seq = 0; seq < 10; ++seq) rx.OnFrame(seq, 0);
+  rx.BeginResync();
+  // Re-anchor *backwards* onto a sequence delivered 5 positions ago —
+  // exactly what the guard would refuse mid-stream.
+  EXPECT_EQ(rx.OnFrame(5, 20), (std::vector<std::uint8_t>{5}));
+  EXPECT_EQ(rx.stats().resyncs, 1u);
+  EXPECT_EQ(rx.stats().replay_rejected, 0u);
+  EXPECT_EQ(rx.OnFrame(6, 20), (std::vector<std::uint8_t>{6}));
+}
+
+TEST(RxErrorTest, NamesCoverTheTaxonomy) {
+  const RxError all[] = {RxError::kNone,       RxError::kDuplicate,
+                         RxError::kStaleReplay, RxError::kReplayAlias,
+                         RxError::kBeyondWindow, RxError::kDuplicateOoo};
+  std::set<std::string> names;
+  for (const RxError e : all) {
+    ASSERT_NE(RxErrorName(e), nullptr);
+    names.insert(RxErrorName(e));
+  }
+  EXPECT_EQ(names.size(), 6u);  // distinct, greppable labels
+  EXPECT_STREQ(RxErrorName(RxError::kReplayAlias), "replay_alias");
+}
+
+// Classify() is the embargo path's oracle: for every sequence in the
+// space it must predict exactly what OnFrame would decide, without
+// touching the receive state.
+TEST(CoordinatorRxTest, ClassifyMatchesOnFrameAcrossTheWholeSpace) {
+  const auto sweep = [](const CoordinatorTagRx& rx, const char* state) {
+    const std::uint8_t anchor = rx.next_expected();
+    for (int s = 0; s < 256; ++s) {
+      const auto seq = static_cast<std::uint8_t>(s);
+      const RxError predicted = rx.Classify(seq);
+      CoordinatorTagRx trial = rx;  // state copy: probe without damage
+      trial.OnFrame(seq, 400);
+      EXPECT_EQ(predicted, trial.last_error()) << state << " seq " << s;
+    }
+    EXPECT_EQ(rx.next_expected(), anchor);  // probing mutated nothing
+  };
+  // Pre-wrap, with an out-of-order arrival parked in the window:
+  // exercises kNone / kDuplicate / kDuplicateOoo / kBeyondWindow.
+  CoordinatorTagRx fresh(Enabled());
+  for (std::size_t i = 0; i < 100; ++i) {
+    fresh.OnFrame(static_cast<std::uint8_t>(i), i);
+  }
+  fresh.OnFrame(102, 100);
+  ASSERT_EQ(fresh.last_error(), RxError::kNone);  // parked, sanctioned
+  sweep(fresh, "fresh");
+  // Post-wrap: every in-window successor was delivered on the previous
+  // lap, so the alias arm (kReplayAlias) and the stale split both live.
+  CoordinatorTagRx wrapped(Enabled());
+  for (std::size_t i = 0; i < 300; ++i) {
+    wrapped.OnFrame(static_cast<std::uint8_t>(i), i);
+  }
+  sweep(wrapped, "wrapped");
 }
 
 TEST(CoordinatorTransportTest, AckRotationCoversEveryTag) {

@@ -231,14 +231,50 @@ int main(int argc, char** argv) {
                   all_ok ? "pass" : "see FAIL lines"});
   std::printf("%s\n", verdict.ToString().c_str());
 
-  bench::WriteTextFile(out_dir + "/BENCH_adversarial_mac.json",
-                       table.ToJson("adversarial_mac") +
-                           audit_table.ToJson("adversarial_containment") +
-                           verdict.ToJson("verdict"));
-  bench::WriteTextFile(out_dir + "/TIMING_adversarial_mac.json",
-                       report.SummaryJson("adversarial_mac"));
-  std::fprintf(stderr, "[runtime] %s",
-               report.SummaryJson("adversarial_mac").c_str());
+  bench::EmitBench(out_dir, "adversarial_mac",
+                   table.ToJson("adversarial_mac") +
+                       audit_table.ToJson("adversarial_containment") +
+                       verdict.ToJson("verdict"));
+  bench::EmitTiming(out_dir, "adversarial_mac",
+                    report.SummaryJson("adversarial_mac"));
+
+  // Deterministic observability artifacts (see bench_harness.h): byte-
+  // diffed by CI across --threads and kill/resume alongside BENCH.
+  obs::MetricsRegistry metrics(1);
+  std::vector<obs::NamedTrace> traces;
+  for (std::size_t p = 0; p < num_seeds; ++p) {
+    for (int t = 0; t < 2; ++t) {
+      const sim::AdversarialResult& r =
+          t == 0 ? on_results[p] : off_results[p];
+      const std::string arm = t == 0 ? "on" : "off";
+      metrics.Count("adversarial.victim_offered." + arm, r.victim_offered);
+      metrics.Count("adversarial.victim_delivered." + arm,
+                    r.victim_delivered);
+      metrics.Count("adversarial.rogue_extra_frames." + arm,
+                    r.rogue_extra_frames);
+      metrics.Count("adversarial.replay_rejected." + arm, r.replay_rejected);
+      metrics.Count("adversarial.police_evidence." + arm, r.police_evidence);
+      metrics.Count("adversarial.quarantines." + arm,
+                    r.misbehavior_quarantines);
+      metrics.Count("adversarial.violations." + arm, r.violations_total);
+      for (const sim::RogueAudit& a : r.audits) {
+        if (a.quarantined) {
+          metrics.Observe("adversarial.quarantine_round", a.quarantine_round);
+        }
+      }
+      const obs::TraceDecodeResult decoded = obs::DecodeTraces(r.trace);
+      for (const obs::NamedTrace& nt : decoded.traces) {
+        for (const obs::TraceEvent& e : nt.ring.Events()) {
+          metrics.Count(std::string("adversarial.events.") +
+                        obs::EventKindName(e.kind));
+        }
+        traces.push_back({"cast" + std::to_string(p) + "_" + arm, nt.ring});
+      }
+    }
+  }
+  bench::EmitMetrics(out_dir, "adversarial_mac", metrics);
+  bench::EmitTraces(out_dir, "adversarial_mac", traces);
+  bench::EmitProfile(out_dir, "adversarial_mac");
   std::printf(
       "Reading: slot policing + the misbehavior evidence channel detect\n"
       "and park every rogue within the derived bound, the replay guard\n"

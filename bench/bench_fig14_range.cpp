@@ -76,9 +76,7 @@ int main(int argc, char** argv) {
       "(WiFi ~8 m at a 4 m TX-to-tag separation); regimes nest\n"
       "WiFi > ZigBee > Bluetooth.\n");
 
-  bench::WriteTextFile(out_dir + "/BENCH_fig14_range.json",
-                       table.ToJson("fig14_range"));
-  bench::WriteTextFile(out_dir + "/TIMING_fig14_range.json", timing);
-  std::fprintf(stderr, "[runtime] %s", timing.c_str());
+  bench::EmitBench(out_dir, "fig14_range", table.ToJson("fig14_range"));
+  bench::EmitTiming(out_dir, "fig14_range", timing);
   return cancelled ? 1 : 0;
 }

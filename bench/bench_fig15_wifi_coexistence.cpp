@@ -95,11 +95,9 @@ int main(int argc, char** argv) {
       "not interfere with productive WiFi (its sidebands land on other\n"
       "channels and its power is tens of dB below the WiFi noise floor).\n");
 
-  bench::WriteTextFile(out_dir + "/BENCH_fig15_wifi_coexistence.json",
-                       table.ToJson("fig15_wifi_coexistence"));
-  bench::WriteTextFile(out_dir + "/TIMING_fig15_wifi_coexistence.json",
-                       report.SummaryJson("fig15_wifi_coexistence"));
-  std::fprintf(stderr, "[runtime] %s",
-               report.SummaryJson("fig15_wifi_coexistence").c_str());
+  bench::EmitBench(out_dir, "fig15_wifi_coexistence",
+                   table.ToJson("fig15_wifi_coexistence"));
+  bench::EmitTiming(out_dir, "fig15_wifi_coexistence",
+                    report.SummaryJson("fig15_wifi_coexistence"));
   return 0;
 }

@@ -100,11 +100,9 @@ int main(int argc, char** argv) {
       "by only 1-2 kbps (narrowband receivers filter the out-of-band WiFi\n"
       "leakage).\n");
 
-  bench::WriteTextFile(out_dir + "/BENCH_fig16_backscatter_coexistence.json",
-                       table.ToJson("fig16_backscatter_coexistence"));
-  bench::WriteTextFile(out_dir + "/TIMING_fig16_backscatter_coexistence.json",
-                       report.SummaryJson("fig16_backscatter_coexistence"));
-  std::fprintf(stderr, "[runtime] %s",
-               report.SummaryJson("fig16_backscatter_coexistence").c_str());
+  bench::EmitBench(out_dir, "fig16_backscatter_coexistence",
+                   table.ToJson("fig16_backscatter_coexistence"));
+  bench::EmitTiming(out_dir, "fig16_backscatter_coexistence",
+                    report.SummaryJson("fig16_backscatter_coexistence"));
   return 0;
 }

@@ -174,14 +174,11 @@ int main(int argc, char** argv) {
       "collision-free TDM; fairness stays ~0.85 at 20 tags because the\n"
       "scheduler grows the frame with the population.\n");
 
-  bench::WriteTextFile(out_dir + "/BENCH_fig17_mac_multitag.json",
-                       table.ToJson("fig17a_throughput") +
-                           fair.ToJson("fig17b_fairness"));
-  bench::WriteTextFile(out_dir + "/TIMING_fig17_mac_multitag.json",
-                       report_a.SummaryJson("fig17a_throughput") +
-                           report_b.SummaryJson("fig17b_fairness"));
-  std::fprintf(stderr, "[runtime] %s%s",
-               report_a.SummaryJson("fig17a_throughput").c_str(),
-               report_b.SummaryJson("fig17b_fairness").c_str());
+  bench::EmitBench(out_dir, "fig17_mac_multitag",
+                   table.ToJson("fig17a_throughput") +
+                       fair.ToJson("fig17b_fairness"));
+  bench::EmitTiming(out_dir, "fig17_mac_multitag",
+                    report_a.SummaryJson("fig17a_throughput") +
+                        report_b.SummaryJson("fig17b_fairness"));
   return (report_a.cancelled || report_b.cancelled) ? 1 : 0;
 }

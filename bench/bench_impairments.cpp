@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "bench_harness.h"
 #include "common/cli.h"
 #include "sim/link.h"
 #include "sim/multitag.h"
@@ -44,7 +45,10 @@ void Row(sim::TablePrinter& table, const std::string& label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (const int rc = cli::RejectUnknownArgs(argc, argv, "bench_impairments")) {
+  const std::string out_dir = bench::OutDirFromArgs(argc, argv);
+  if (const int rc = cli::RejectUnknownArgs(argc, argv,
+                                            "bench_impairments"
+                                            " [--out-dir DIR]")) {
     return rc;
   }
   std::printf("=== Robustness: link degradation under injected faults ===\n");
@@ -128,11 +132,9 @@ int main(int argc, char** argv) {
                       sim::TablePrinter::Num(stats.goodput_bps, 0)});
   }
   std::printf("%s\n", mac_table.ToString().c_str());
-  {
-    std::ofstream json("BENCH_impairments.json");
-    json << table.ToJson("link_degradation")
-         << mac_table.ToJson("mac_recovery");
-  }
+  bench::EmitBench(out_dir, "impairments",
+                   table.ToJson("link_degradation") +
+                       mac_table.ToJson("mac_recovery"));
   std::printf(
       "Reading: faults cost goodput gradually (the adaptive controller\n"
       "slides down the redundancy ladder, the coordinator backs off and\n"

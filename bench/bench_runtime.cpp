@@ -159,6 +159,7 @@ int main(int argc, char** argv) {
                 "%u, \"max_speedup\": %.3f, \"deterministic\": %s}\n",
                 hw, speedup_max, deterministic ? "true" : "false");
   json += line;
-  bench::WriteTextFile(out_dir + "/BENCH_runtime.json", json);
+  bench::EmitBench(out_dir, "runtime", json);
+  bench::EmitProfile(out_dir, "runtime");
   return deterministic ? 0 : 1;
 }

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/cli.h"
 #include "runtime/checkpoint.h"
 #include "runtime/executor.h"
@@ -128,12 +129,6 @@ LegacyOutcome RunLegacy(const sim::SoakConfig& soak) {
     outcome.received += report.raw_frames;
   }
   return outcome;
-}
-
-bool WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path);
-  out << content;
-  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -244,7 +239,7 @@ int main(int argc, char** argv) {
       all_passed = false;
       const std::string path =
           out_dir + "/soak_violation_" + std::to_string(seeds[i]) + ".json";
-      WriteFile(path, sim::SoakReplayJson(soaks[i], result));
+      bench::WriteTextFile(path, sim::SoakReplayJson(soaks[i], result));
       std::printf("VIOLATION (seed %llu): replay record written to %s\n",
                   static_cast<unsigned long long>(seeds[i]), path.c_str());
       for (const sim::SoakViolation& v : result.violations) {
@@ -277,7 +272,7 @@ int main(int argc, char** argv) {
   const sim::SoakResult broken_result = sim::RunSoak(broken);
   const std::string record = sim::SoakReplayJson(broken, broken_result);
   const std::string record_path = out_dir + "/soak_replay_selfcheck.json";
-  WriteFile(record_path, record);
+  bench::WriteTextFile(record_path, record);
   bool replay_ok = false;
   if (const auto replay = sim::ParseSoakReplay(record)) {
     const sim::SoakResult again = sim::RunSoak(replay->config);
@@ -293,9 +288,9 @@ int main(int argc, char** argv) {
   verdict.AddRow({"soak invariants", all_passed ? "pass" : "VIOLATED"});
   verdict.AddRow({"replay self-check", replay_ok ? "pass" : "FAIL"});
   std::printf("%s\n", verdict.ToString().c_str());
-  WriteFile(out_dir + "/BENCH_soak_arq.json", table.ToJson("soak_arq") +
+  bench::WriteTextFile(out_dir + "/BENCH_soak_arq.json", table.ToJson("soak_arq") +
                                                   verdict.ToJson("verdict"));
-  WriteFile(out_dir + "/TIMING_soak_arq.json",
+  bench::WriteTextFile(out_dir + "/TIMING_soak_arq.json",
             report.SummaryJson("soak_arq"));
   std::fprintf(stderr, "[runtime] %s", report.SummaryJson("soak_arq").c_str());
   std::printf(

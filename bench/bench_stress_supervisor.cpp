@@ -255,15 +255,52 @@ int main(int argc, char** argv) {
   verdict.AddRow({"supervisor-off materially worse", gap_buf});
   std::printf("%s\n", verdict.ToString().c_str());
 
-  bench::WriteTextFile(
-      out_dir + "/BENCH_stress_supervisor.json",
-      table.ToJson("stress_supervisor") +
-          bound_table.ToJson("stress_quarantine_bound") +
-          verdict.ToJson("verdict"));
-  bench::WriteTextFile(out_dir + "/TIMING_stress_supervisor.json",
-                       report.SummaryJson("stress_supervisor"));
-  std::fprintf(stderr, "[runtime] %s",
-               report.SummaryJson("stress_supervisor").c_str());
+  bench::EmitBench(out_dir, "stress_supervisor",
+                   table.ToJson("stress_supervisor") +
+                       bound_table.ToJson("stress_quarantine_bound") +
+                       verdict.ToJson("verdict"));
+  bench::EmitTiming(out_dir, "stress_supervisor",
+                    report.SummaryJson("stress_supervisor"));
+
+  // Deterministic observability artifacts: a single-shard registry
+  // folded from the (restored-or-recomputed) results plus the flight
+  // recordings each campaign carried in its payload. Everything here
+  // is a pure function of the configs, so CI byte-diffs these across
+  // --threads values and kill/resume alongside BENCH.
+  obs::MetricsRegistry metrics(1);
+  std::vector<obs::NamedTrace> traces;
+  for (std::size_t p = 0; p < num_seeds; ++p) {
+    for (int t = 0; t < 2; ++t) {
+      const sim::StressResult& r = t == 0 ? on_results[p] : off_results[p];
+      const std::string arm = t == 0 ? "on" : "off";
+      metrics.Count("stress.offered." + arm, r.offered);
+      metrics.Count("stress.delivered." + arm, r.delivered);
+      metrics.Count("stress.expired." + arm, r.expired);
+      metrics.Count("stress.faded_frames." + arm, r.faded_frames);
+      metrics.Count("stress.quarantines." + arm, r.quarantines);
+      metrics.Count("stress.recoveries." + arm, r.recoveries);
+      metrics.Count("stress.violations." + arm, r.violations.size());
+      if (r.offered > 0) {
+        metrics.Observe("stress.delivery_permille." + arm,
+                        r.delivered * 1000 / r.offered);
+      }
+      if (r.dead_tag_audited) {
+        metrics.Observe("stress.detection_rounds", r.detection_rounds);
+      }
+      const obs::TraceDecodeResult decoded = obs::DecodeTraces(r.trace);
+      for (const obs::NamedTrace& nt : decoded.traces) {
+        for (const obs::TraceEvent& e : nt.ring.Events()) {
+          metrics.Count(std::string("stress.events.") +
+                        obs::EventKindName(e.kind));
+        }
+        traces.push_back(
+            {"seed" + std::to_string(seeds[p]) + "_" + arm, nt.ring});
+      }
+    }
+  }
+  bench::EmitMetrics(out_dir, "stress_supervisor", metrics);
+  bench::EmitTraces(out_dir, "stress_supervisor", traces);
+  bench::EmitProfile(out_dir, "stress_supervisor");
   std::printf(
       "Reading: under burst fades and blackouts the supervisor's closed\n"
       "loop (EWMA health -> redundancy boost + admission + probes) keeps\n"

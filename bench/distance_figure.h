@@ -16,42 +16,16 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/cli.h"
 #include "runtime/executor.h"
 #include "runtime/recovery.h"
 #include "sim/sweep.h"
 
 namespace freerider::bench {
-
-inline bool WriteTextFile(const std::string& path,
-                          const std::string& content) {
-  std::ofstream out(path);
-  out << content;
-  if (!out) {
-    std::fprintf(stderr, "warning: could not write %s (does the directory exist?)\n",
-                 path.c_str());
-    return false;
-  }
-  return true;
-}
-
-/// Consumes --out-dir DIR / --out-dir=DIR from argv (compacting it);
-/// returns "." when absent.
-inline std::string OutDirFromArgs(int& argc, char** argv) {
-  std::string out_dir = ".";
-  cli::ConsumeValue(argc, argv, "--out-dir", &out_dir);
-  return out_dir;
-}
-
-/// The usage tail every runtime-driven bench shares (the flags the
-/// runtime's own parsers consume).
-inline constexpr const char* kRuntimeUsage =
-    "[--threads N] [--out-dir DIR] [--checkpoint PATH] [--resume [PATH]] "
-    "[--watchdog-s X]";
 
 inline int RunDistanceFigure(int argc, char** argv, const std::string& title,
                              const std::string& slug, core::RadioType radio,
@@ -92,11 +66,10 @@ inline int RunDistanceFigure(int argc, char** argv, const std::string& title,
   std::printf("%s\n", table.ToString().c_str());
   std::printf("%s\n", paper_summary.c_str());
 
-  WriteTextFile(out_dir + "/BENCH_" + slug + ".json", table.ToJson(slug));
-  WriteTextFile(out_dir + "/TIMING_" + slug + ".json",
-                report.SummaryJson(slug) +
-                    report.TelemetryTable().ToJson(slug + "_tasks"));
-  std::fprintf(stderr, "[runtime] %s", report.SummaryJson(slug).c_str());
+  EmitBench(out_dir, slug, table.ToJson(slug));
+  EmitTiming(out_dir, slug,
+             report.SummaryJson(slug) +
+                 report.TelemetryTable().ToJson(slug + "_tasks"));
   return report.cancelled ? 1 : 0;
 }
 

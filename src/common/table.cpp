@@ -81,8 +81,26 @@ std::string TablePrinter::ToJson(const std::string& name) const {
   auto quote = [&](const std::string& cell) {
     out << '"';
     for (char ch : cell) {
-      if (ch == '"' || ch == '\\') out << '\\';
-      out << ch;
+      switch (ch) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\b': out << "\\b"; break;
+        case '\f': out << "\\f"; break;
+        case '\n': out << "\\n"; break;
+        case '\r': out << "\\r"; break;
+        case '\t': out << "\\t"; break;
+        default:
+          // Remaining control characters (JSON forbids raw U+0000..001F)
+          // escape as \u00XX; everything else passes through verbatim.
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(ch)));
+            out << buf;
+          } else {
+            out << ch;
+          }
+      }
     }
     out << '"';
   };

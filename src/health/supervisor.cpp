@@ -129,6 +129,14 @@ void LinkSupervisor::Transition(TagState& tag, std::size_t index,
     transitions_.push_back(
         {round, static_cast<std::uint8_t>(index + 1), from, to, misbehavior});
   }
+  if (trace_ != nullptr) {
+    trace_->Record(obs::EventKind::kFsmTransition,
+                   static_cast<std::uint32_t>(round), obs::kNoSlot,
+                   static_cast<std::uint8_t>(index + 1),
+                   (static_cast<std::uint64_t>(from) << 8) |
+                       static_cast<std::uint64_t>(to),
+                   misbehavior ? 1 : 0);
+  }
   switch (to) {
     case TagHealth::kDegraded:
       ++stats_.degradations;
@@ -373,7 +381,15 @@ HealthExtension LinkSupervisor::BuildExtension() {
     }
     ext.commands.push_back(tags_[index].cmd);
     tags_[index].command_dirty = false;
-    if (tags_[index].cmd.probe) ++stats_.probes_sent;
+    if (tags_[index].cmd.probe) {
+      ++stats_.probes_sent;
+      if (trace_ != nullptr) {
+        trace_->Record(obs::EventKind::kProbe,
+                       static_cast<std::uint32_t>(round_), obs::kNoSlot,
+                       static_cast<std::uint8_t>(index + 1),
+                       stats_.probes_sent);
+      }
+    }
   };
   // 1. Probes — a probe that never airs can never be answered.
   for (std::size_t t = 0; t < tags_.size(); ++t) {

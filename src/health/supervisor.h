@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "health/wire.h"
+#include "obs/trace.h"
 
 namespace freerider::health {
 
@@ -234,6 +235,12 @@ class LinkSupervisor {
   std::vector<std::size_t> TakeFreshQuarantines();
   std::vector<std::size_t> TakeFreshReadmissions();
 
+  /// Flight-recorder sink (optional, non-owning). FSM transitions and
+  /// probe sends are recorded in virtual round time; a null ring
+  /// disables recording with zero behavior change. The sink is runtime
+  /// wiring, not supervisor state: it does not survive Serialize().
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
   /// Byte-exact state snapshot (checkpoint payload material): every
   /// estimator, counter and state machine. A deserialized supervisor
   /// continues with bit-identical decisions.
@@ -284,6 +291,7 @@ class LinkSupervisor {
   std::vector<HealthTransition> transitions_;
   std::vector<std::size_t> fresh_quarantines_;
   std::vector<std::size_t> fresh_readmissions_;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace freerider::health

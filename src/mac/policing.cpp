@@ -38,7 +38,7 @@ SlotPolice::SlotPolice(const PolicingConfig& config, std::size_t num_tags)
 }
 
 void SlotPolice::BeginRound(std::size_t round) {
-  (void)round;
+  round_ = round;
   if (!config_.enabled) return;
   for (TagState& t : tags_) {
     t.frames_this_round = 0;
@@ -87,6 +87,12 @@ std::vector<std::size_t> SlotPolice::EndRound() {
     }
     if (t.collision_this_round) evidence[i] += config_.collision_evidence;
     stats_.evidence_total += evidence[i];
+    if (trace_ != nullptr && evidence[i] > 0) {
+      trace_->Record(obs::EventKind::kPoliceEvidence,
+                     static_cast<std::uint32_t>(round_), obs::kNoSlot,
+                     static_cast<std::uint8_t>(i + 1), evidence[i],
+                     t.collision_this_round ? 1 : 0);
+    }
   }
   return evidence;
 }

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace freerider::mac {
 
 struct PolicingConfig {
@@ -106,6 +108,11 @@ class SlotPolice {
   std::string Serialize() const;
   bool Deserialize(const std::string& payload);
 
+  /// Flight-recorder sink (optional, non-owning). Nonzero per-tag
+  /// evidence is recorded at EndRound in virtual round time. Runtime
+  /// wiring, not police state: not part of Serialize().
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
  private:
   struct TagState {
     std::size_t frames_this_round = 0;
@@ -122,6 +129,8 @@ class SlotPolice {
   PolicingConfig config_;
   std::vector<TagState> tags_;
   PolicingStats stats_;
+  obs::TraceRing* trace_ = nullptr;
+  std::size_t round_ = 0;  ///< Round passed to the last BeginRound.
 };
 
 }  // namespace freerider::mac

@@ -1,0 +1,181 @@
+#pragma once
+
+// Shared little-endian wire helpers for the observability codecs.
+//
+// Both the flight-recorder trace files and the metrics snapshots use the
+// same outer framing as the PR 4 checkpoints: a stream of
+// [u32 len][payload bytes][u32 crc32(payload)] frames.  Keeping the frame
+// grammar identical means one salvage rule covers every .bin artifact the
+// repo writes: scan frames until the first length/CRC violation, keep the
+// valid prefix, report how many bytes were dropped.  obs must not depend
+// on runtime/ (runtime links against obs for its profiling hooks), so the
+// helpers live here instead of reusing runtime/checkpoint.h.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/crc.h"
+
+namespace freerider::obs {
+
+// Frames larger than this are treated as corruption, not data.  The trace
+// ring and metrics snapshots are bounded structures; a length field beyond
+// this limit can only come from a torn or flipped header.
+inline constexpr std::uint32_t kMaxObsFramePayload = 1u << 24;
+
+inline void AppendU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+inline void AppendU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void AppendU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void AppendStr(std::string& out, std::string_view s) {
+  AppendU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+inline std::uint32_t ObsCrc32(std::string_view bytes) {
+  return ::freerider::Crc32(
+      {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+}
+
+// Appends one framed payload: [u32 len][payload][u32 crc].
+inline void AppendFrame(std::string& out, std::string_view payload) {
+  AppendU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  AppendU32(out, ObsCrc32(payload));
+}
+
+// Cursor over a byte buffer with bounds-checked little-endian reads.
+// Every Read* returns false (and leaves the output untouched) instead of
+// reading past the end, so decoders degrade to "truncated" rather than UB
+// on hostile input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(std::uint8_t& v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    v = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool ReadU16(std::uint16_t& v) {
+    if (pos_ + 2 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | (static_cast<std::uint16_t>(
+                   static_cast<std::uint8_t>(bytes_[pos_ + i]))
+               << (8 * i)));
+    }
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(std::uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(std::uint64_t& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadStr(std::string& v) {
+    std::uint32_t len = 0;
+    if (!ReadU32(len)) return false;
+    if (len > kMaxObsFramePayload) return false;
+    if (pos_ + len > bytes_.size()) return false;
+    v.assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Walks the outer [len][payload][crc] framing.  NextFrame returns false at
+// a clean end-of-stream AND on the first malformed frame; callers that
+// need to distinguish check corrupt() / remaining bytes.
+class FrameReader {
+ public:
+  explicit FrameReader(std::string_view bytes) : bytes_(bytes) {}
+
+  // On success, `payload` views into the underlying buffer.
+  bool NextFrame(std::string_view& payload) {
+    if (pos_ == bytes_.size()) return false;
+    if (bytes_.size() - pos_ < 4) {
+      corrupt_ = true;
+      return false;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    if (len > kMaxObsFramePayload || bytes_.size() - pos_ - 4 < len + 4u) {
+      corrupt_ = true;
+      return false;
+    }
+    std::string_view body = bytes_.substr(pos_ + 4, len);
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+                    bytes_[pos_ + 4 + len + i]))
+                << (8 * i);
+    }
+    if (stored != ObsCrc32(body)) {
+      corrupt_ = true;
+      return false;
+    }
+    payload = body;
+    pos_ += 4 + len + 4;
+    return true;
+  }
+
+  bool corrupt() const { return corrupt_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace freerider::obs

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
 namespace freerider::runtime {
 
 namespace {
@@ -103,6 +106,10 @@ bool Executor::PopOrSteal(std::size_t worker_id, std::size_t* task) {
 void Executor::RunBatchAsWorker(std::size_t worker_id) {
   const int previous_id = tls_worker_id;
   tls_worker_id = static_cast<int>(worker_id);
+  // Point any metrics recorded by tasks on this thread at the worker's
+  // own shard: contention-free writes, deterministic u64 merge later.
+  const int previous_shard = obs::CurrentShard();
+  obs::SetCurrentShard(static_cast<int>(worker_id));
   std::size_t task = 0;
   while (PopOrSteal(worker_id, &task)) {
     const bool skip = cancel_ != nullptr && cancel_->cancelled();
@@ -117,6 +124,7 @@ void Executor::RunBatchAsWorker(std::size_t worker_id) {
       done_cv_.notify_all();
     }
   }
+  obs::SetCurrentShard(previous_shard);
   tls_worker_id = previous_id;
 }
 
@@ -135,6 +143,8 @@ RunTelemetry Executor::ParallelFor(
     // anchor for the parallel path.
     const int previous_id = tls_worker_id;
     tls_worker_id = 0;
+    const int previous_shard = obs::CurrentShard();
+    obs::SetCurrentShard(0);
     std::size_t executed = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (cancel != nullptr && cancel->cancelled()) {
@@ -144,12 +154,14 @@ RunTelemetry Executor::ParallelFor(
       body(i);
       ++executed;
     }
+    obs::SetCurrentShard(previous_shard);
     tls_worker_id = previous_id;
     telemetry.tasks_executed = executed;
     telemetry.per_worker_executed[0] = executed + telemetry.tasks_skipped;
     telemetry.wall_s = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
+    RecordBatchProfile(telemetry);
     return telemetry;
   }
 
@@ -203,7 +215,23 @@ RunTelemetry Executor::ParallelFor(
   telemetry.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  RecordBatchProfile(telemetry);
   return telemetry;
+}
+
+void Executor::RecordBatchProfile(const RunTelemetry& telemetry) {
+  // TIMING channel only: steal counts and wall time depend on scheduling,
+  // so they go to the profiler, never into byte-diffed artifacts.
+  obs::Profiler& profiler = obs::GlobalProfiler();
+  const double end_us = profiler.NowUs();
+  profiler.RecordSpan("parallel_for", "executor",
+                      /*tid=*/0, end_us - telemetry.wall_s * 1e6,
+                      telemetry.wall_s * 1e6);
+  profiler.AddCount("executor.batches", 1);
+  profiler.AddCount("executor.tasks_executed", telemetry.tasks_executed);
+  profiler.AddCount("executor.tasks_skipped", telemetry.tasks_skipped);
+  profiler.AddCount("executor.steals", telemetry.steals);
+  profiler.AddCount("executor.stolen_tasks", telemetry.stolen_tasks);
 }
 
 namespace {

@@ -99,6 +99,7 @@ class Executor {
   void ThreadMain(std::size_t worker_id);
   void RunBatchAsWorker(std::size_t worker_id);
   bool PopOrSteal(std::size_t worker_id, std::size_t* task);
+  static void RecordBatchProfile(const RunTelemetry& telemetry);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

@@ -1,5 +1,6 @@
 #include "runtime/recovery.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -10,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/profile.h"
 #include "runtime/checkpoint.h"
 
 namespace freerider::runtime {
@@ -90,6 +92,11 @@ RobustSweepReport RecoveryRunner::Run(
     const std::function<RobustTaskResult(std::size_t, std::size_t)>& body,
     const std::function<bool(std::size_t, std::size_t, const std::string&)>&
         restore) {
+  // TIMING channel: per-phase and per-task spans plus retry/quarantine
+  // counts go to the wall-clock profiler, never into byte-diffed output.
+  obs::Profiler& profiler = obs::GlobalProfiler();
+  obs::ScopedSpan run_span("recovery_run:" + options_.campaign, "runner");
+
   RobustSweepReport report;
   const std::size_t n = grid.tasks();
   report.tasks_total = n;
@@ -193,9 +200,15 @@ RobustSweepReport RecoveryRunner::Run(
       records.push_back(std::move(record));
     }
     std::string error;
-    if (WriteFileAtomic(options_.checkpoint_path,
-                        EncodeCheckpoint(header, records), &error)) {
+    const std::string encoded = EncodeCheckpoint(header, records);
+    const double write_start_us = profiler.NowUs();
+    if (WriteFileAtomic(options_.checkpoint_path, encoded, &error)) {
       snapshots.fetch_add(1, std::memory_order_relaxed);
+      profiler.RecordSpan("checkpoint_write", "runner",
+                          std::max(Executor::current_worker(), 0),
+                          write_start_us, profiler.NowUs() - write_start_us);
+      profiler.AddCount("runner.snapshots", 1);
+      profiler.AddCount("runner.snapshot_bytes", encoded.size());
     } else if (!checkpoint_write_failed.exchange(true)) {
       checkpoint_write_error = error;
       std::fprintf(stderr, "[recovery] snapshot failed: %s\n", error.c_str());
@@ -269,6 +282,7 @@ RobustSweepReport RecoveryRunner::Run(
           slot->task_plus_one.store(i + 1, std::memory_order_release);
         }
 
+        const double task_start_us = profiler.NowUs();
         RobustTaskResult result;
         bool threw = false;
         std::string what;
@@ -295,6 +309,18 @@ RobustSweepReport RecoveryRunner::Run(
         }
         stat.wall_s = SecondsSince(start);
         stat.attempts = attempts;
+        {
+          char span_name[64];
+          std::snprintf(span_name, sizeof span_name, "task p%zu.t%zu", point,
+                        trial);
+          profiler.RecordSpan(span_name, "runner", std::max(worker, 0),
+                              task_start_us,
+                              profiler.NowUs() - task_start_us);
+          profiler.AddCount("runner.tasks_run", 1);
+          if (attempts > 1) {
+            profiler.AddCount("runner.task_retries", attempts - 1);
+          }
+        }
 
         if (threw || !result.ok) {
           if (threw) {
@@ -305,6 +331,7 @@ RobustSweepReport RecoveryRunner::Run(
           }
           if (options_.quarantine) {
             stat.state = RobustTaskState::kQuarantined;
+            profiler.AddCount("runner.tasks_quarantined", 1);
             committed[i].store(
                 static_cast<std::uint8_t>(TaskState::kQuarantined),
                 std::memory_order_release);
@@ -375,6 +402,8 @@ RobustSweepReport RecoveryRunner::Run(
   }
   report.task_retries = retries_total.load(std::memory_order_relaxed);
   report.watchdog_flags = watchdog_flags.load(std::memory_order_relaxed);
+  profiler.AddCount("runner.tasks_restored", report.tasks_restored);
+  profiler.AddCount("runner.watchdog_flags", report.watchdog_flags);
   const std::size_t failure = first_failure.load(std::memory_order_relaxed);
   if (failure < n) {
     report.cancelled = true;

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/profile.h"
+
 namespace freerider::runtime {
 
 SweepReport SweepEngine::Run(
     const SweepGrid& grid,
     const std::function<bool(std::size_t, std::size_t)>& body) {
+  obs::ScopedSpan phase_span("sweep_run", "sweep");
   SweepReport report;
   const std::size_t n = grid.tasks();
   report.tasks.resize(n);

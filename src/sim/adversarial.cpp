@@ -71,6 +71,9 @@ AdversarialResult RunAdversarial(const AdversarialConfig& config) {
     }
   }
 
+  obs::TraceRing ring(config.trace_capacity > 0 ? config.trace_capacity : 1);
+  if (config.trace_capacity > 0) sim_cfg.trace = &ring;
+
   Rng rng(config.seed);
   FullStackSim sim(sim_cfg, rng);
   AdversarialResult result;
@@ -268,33 +271,13 @@ AdversarialResult RunAdversarial(const AdversarialConfig& config) {
 
   result.passed = result.violations_total == 0;
 
-  // Triage aid (docs/adversarial_mac.md): FREERIDER_ADVERSARIAL_DEBUG=1
-  // dumps the cast, per-tag policing/misbehavior accounting and the
-  // transition log to stderr. Never drawn from, never on by default.
+  // Triage aid (docs/observability.md): FREERIDER_ADVERSARIAL_DEBUG=1
+  // dumps the flight-recorder ring as JSONL to stderr — the same event
+  // stream `tools/trace_dump` reads from the exported campaign. Never
+  // drawn from, never on by default.
   if (std::getenv("FREERIDER_ADVERSARIAL_DEBUG") != nullptr) {
-    for (std::size_t t = 0; t < config.num_tags; ++t) {
-      const impair::RogueSpec s = SpecFor(config.rogue, t);
-      const transport::TagRxStats& rx =
-          sim.coordinator_transport()->rx(t).stats();
-      std::fprintf(
-          stderr,
-          "[adversarial] tag=%zu model=%s offered=%zu delivered=%zu "
-          "dup=%zu replay_rej=%zu stale_rej=%zu score=%a strikes=%zu "
-          "banned=%d state=%s\n",
-          t + 1, impair::RogueModelName(s.model),
-          sim.tag_transport(t)->stats().offered, rx.delivered, rx.duplicates,
-          rx.replay_rejected, rx.stale_rejected,
-          supervisor->misbehavior_score(t), supervisor->misbehavior_strikes(t),
-          supervisor->banned(t) ? 1 : 0,
-          health::TagHealthName(supervisor->health(t)));
-    }
-    for (const health::HealthTransition& tr : supervisor->transitions()) {
-      std::fprintf(stderr,
-                   "[adversarial] transition round=%zu tag=%u %s->%s%s\n",
-                   tr.round, tr.tag_id, health::TagHealthName(tr.from),
-                   health::TagHealthName(tr.to),
-                   tr.misbehavior ? " (misbehavior)" : "");
-    }
+    std::fprintf(stderr, "%s",
+                 obs::TraceToJsonl("adversarial", ring).c_str());
   }
 
   std::string digest;
@@ -321,6 +304,9 @@ AdversarialResult RunAdversarial(const AdversarialConfig& config) {
       result.bans, result.forged_heard, result.forged_rejected,
       result.forged_accepted, result.violations_total);
   result.digest = std::move(digest);
+  if (config.trace_capacity > 0) {
+    result.trace = obs::SerializeTrace("adversarial", ring);
+  }
   return result;
 }
 
@@ -361,6 +347,7 @@ std::string SerializeAdversarialResult(const AdversarialResult& result) {
   }
   w.U64(result.violations_total);
   w.Str(result.digest);
+  w.Str(result.trace);
   return w.Take();
 }
 
@@ -411,7 +398,8 @@ bool DeserializeAdversarialResult(const std::string& payload,
       return false;
     }
   }
-  if (!u(&out.violations_total) || !r.Str(&out.digest) || !r.AtEnd()) {
+  if (!u(&out.violations_total) || !r.Str(&out.digest) ||
+      !r.Str(&out.trace) || !r.AtEnd()) {
     return false;
   }
   *result = std::move(out);

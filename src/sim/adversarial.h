@@ -68,6 +68,9 @@ struct AdversarialConfig {
   impair::RogueConfig rogue;
   /// Optional honest-channel impairment running underneath the attack.
   impair::DynamicsConfig dynamics;
+  /// Flight-recorder ring capacity (0 disables tracing; the sim takes
+  /// the legacy no-trace path). Same semantics as StressConfig.
+  std::size_t trace_capacity = obs::TraceRing::kDefaultCapacity;
 };
 
 /// One audited (rogue, identity) pair and its detection verdict.
@@ -116,6 +119,10 @@ struct AdversarialResult {
   /// Canonical outcome string (doubles in hex-float): two runs agree
   /// iff their digests are equal byte-for-byte.
   std::string digest;
+  /// Serialized flight-recorder ring (obs::SerializeTrace, one named
+  /// trace "adversarial"). Rides the checkpoint payload so a resumed
+  /// task reproduces the export byte-for-byte; empty when tracing off.
+  std::string trace;
 
   static constexpr std::size_t kMaxRecordedViolations = 64;
 };

@@ -123,6 +123,21 @@ FullStackSim::FullStackSim(const FullStackConfig& config, Rng& rng)
     prev_beyond_.assign(config_.num_tags, 0);
     embargo_evidence_.assign(config_.num_tags, 0);
   }
+  // Distribute the flight-recorder ring (observation only: a null or
+  // non-null ring never changes any decision above).
+  if (config_.trace != nullptr) {
+    for (SimTag& t : tags_) {
+      if (t.arq != nullptr) t.arq->set_trace(config_.trace, t.id);
+    }
+    if (coordinator_ != nullptr) {
+      for (std::size_t t = 0; t < config_.num_tags; ++t) {
+        coordinator_->rx(t).set_trace(config_.trace,
+                                      static_cast<std::uint8_t>(t + 1));
+      }
+    }
+    if (supervisor_ != nullptr) supervisor_->set_trace(config_.trace);
+    if (police_ != nullptr) police_->set_trace(config_.trace);
+  }
 }
 
 FullStackSim::~FullStackSim() = default;
@@ -353,11 +368,13 @@ RoundReport FullStackSim::StepRound() {
       const bool rogue_fire = is_rogue && ra.extra_fire;
       if (!honest_slot && !rogue_fire) continue;
       std::uint8_t fired_id = tags_[t].id;
+      std::uint8_t fired_seq = 0;
       BitVector bits;
       core::TranslateConfig tag_tcfg = tcfg;
       if (rogue_fire) {
         ++stats_.rogue_extra_frames;
         fired_id = ra.wire_id;
+        fired_seq = ra.seq;
         const Bytes payload = {ra.wire_id, ra.seq};
         bits = core::EncodeTagFrame(payload);
       } else if (arq) {
@@ -403,12 +420,22 @@ RoundReport FullStackSim::StepRound() {
               break;
           }
         }
+        fired_seq = seq;
         const Bytes payload = {fired_id, seq};
         bits = core::EncodeTagFrame(payload);
       } else {
+        fired_seq = tags_[t].sequence;
         bits = tags_[t].LegacySlotBits();
       }
       report.fired.push_back(fired_id);
+      if (config_.trace != nullptr) {
+        config_.trace->Record(
+            rogue_fire ? obs::EventKind::kRogueFire : obs::EventKind::kFrameTx,
+            static_cast<std::uint32_t>(round_),
+            static_cast<std::uint16_t>(slot), fired_id, fired_seq,
+            rogue_fire ? static_cast<std::uint64_t>(rogue_->spec(t).model)
+                       : static_cast<std::uint64_t>(tag_tcfg.redundancy));
+      }
       if (dyn) {
         // Frame-level fade: each surviving ×2 redundancy step is an
         // independent chance through the burst-error channel, so the
@@ -417,6 +444,12 @@ RoundReport FullStackSim::StepRound() {
             std::max<std::size_t>(tag_tcfg.redundancy / tcfg.redundancy, 1);
         if (!dynamics_->FrameSurvives(t, slot, reps)) {
           ++stats_.faded_frames;
+          if (config_.trace != nullptr) {
+            config_.trace->Record(obs::EventKind::kFrameFaded,
+                                  static_cast<std::uint32_t>(round_),
+                                  static_cast<std::uint16_t>(slot), fired_id,
+                                  fired_seq, reps);
+          }
           continue;  // transmission spent, reflection lost in the fade
         }
       }
@@ -517,9 +550,16 @@ RoundReport FullStackSim::StepRound() {
                   break;
               }
             } else {
+              std::uint64_t flush_pos = 0;
               for (const std::uint8_t s :
                    coordinator_->rx(id - 1).OnFrame(seq, round_)) {
                 report.delivered.push_back({id, s});
+                if (config_.trace != nullptr) {
+                  config_.trace->Record(obs::EventKind::kFrameRx,
+                                        static_cast<std::uint32_t>(round_),
+                                        static_cast<std::uint16_t>(slot), id,
+                                        s, flush_pos++);
+                }
               }
             }
           }
@@ -539,9 +579,22 @@ RoundReport FullStackSim::StepRound() {
       std::vector<std::uint8_t> skipped;
       const auto unblocked = coordinator_->rx(t).OnRoundEnd(round_, skipped);
       const std::uint8_t id = static_cast<std::uint8_t>(t + 1);
-      for (const std::uint8_t s : skipped) report.skipped.push_back({id, s});
+      for (const std::uint8_t s : skipped) {
+        report.skipped.push_back({id, s});
+        if (config_.trace != nullptr) {
+          config_.trace->Record(obs::EventKind::kHoleSkip,
+                                static_cast<std::uint32_t>(round_),
+                                obs::kNoSlot, id, s);
+        }
+      }
+      std::uint64_t flush_pos = 0;
       for (const std::uint8_t s : unblocked) {
         report.delivered.push_back({id, s});
+        if (config_.trace != nullptr) {
+          config_.trace->Record(obs::EventKind::kFrameRx,
+                                static_cast<std::uint32_t>(round_),
+                                obs::kNoSlot, id, s, flush_pos++);
+        }
       }
     }
   }
@@ -590,6 +643,12 @@ RoundReport FullStackSim::StepRound() {
     // is untouched by either.
     for (const std::size_t t : supervisor_->TakeFreshQuarantines()) {
       coordinator_->rx(t).EvictOoo();
+      if (config_.trace != nullptr) {
+        config_.trace->Record(obs::EventKind::kQuarantine,
+                              static_cast<std::uint32_t>(round_), obs::kNoSlot,
+                              static_cast<std::uint8_t>(t + 1),
+                              supervisor_->misbehavior_quarantined(t) ? 1 : 0);
+      }
     }
     for (const std::size_t t : supervisor_->TakeFreshReadmissions()) {
       coordinator_->rx(t).BeginResync();

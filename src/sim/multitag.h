@@ -43,6 +43,7 @@
 #include "mac/policing.h"
 #include "mac/slotted_aloha.h"
 #include "mac/tag_mac.h"
+#include "obs/trace.h"
 #include "runtime/sweep_engine.h"
 #include "transport/arq.h"
 
@@ -110,6 +111,12 @@ struct FullStackConfig {
   /// transport; evidence reaches the supervisor's misbehavior channel
   /// only when supervisor.policing_enabled is also set.
   mac::PolicingConfig policing;
+  /// Flight-recorder sink (optional, non-owning; must outlive the sim).
+  /// The sim records frame tx/rx/fade/skip and quarantine handling in
+  /// virtual (round, slot) time and distributes the ring to the
+  /// transport, supervisor and police layers. Null = no recording and
+  /// bit-identical legacy behaviour.
+  obs::TraceRing* trace = nullptr;
 };
 
 struct FullStackStats {

@@ -51,6 +51,7 @@ SoakResult RunSoak(const SoakConfig& config) {
   sim_cfg.transport = config.transport;
   sim_cfg.transport.enabled = true;
   sim_cfg.reserve_impairment_stream = true;
+  sim_cfg.trace = config.trace;
   sim_cfg.offered_per_round = 0;  // the harness schedules offers itself
 
   Rng rng(config.seed);

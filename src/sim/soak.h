@@ -65,6 +65,11 @@ struct SoakConfig {
   /// Impairment schedule, sorted by start_round (segment 0 should
   /// start at round 0; rounds before the first segment run clean).
   std::vector<SoakSegment> schedule;
+  /// Optional flight-recorder sink (non-owning; must outlive the run).
+  /// Runtime wiring, not part of the replay record: SoakReplayJson
+  /// neither serializes nor restores it, and null keeps the sim on
+  /// the bit-identical legacy path.
+  obs::TraceRing* trace = nullptr;
 };
 
 struct SoakViolation {

@@ -56,6 +56,9 @@ StressResult RunStress(const StressConfig& config) {
     sim_cfg.dynamics.blackouts.push_back(death);
   }
 
+  obs::TraceRing ring(config.trace_capacity > 0 ? config.trace_capacity : 1);
+  if (config.trace_capacity > 0) sim_cfg.trace = &ring;
+
   Rng rng(config.seed);
   FullStackSim sim(sim_cfg, rng);
   StressResult result;
@@ -154,35 +157,13 @@ StressResult RunStress(const StressConfig& config) {
   result.duplicates = stats.transport_duplicates;
   result.skipped = stats.transport_holes_skipped;
   result.faded_frames = stats.faded_frames;
-  // Triage aid (docs/link_health.md): FREERIDER_STRESS_DEBUG=1 dumps
-  // per-tag transport accounting and the full health-transition log to
-  // stderr. Never drawn from, never on by default.
+  // Triage aid (docs/observability.md): FREERIDER_STRESS_DEBUG=1 dumps
+  // the flight-recorder ring as JSONL to stderr — the same event
+  // stream `tools/trace_dump` reads from the exported campaign, so a
+  // failing test and the recorded artifact show identical evidence.
+  // Never drawn from, never on by default.
   if (std::getenv("FREERIDER_STRESS_DEBUG") != nullptr) {
-    for (std::size_t t = 0; t < config.num_tags; ++t) {
-      const transport::TagTransport* tx = sim.tag_transport(t);
-      const transport::TagRxStats& rx =
-          sim.coordinator_transport()->rx(t).stats();
-      std::fprintf(stderr,
-                   "[stress] tag=%zu offered=%zu acked=%zu delivered=%llu "
-                   "skipped=%llu expired=%zu rej=%zu resyncs=%zu "
-                   "evicted=%zu state=%s\n",
-                   t + 1, tx->stats().offered, tx->stats().acked,
-                   static_cast<unsigned long long>(track[t].delivered),
-                   static_cast<unsigned long long>(track[t].skipped),
-                   tx->stats().expired, tx->stats().rejected_full,
-                   rx.resyncs, rx.ooo_evicted,
-                   sim.supervisor() != nullptr
-                       ? health::TagHealthName(sim.supervisor()->health(t))
-                       : "-");
-    }
-    if (sim.supervisor() != nullptr) {
-      for (const health::HealthTransition& tr :
-           sim.supervisor()->transitions()) {
-        std::fprintf(stderr, "[stress] transition round=%zu tag=%u %s->%s\n",
-                     tr.round, tr.tag_id, health::TagHealthName(tr.from),
-                     health::TagHealthName(tr.to));
-      }
-    }
+    std::fprintf(stderr, "%s", obs::TraceToJsonl("stress", ring).c_str());
   }
   result.blackout_tag_rounds = stats.blackout_tag_rounds;
   result.quarantines = stats.health_quarantines;
@@ -285,6 +266,9 @@ StressResult RunStress(const StressConfig& config) {
       result.resyncs, result.ooo_evicted, result.quarantine_round,
       result.detection_rounds, result.detection_bound);
   result.digest = std::move(digest);
+  if (config.trace_capacity > 0) {
+    result.trace = obs::SerializeTrace("stress", ring);
+  }
   return result;
 }
 
@@ -318,6 +302,7 @@ std::string SerializeStressResult(const StressResult& result) {
     w.Str(v.detail);
   }
   w.Str(result.digest);
+  w.Str(result.trace);
   return w.Take();
 }
 
@@ -355,7 +340,7 @@ bool DeserializeStressResult(const std::string& payload,
       return false;
     }
   }
-  if (!r.Str(&out.digest) || !r.AtEnd()) return false;
+  if (!r.Str(&out.digest) || !r.Str(&out.trace) || !r.AtEnd()) return false;
   *result = std::move(out);
   return true;
 }

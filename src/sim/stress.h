@@ -56,6 +56,11 @@ struct StressConfig {
   /// quarantine-bound audit keys off this.
   std::size_t dead_tag = static_cast<std::size_t>(-1);
   std::size_t dead_round = 0;
+  /// Flight-recorder ring capacity for the campaign (0 disables
+  /// tracing entirely; the sim then takes the legacy no-trace path).
+  /// The recorder keeps the newest `trace_capacity` events in virtual
+  /// (round, slot) time — bounded memory however long the campaign.
+  std::size_t trace_capacity = obs::TraceRing::kDefaultCapacity;
 
   bool HasDeadTag() const { return dead_tag < num_tags; }
 };
@@ -99,6 +104,10 @@ struct StressResult {
   /// Canonical outcome string (doubles in hex-float): two runs agree
   /// iff their digests are equal byte-for-byte.
   std::string digest;
+  /// Serialized flight-recorder ring (obs::SerializeTrace, one named
+  /// trace "stress"). Rides the checkpoint payload so a resumed task
+  /// reproduces the export byte-for-byte; empty when tracing is off.
+  std::string trace;
 };
 
 /// Run one stress campaign. Deterministic in `config`.

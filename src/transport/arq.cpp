@@ -57,6 +57,11 @@ void TagTransport::Expire(std::size_t round) {
     const bool too_old = round - it->enqueue_round > config_.expiry_rounds;
     if (too_many_tries || too_old) {
       ++stats_.expired;
+      if (trace_ != nullptr) {
+        trace_->Record(obs::EventKind::kArqExpire,
+                       static_cast<std::uint32_t>(round), obs::kNoSlot,
+                       wire_id_, it->seq, it->transmissions);
+      }
       it = queue_.erase(it);
     } else {
       ++it;
@@ -117,6 +122,11 @@ std::optional<TagTransport::TxDecision> TagTransport::NextFrame(
   ++stats_.transmissions;
   if (decision.retransmission) ++stats_.retransmissions;
   if (decision.escalation_steps > 0) ++stats_.escalations;
+  if (trace_ != nullptr && decision.retransmission) {
+    trace_->Record(obs::EventKind::kArqResend,
+                   static_cast<std::uint32_t>(round), obs::kNoSlot, wire_id_,
+                   decision.seq, pick->transmissions);
+  }
   return decision;
 }
 
@@ -224,6 +234,11 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
       blocked_ = false;
       delivered_seen_.reset();
       ++stats_.resyncs;
+      if (trace_ != nullptr) {
+        trace_->Record(obs::EventKind::kResync,
+                       static_cast<std::uint32_t>(round), obs::kNoSlot,
+                       wire_id_, seq);
+      }
     }
     // Inside the window the stream is still continuous: the tag kept
     // its backlog, the old anchor is exactly right, and re-anchoring
@@ -242,6 +257,11 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
     if (behind > config_.replay_stale_behind) {
       ++stats_.stale_rejected;
       last_error_ = RxError::kStaleReplay;
+      if (trace_ != nullptr) {
+        trace_->Record(obs::EventKind::kRxReject,
+                       static_cast<std::uint32_t>(round), obs::kNoSlot,
+                       wire_id_, seq, static_cast<std::uint64_t>(last_error_));
+      }
     } else {
       last_error_ = RxError::kDuplicate;
     }
@@ -260,6 +280,11 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
     // forward the stream over real data.
     ++stats_.beyond_window;
     last_error_ = RxError::kBeyondWindow;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::EventKind::kRxReject,
+                     static_cast<std::uint32_t>(round), obs::kNoSlot, wire_id_,
+                     seq, static_cast<std::uint64_t>(last_error_));
+    }
     return {};
   }
   if (config_.replay_guard && delivered_seen_.test(seq) &&
@@ -272,6 +297,11 @@ std::vector<std::uint8_t> CoordinatorTagRx::OnFrame(std::uint8_t seq,
     // payload to the application as fresh out-of-order data.
     ++stats_.replay_rejected;
     last_error_ = RxError::kReplayAlias;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::EventKind::kRxReject,
+                     static_cast<std::uint32_t>(round), obs::kNoSlot, wire_id_,
+                     seq, static_cast<std::uint64_t>(last_error_));
+    }
     return {};
   }
   const std::uint32_t bit = std::uint32_t{1} << d;

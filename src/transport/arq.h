@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/trace.h"
 #include "transport/ack.h"
 
 namespace freerider::transport {
@@ -148,6 +149,14 @@ class TagTransport {
   std::uint8_t next_seq() const { return next_seq_; }
   const TagTxStats& stats() const { return stats_; }
 
+  /// Flight-recorder sink (optional, non-owning). Resends and give-up
+  /// expiries are recorded under `wire_id` in virtual round time; a
+  /// null ring disables recording with zero behavior change.
+  void set_trace(obs::TraceRing* trace, std::uint8_t wire_id) {
+    trace_ = trace;
+    wire_id_ = wire_id;
+  }
+
  private:
   struct Entry {
     std::uint8_t seq = 0;
@@ -165,6 +174,8 @@ class TagTransport {
   std::deque<Entry> queue_;  ///< Ordered by sequence, front = oldest.
   std::uint8_t next_seq_ = 0;
   TagTxStats stats_;
+  obs::TraceRing* trace_ = nullptr;
+  std::uint8_t wire_id_ = 0;
 };
 
 // -------------------------------------------------------- coordinator
@@ -221,6 +232,13 @@ class CoordinatorTagRx {
 
   const TagRxStats& stats() const { return stats_; }
   std::uint8_t next_expected() const { return next_expected_; }
+
+  /// Flight-recorder sink (optional, non-owning). Records rejected
+  /// receptions (replay/stale/beyond-window) and stream re-anchors.
+  void set_trace(obs::TraceRing* trace, std::uint8_t wire_id) {
+    trace_ = trace;
+    wire_id_ = wire_id;
+  }
   /// Classification of the last OnFrame call (kNone = delivered or
   /// buffered). The taxonomy feeds the MAC police's evidence stream.
   RxError last_error() const { return last_error_; }
@@ -275,6 +293,8 @@ class CoordinatorTagRx {
   std::array<std::uint64_t, 256> delivered_pos_{};
   std::bitset<256> delivered_seen_;
   TagRxStats stats_;
+  obs::TraceRing* trace_ = nullptr;
+  std::uint8_t wire_id_ = 0;
 };
 
 /// All tags' receive state plus the round-robin ACK block scheduler.

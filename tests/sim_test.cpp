@@ -124,5 +124,29 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_EQ(TablePrinter::Sci(0.00123), "1.2e-03");
 }
 
+TEST(TablePrinterTest, ToJsonEscapesAdversarialCells) {
+  // Cells carry free-form detail strings (violation messages, health
+  // state names); control characters, quotes and backslashes must all
+  // come out as legal JSON, never raw.
+  TablePrinter table({"quote\"h", "back\\slash"});
+  table.AddRow({"line\nbreak", "tab\there"});
+  table.AddRow({std::string("nul\0byte", 8), "bell\x07rings\x1f"});
+  const std::string json = table.ToJson("esc\"name");
+  EXPECT_NE(json.find("\"esc\\\"name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"quote\\\"h\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"back\\\\slash\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\\nbreak\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tab\\there\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nul\\u0000byte\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bell\\u0007rings\\u001f\""), std::string::npos)
+      << json;
+  // No raw control byte survives inside a string (the only control
+  // character in the document is ToJson's own structural '\n').
+  for (char ch : json) {
+    if (ch == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+  }
+}
+
 }  // namespace
 }  // namespace freerider::sim

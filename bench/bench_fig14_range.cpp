@@ -8,18 +8,31 @@
 //
 // The heaviest figure in the suite (a bracket+bisection of full link
 // sims per point): each TX-to-tag point runs as one parallel task on
-// the runtime executor (--threads N).
+// the runtime executor (--threads N), or shards across a fault-
+// tolerant worker-subprocess fleet (--workers N) — stdout and
+// BENCH_fig14_range.json are byte-identical either way, at any worker
+// count, under any schedule of worker deaths (DESIGN.md §12).
 #include <cstdio>
 
 #include "distance_figure.h"
-#include "sim/sweep.h"
+#include "runtime/dist/worker.h"
+#include "sim/dist_bodies.h"
 
 using namespace freerider;
 
 int main(int argc, char** argv) {
+  // Worker mode first: when the coordinator re-execs this binary with
+  // --dist-serve, it must enter the serve loop before any flag parser
+  // or thread pool touches the process.
+  sim::RegisterDistBodies();
+  if (const int rc = runtime::dist::HandleWorkerMode(argc, argv); rc >= 0) {
+    return rc;
+  }
   runtime::InitThreadsFromArgs(argc, argv);
   const runtime::RobustSweepOptions robust =
       runtime::RobustOptionsFromArgs(argc, argv);
+  const runtime::dist::DistOptions dist =
+      runtime::dist::DistOptionsFromArgs(argc, argv);
   const std::string out_dir = bench::OutDirFromArgs(argc, argv);
   const std::string usage =
       std::string("bench_fig14_range ") + bench::kRuntimeUsage;
@@ -27,40 +40,26 @@ int main(int argc, char** argv) {
     return rc;
   }
 
-  const std::vector<double> tx_tag = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
   std::printf("=== Fig. 14: communication range (operational regime) ===\n");
   std::printf("max tag-to-RX distance sustaining PRR >= 0.5\n\n");
 
-  struct RadioRow {
-    const char* name;
-    const char* slug;
-    core::RadioType radio;
-    double max_search;
-  };
-  const RadioRow radios[] = {
-      {"802.11g/n WiFi", "wifi", core::RadioType::kWifi, 60.0},
-      {"ZigBee", "zigbee", core::RadioType::kZigbee, 40.0},
-      {"Bluetooth", "bluetooth", core::RadioType::kBluetooth, 25.0},
-  };
-
+  const std::vector<double>& tx_tag = sim::Fig14TxTagDistances();
   sim::TablePrinter table({"TX-to-tag (m)", "WiFi max RX (m)",
                            "ZigBee max RX (m)", "Bluetooth max RX (m)"});
   std::vector<std::vector<sim::RangePoint>> results;
   std::string timing;
   bool cancelled = false;
-  for (const RadioRow& r : radios) {
+  for (const sim::Fig14Radio& r : sim::Fig14Radios()) {
     // One checkpoint file per radio: each sweep is its own campaign.
     runtime::RobustSweepOptions radio_robust = robust;
     if (!radio_robust.checkpoint_path.empty()) {
       radio_robust.checkpoint_path += std::string(".") + r.slug;
     }
     const std::string slug = std::string("fig14_range_") + r.slug;
-    runtime::RobustSweepReport report;
-    results.push_back(sim::RangeSweepRobust(r.radio, tx_tag, r.max_search,
-                                            /*packets=*/10,
-                                            /*seed=*/141, /*prr_floor=*/0.5,
-                                            slug, radio_robust, &report));
-    cancelled = cancelled || report.cancelled;
+    runtime::dist::DistReport report;
+    results.push_back(
+        sim::RangeSweepDistributed(r, radio_robust, dist, &report));
+    cancelled = cancelled || report.robust.cancelled;
     timing += report.SummaryJson(slug);
   }
   for (std::size_t i = 0; i < tx_tag.size(); ++i) {

@@ -9,6 +9,12 @@
 // Both sweeps run as point×trial grids on the runtime executor with
 // campaign seeds pre-drawn in the historical Split() order, so the
 // tables match the serial run bit for bit at every --threads value.
+//
+// Observability: every 17a campaign records a kMacRound flight-
+// recorder event per round ((singles<<16)|collisions, announced
+// slots); the rings ride the checkpoint payload (versioned) so a
+// resumed run reproduces METRICS_/TRACE_fig17_mac_multitag byte for
+// byte alongside BENCH.
 #include <cstdio>
 #include <iterator>
 
@@ -22,23 +28,30 @@ using namespace freerider;
 
 namespace {
 
-std::string SerializeCampaignStats(const mac::CampaignStats& s) {
+constexpr std::uint64_t kFig17PayloadVersion = 2;
+
+std::string SerializeCampaignStats(const mac::CampaignStats& s,
+                                   const std::string& trace) {
   runtime::PayloadWriter w;
+  w.U64(kFig17PayloadVersion);
   w.F64(s.aggregate_throughput_bps);
   w.F64(s.jain_fairness);
   w.U64(s.per_tag_throughput_bps.size());
   for (double v : s.per_tag_throughput_bps) w.F64(v);
   w.F64(s.mean_slots);
   w.F64(s.total_time_s);
+  w.Str(trace);
   return w.Take();
 }
 
 bool DeserializeCampaignStats(const std::string& payload,
-                              mac::CampaignStats* stats) {
+                              mac::CampaignStats* stats, std::string* trace) {
   runtime::PayloadReader r(payload);
   mac::CampaignStats s;
+  std::uint64_t version = 0;
   std::uint64_t tags = 0;
-  if (!r.F64(&s.aggregate_throughput_bps) || !r.F64(&s.jain_fairness) ||
+  if (!r.U64(&version) || version != kFig17PayloadVersion ||
+      !r.F64(&s.aggregate_throughput_bps) || !r.F64(&s.jain_fairness) ||
       !r.U64(&tags) || tags > (1u << 16)) {
     return false;
   }
@@ -46,7 +59,8 @@ bool DeserializeCampaignStats(const std::string& payload,
   for (double& v : s.per_tag_throughput_bps) {
     if (!r.F64(&v)) return false;
   }
-  if (!r.F64(&s.mean_slots) || !r.F64(&s.total_time_s) || !r.AtEnd()) {
+  if (!r.F64(&s.mean_slots) || !r.F64(&s.total_time_s) || !r.Str(trace) ||
+      !r.AtEnd()) {
     return false;
   }
   *stats = std::move(s);
@@ -93,19 +107,24 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> seeds_a(points_a);
   for (auto& s : seeds_a) s = rng.NextU64();
   std::vector<mac::CampaignStats> stats_a(points_a);
+  std::vector<std::string> traces_a(points_a);
   runtime::RecoveryRunner runner_a(runtime::DefaultExecutor(), robust_a);
   const runtime::RobustSweepReport report_a = runner_a.Run(
       {points_a, 1},
       [&](std::size_t p, std::size_t) {
         mac::FramedSlottedAlohaSimulator sim(config);
         Rng campaign_rng(seeds_a[p]);
-        stats_a[p] = sim.RunCampaign(tag_counts_a[p], rounds, campaign_rng);
+        obs::TraceRing ring;
+        stats_a[p] =
+            sim.RunCampaign(tag_counts_a[p], rounds, campaign_rng, &ring);
+        traces_a[p] = obs::SerializeTrace(
+            "tags" + std::to_string(tag_counts_a[p]), ring);
         runtime::RobustTaskResult out;
-        out.payload = SerializeCampaignStats(stats_a[p]);
+        out.payload = SerializeCampaignStats(stats_a[p], traces_a[p]);
         return out;
       },
       [&](std::size_t p, std::size_t, const std::string& payload) {
-        return DeserializeCampaignStats(payload, &stats_a[p]);
+        return DeserializeCampaignStats(payload, &stats_a[p], &traces_a[p]);
       });
 
   sim::TablePrinter table({"tags", "measured (kbps)", "simulated (kbps)",
@@ -180,5 +199,39 @@ int main(int argc, char** argv) {
   bench::EmitTiming(out_dir, "fig17_mac_multitag",
                     report_a.SummaryJson("fig17a_throughput") +
                         report_b.SummaryJson("fig17b_fairness"));
+
+  // Deterministic observability artifacts: a single-shard registry
+  // folded in point order from the (restored-or-recomputed) campaign
+  // stats and flight recordings — byte-diffed by CI across --threads
+  // values and kill/resume alongside BENCH.
+  obs::MetricsRegistry metrics(1);
+  std::vector<obs::NamedTrace> traces;
+  for (std::size_t p = 0; p < points_a; ++p) {
+    metrics.Observe("fig17a.throughput_kbps",
+                    static_cast<std::uint64_t>(
+                        stats_a[p].aggregate_throughput_bps / 1e3));
+    metrics.Observe(
+        "fig17a.fairness_permille",
+        static_cast<std::uint64_t>(stats_a[p].jain_fairness * 1000.0));
+    const obs::TraceDecodeResult decoded = obs::DecodeTraces(traces_a[p]);
+    for (const obs::NamedTrace& nt : decoded.traces) {
+      for (const obs::TraceEvent& e : nt.ring.Events()) {
+        metrics.Count("fig17a.singles", e.a >> 16);
+        metrics.Count("fig17a.collisions", e.a & 0xFFFF);
+        metrics.Observe("fig17a.slots", e.b);
+        metrics.Count(std::string("fig17a.events.") +
+                      obs::EventKindName(e.kind));
+      }
+      traces.push_back(nt);
+    }
+  }
+  for (std::size_t i = 0; i < fairness_samples.size(); ++i) {
+    metrics.Observe(
+        "fig17b.fairness_permille",
+        static_cast<std::uint64_t>(fairness_samples[i] * 1000.0));
+  }
+  bench::EmitMetrics(out_dir, "fig17_mac_multitag", metrics);
+  bench::EmitTraces(out_dir, "fig17_mac_multitag", traces);
+  bench::EmitProfile(out_dir, "fig17_mac_multitag");
   return (report_a.cancelled || report_b.cancelled) ? 1 : 0;
 }

@@ -71,8 +71,8 @@ inline std::string OutDirFromArgs(int& argc, char** argv) {
 /// The usage tail every runtime-driven bench shares (the flags the
 /// runtime's own parsers consume).
 inline constexpr const char* kRuntimeUsage =
-    "[--threads N] [--out-dir DIR] [--checkpoint PATH] [--resume [PATH]] "
-    "[--watchdog-s X]";
+    "[--threads N] [--workers N] [--out-dir DIR] [--checkpoint PATH] "
+    "[--resume [PATH]] [--watchdog-s X]";
 
 /// BENCH_<slug>.json — the deterministic result artifact.
 inline bool EmitBench(const std::string& out_dir, const std::string& slug,

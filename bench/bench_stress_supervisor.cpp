@@ -26,8 +26,8 @@
 // payloads carry the full StressResult bit-exactly).
 //
 //   bench_stress_supervisor [--rounds N] [--out-dir DIR] [--threads N]
-//                           [--checkpoint PATH] [--resume [PATH]]
-//                           [--watchdog-s X]
+//                           [--workers N] [--checkpoint PATH]
+//                           [--resume [PATH]] [--watchdog-s X]
 //
 // Default 600 offered rounds + drain (also the minimum — the
 // acceptance thresholds are calibrated for this schedule); --rounds
@@ -39,88 +39,28 @@
 #include "common/cli.h"
 #include "distance_figure.h"
 #include "runtime/checkpoint.h"
+#include "runtime/dist/worker.h"
 #include "runtime/executor.h"
 #include "runtime/recovery.h"
+#include "sim/dist_bodies.h"
 #include "sim/stress.h"
 #include "sim/sweep.h"
 
 using namespace freerider;
 
-namespace {
-
-/// The shared schedule, scaled to the campaign length so --rounds
-/// shortening (CI) keeps every ingredient present.
-sim::StressConfig MakeConfig(std::uint64_t seed, bool supervisor_on,
-                             std::size_t rounds) {
-  sim::StressConfig config;
-  config.seed = seed;
-  config.num_tags = 6;
-  config.rounds = rounds;
-  config.drain_rounds = rounds / 4 + 80;
-  config.offer_every = 4;
-  config.supervisor_on = supervisor_on;
-
-  // Generous per-frame retry budget, tight queue: the contrast the
-  // bench measures is *where the budget goes*. Bare ARQ burns all 16
-  // tries into a fade, gives up, and the queue backs up into
-  // rejections; the supervisor's closed loop (boost + admission +
-  // probes) spends the same budget after the channel recovers.
-  config.transport.max_transmissions = 16;
-  config.transport.expiry_rounds = 1000000;  // give-up is attempt-based
-  config.transport.queue_capacity = 24;
-  config.transport.rto_rounds = 3;
-  config.transport.max_escalation_steps = 1;
-  config.transport.hole_skip_rounds = 96;
-
-  // Burst fades: long deep fades (~23% of rounds bad, 96% per-frame
-  // loss while bad, mean bad burst rounds/12) — long enough that the
-  // supervisor's probation/quarantine machinery engages for real. The
-  // chain scales with the campaign so a shortened --rounds run (CI)
-  // keeps the fade structure proportionally; at the default 600 this
-  // is p_good_to_bad = 0.006, p_bad_to_good = 0.02.
-  config.dynamics.seed = seed ^ 0x5354524553531ull;
-  config.dynamics.gilbert.enabled = true;
-  config.dynamics.gilbert.p_good_to_bad = 3.6 / static_cast<double>(rounds);
-  config.dynamics.gilbert.p_bad_to_good = 12.0 / static_cast<double>(rounds);
-  config.dynamics.gilbert.good_loss = 0.02;
-  config.dynamics.gilbert.bad_loss = 0.96;
-
-  // Mobility: two excursions to 1.4-1.5x nominal distance, phase-offset
-  // per tag so the fleet doesn't fade in lockstep.
-  config.dynamics.mobility.enabled = true;
-  config.dynamics.mobility.per_tag_phase_rounds = rounds / 12;
-  config.dynamics.mobility.loss_per_excess = 0.5;
-  config.dynamics.mobility.max_loss = 0.90;
-  config.dynamics.mobility.waypoints = {{0, 1.0},
-                                        {rounds / 4, 1.4},
-                                        {rounds / 2, 1.0},
-                                        {(3 * rounds) / 4, 1.5},
-                                        {rounds, 1.0}};
-
-  // Two transient blackouts: the affected tags must be quarantined and
-  // later re-admitted without disturbing the healthy tags' ARQ state.
-  impair::BlackoutWindow b1;
-  b1.begin_round = rounds / 3;
-  b1.end_round = rounds / 3 + rounds / 8;
-  b1.tags = {1};
-  impair::BlackoutWindow b2;
-  b2.begin_round = rounds / 2;
-  b2.end_round = rounds / 2 + rounds / 10;
-  b2.tags = {2};
-  config.dynamics.blackouts = {b1, b2};
-
-  // One tag dies for good at 2/3 of the campaign.
-  config.dead_tag = config.num_tags - 1;
-  config.dead_round = (2 * rounds) / 3;
-  return config;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  // Worker mode first: the coordinator re-execs this binary with
+  // --dist-serve, and the serve loop must start before any flag
+  // parser or thread pool touches the process.
+  sim::RegisterDistBodies();
+  if (const int rc = runtime::dist::HandleWorkerMode(argc, argv); rc >= 0) {
+    return rc;
+  }
   runtime::InitThreadsFromArgs(argc, argv);
   runtime::RobustSweepOptions robust =
       runtime::RobustOptionsFromArgs(argc, argv);
+  runtime::dist::DistOptions dist =
+      runtime::dist::DistOptionsFromArgs(argc, argv);
   std::size_t rounds = 600;
   std::string out_dir = ".";
   bool args_ok = true;
@@ -130,8 +70,8 @@ int main(int argc, char** argv) {
   if (const int rc = cli::RejectUnknownArgs(
           argc, argv,
           "bench_stress_supervisor [--rounds N] [--out-dir DIR]"
-          " [--threads N] [--checkpoint PATH] [--resume [PATH]]"
-          " [--watchdog-s X]")) {
+          " [--threads N] [--workers N] [--checkpoint PATH]"
+          " [--resume [PATH]] [--watchdog-s X]")) {
     return rc;
   }
   // The acceptance thresholds are calibrated for the 600-round
@@ -146,29 +86,19 @@ int main(int argc, char** argv) {
               "+ blackouts + 1 dead tag\n\n",
               rounds);
 
-  const std::uint64_t seeds[] = {31ull, 1723ull, 60221ull};
-  const std::size_t num_seeds = sizeof seeds / sizeof seeds[0];
+  const std::vector<std::uint64_t>& seeds = sim::StressBenchSeeds();
+  const std::size_t num_seeds = seeds.size();
 
   // seed×{on,off} grid; both runs of a pair share the identical
   // dynamics schedule, so the delta is attributable to the supervisor.
-  std::vector<sim::StressResult> on_results(num_seeds);
-  std::vector<sim::StressResult> off_results(num_seeds);
-  robust.campaign = runtime::CampaignId("stress_supervisor", rounds);
-  runtime::RecoveryRunner runner(runtime::DefaultExecutor(), robust);
-  const runtime::RobustSweepReport report = runner.Run(
-      {num_seeds, 2},
-      [&](std::size_t p, std::size_t t) {
-        const bool on = t == 0;
-        sim::StressResult& slot = on ? on_results[p] : off_results[p];
-        slot = sim::RunStress(MakeConfig(seeds[p], on, rounds));
-        runtime::RobustTaskResult out;
-        out.payload = sim::SerializeStressResult(slot);
-        return out;
-      },
-      [&](std::size_t p, std::size_t t, const std::string& payload) {
-        sim::StressResult& slot = t == 0 ? on_results[p] : off_results[p];
-        return sim::DeserializeStressResult(payload, &slot);
-      });
+  // With --workers N the grid shards across a fault-tolerant worker
+  // fleet; stdout and every byte-diffed artifact are identical to the
+  // in-process run (DESIGN.md §12).
+  std::vector<sim::StressResult> on_results;
+  std::vector<sim::StressResult> off_results;
+  runtime::dist::DistReport dist_report;
+  sim::StressSweepDistributed(rounds, robust, dist, &on_results, &off_results,
+                              &dist_report);
 
   sim::TablePrinter table({"seed", "supervisor", "delivery %", "offered",
                            "delivered", "expired", "faded", "quar", "recov",
@@ -197,7 +127,8 @@ int main(int argc, char** argv) {
   for (std::size_t p = 0; p < num_seeds; ++p) {
     const sim::StressResult& on = on_results[p];
     const sim::StressResult& off = off_results[p];
-    const sim::StressConfig config = MakeConfig(seeds[p], true, rounds);
+    const sim::StressConfig config =
+        sim::MakeStressBenchConfig(seeds[p], true, rounds);
     bound_table.AddRow(
         {std::to_string(seeds[p]), std::to_string(config.dead_round),
          on.dead_tag_audited ? std::to_string(on.quarantine_round) : "-",
@@ -260,7 +191,7 @@ int main(int argc, char** argv) {
                        bound_table.ToJson("stress_quarantine_bound") +
                        verdict.ToJson("verdict"));
   bench::EmitTiming(out_dir, "stress_supervisor",
-                    report.SummaryJson("stress_supervisor"));
+                    dist_report.SummaryJson("stress_supervisor"));
 
   // Deterministic observability artifacts: a single-shard registry
   // folded from the (restored-or-recomputed) results plus the flight

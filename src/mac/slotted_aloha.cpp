@@ -68,13 +68,23 @@ RoundResult FramedSlottedAlohaSimulator::RunRound(std::size_t num_tags,
 
 CampaignStats FramedSlottedAlohaSimulator::RunCampaign(std::size_t num_tags,
                                                        std::size_t num_rounds,
-                                                       Rng& rng) {
+                                                       Rng& rng,
+                                                       obs::TraceRing* trace) {
   CampaignStats stats;
   std::vector<double> per_tag_bits(num_tags, 0.0);
   double total_time = 0.0;
   double slot_sum = 0.0;
   for (std::size_t r = 0; r < num_rounds; ++r) {
     const RoundResult round = RunRound(num_tags, rng);
+    if (trace != nullptr) {
+      obs::TraceEvent event;
+      event.round = static_cast<std::uint32_t>(r);
+      event.kind = obs::EventKind::kMacRound;
+      event.a = (static_cast<std::uint64_t>(round.singles) << 16) |
+                static_cast<std::uint64_t>(round.collisions);
+      event.b = round.slots;
+      trace->Record(event);
+    }
     total_time += round.duration_s;
     slot_sum += static_cast<double>(round.slots);
     for (std::size_t t = 0; t < num_tags; ++t) {

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "mac/plm.h"
+#include "obs/trace.h"
 
 namespace freerider::mac {
 
@@ -90,9 +91,13 @@ class FramedSlottedAlohaSimulator {
   /// Simulate one round for `num_tags` tags.
   RoundResult RunRound(std::size_t num_tags, Rng& rng);
 
-  /// Simulate `num_rounds` rounds and aggregate.
+  /// Simulate `num_rounds` rounds and aggregate. `trace` (optional)
+  /// receives one kMacRound flight-recorder event per round
+  /// (a = (singles<<16)|collisions, b = announced slots) — recording
+  /// never perturbs the campaign's rng stream, so traced and untraced
+  /// runs produce identical stats.
   CampaignStats RunCampaign(std::size_t num_tags, std::size_t num_rounds,
-                            Rng& rng);
+                            Rng& rng, obs::TraceRing* trace = nullptr);
 
   const SlotScheduler& scheduler() const { return scheduler_; }
 

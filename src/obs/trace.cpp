@@ -14,7 +14,7 @@ struct KindName {
   const char* name;
 };
 
-constexpr std::array<KindName, 14> kKindNames = {{
+constexpr std::array<KindName, 15> kKindNames = {{
     {EventKind::kFrameTx, "frame_tx"},
     {EventKind::kFrameRx, "frame_rx"},
     {EventKind::kFrameFaded, "frame_faded"},
@@ -29,6 +29,7 @@ constexpr std::array<KindName, 14> kKindNames = {{
     {EventKind::kPoliceEvidence, "police_evidence"},
     {EventKind::kRogueFire, "rogue_fire"},
     {EventKind::kCheckpoint, "checkpoint"},
+    {EventKind::kMacRound, "mac_round"},
 }};
 
 constexpr char kHeaderTag = 'H';

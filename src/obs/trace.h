@@ -40,6 +40,7 @@ enum class EventKind : std::uint8_t {
   kPoliceEvidence = 12,  // MAC police flagged a tag   a=evidence b=collisions
   kRogueFire = 13,     // rogue emitted a frame        a=seq b=fault model
   kCheckpoint = 14,    // campaign-visible checkpoint  a=payload bytes
+  kMacRound = 15,      // Aloha round summary a=(singles<<16)|collisions b=slots
 };
 
 // Slot value for events that happen at round scope (between slots).

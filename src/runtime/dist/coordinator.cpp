@@ -1,0 +1,760 @@
+#include "runtime/dist/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.h"
+#include "runtime/checkpoint.h"
+#include "runtime/dist/lease.h"
+#include "runtime/dist/wire.h"
+
+namespace freerider::runtime::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double EnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return fallback;
+}
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int to_fd = -1;    ///< Coordinator → worker (tasks). Blocking.
+  int from_fd = -1;  ///< Worker → coordinator (results). Non-blocking.
+  int index = -1;    ///< Stable spawn index (lease id, chaos target).
+  FrameStream stream;
+  bool alive = false;
+  bool ready = false;  ///< StartAck(ok) received.
+  std::size_t outstanding = 0;
+  double deadline_s = 0.0;
+};
+
+bool WriteAll(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fork+exec one worker serving `--dist-serve=RFD,WFD,IDX`. All pipe
+/// fds are O_CLOEXEC in the parent; the child re-enables exactly its
+/// own two ends before exec, so workers never inherit each other's
+/// pipes (EOF detection stays crisp).
+bool SpawnWorker(const std::string& bin, int index, WorkerProc* w) {
+  int to_pipe[2] = {-1, -1};
+  int from_pipe[2] = {-1, -1};
+  if (::pipe2(to_pipe, O_CLOEXEC) != 0) return false;
+  if (::pipe2(from_pipe, O_CLOEXEC) != 0) {
+    ::close(to_pipe[0]);
+    ::close(to_pipe[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_pipe[0]);
+    ::close(to_pipe[1]);
+    ::close(from_pipe[0]);
+    ::close(from_pipe[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::fcntl(to_pipe[0], F_SETFD, 0);
+    ::fcntl(from_pipe[1], F_SETFD, 0);
+    char arg[64];
+    std::snprintf(arg, sizeof arg, "--dist-serve=%d,%d,%d", to_pipe[0],
+                  from_pipe[1], index);
+    ::execl(bin.c_str(), bin.c_str(), arg, static_cast<char*>(nullptr));
+    std::fprintf(stderr, "[dist] exec %s failed: %s\n", bin.c_str(),
+                 std::strerror(errno));
+    std::_Exit(127);
+  }
+  ::close(to_pipe[0]);
+  ::close(from_pipe[1]);
+  ::fcntl(from_pipe[0], F_SETFL, O_NONBLOCK);
+  w->pid = pid;
+  w->to_fd = to_pipe[1];
+  w->from_fd = from_pipe[0];
+  w->index = index;
+  w->stream = FrameStream();
+  w->alive = true;
+  w->ready = false;
+  w->outstanding = 0;
+  return true;
+}
+
+}  // namespace
+
+DistOptions DistOptionsFromArgs(int& argc, char** argv) {
+  DistOptions options;
+  if (const char* env = std::getenv("FREERIDER_WORKERS")) {
+    options.workers =
+        static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      options.workers =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      options.workers =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  options.lease_timeout_s =
+      EnvDouble("FREERIDER_DIST_LEASE_S", options.lease_timeout_s);
+  options.spawn_grace_s =
+      EnvDouble("FREERIDER_DIST_SPAWN_GRACE_S", options.spawn_grace_s);
+  options.speculate_after_s =
+      EnvDouble("FREERIDER_DIST_SPECULATE_S", options.speculate_after_s);
+  options.max_respawns =
+      EnvSize("FREERIDER_DIST_RESPAWNS", options.max_respawns);
+  if (const char* env = std::getenv("FREERIDER_WORKER_BIN")) {
+    options.worker_bin = env;
+  }
+  return options;
+}
+
+std::string DistReport::SummaryJson(const std::string& name) const {
+  std::ostringstream out;
+  out << robust.SummaryJson(name);
+  out << "{\"dist\": \"" << name << "\""
+      << ", \"distributed\": " << (distributed ? "true" : "false")
+      << ", \"workers_requested\": " << workers_requested
+      << ", \"workers_spawned\": " << workers_spawned
+      << ", \"workers_killed\": " << workers_killed
+      << ", \"worker_deaths\": " << worker_deaths
+      << ", \"respawns\": " << respawns
+      << ", \"lease_expiries\": " << lease_expiries
+      << ", \"speculative_dispatches\": " << speculative_dispatches
+      << ", \"duplicate_results\": " << duplicate_results
+      << ", \"corrupt_frames\": " << corrupt_frames
+      << ", \"heartbeats\": " << heartbeats
+      << ", \"degraded_tasks\": " << degraded_tasks << "}\n";
+  return out.str();
+}
+
+DistRunner::DistRunner(DistOptions dist, RobustSweepOptions robust)
+    : dist_(std::move(dist)), robust_(std::move(robust)) {}
+
+DistReport DistRunner::Run(
+    const SweepGrid& grid,
+    const std::function<RobustTaskResult(std::size_t, std::size_t)>& body,
+    const std::function<bool(std::size_t, std::size_t, const std::string&)>&
+        restore) {
+  DistReport report;
+  report.workers_requested = dist_.workers;
+
+  // ---------------- in-process path (--workers 0) -------------------
+  // Identical to handing the sweep straight to RecoveryRunner — the
+  // regression anchor every --workers N run is byte-diffed against.
+  if (dist_.workers == 0 || dist_.body_name.empty()) {
+    RecoveryRunner runner(DefaultExecutor(), robust_);
+    report.robust = runner.Run(grid, body, restore);
+    report.distributed = false;
+    return report;
+  }
+
+  obs::Profiler& profiler = obs::GlobalProfiler();
+  obs::ScopedSpan run_span("dist_run", "dist");
+
+  const std::size_t n = grid.tasks();
+  RobustSweepReport& robust = report.robust;
+  robust.tasks_total = n;
+  robust.tasks.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    robust.tasks[i].point = i / grid.trials;
+    robust.tasks[i].trial = i % grid.trials;
+  }
+  if (n == 0) {
+    report.distributed = true;
+    return report;
+  }
+
+  std::size_t crash_after_tasks = 0;
+  if (const char* env = std::getenv("FREERIDER_CRASH_AFTER_N_TASKS")) {
+    crash_after_tasks = std::strtoull(env, nullptr, 10);
+  }
+
+  // A dead worker must surface as EPIPE on our next write, never as a
+  // process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Resolve the worker binary at spawn time so the FREERIDER_WORKER_BIN
+  // override works however DistOptions was constructed (flag parser,
+  // test fixture, or a tool filling the struct by hand).
+  std::string bin = dist_.worker_bin;
+  if (const char* env = std::getenv("FREERIDER_WORKER_BIN")) bin = env;
+  if (bin.empty()) bin = "/proc/self/exe";
+  if (::access(bin.c_str(), X_OK) != 0) {
+    std::fprintf(stderr,
+                 "[dist] worker binary %s not executable (%s); running "
+                 "in-process\n",
+                 bin.c_str(), std::strerror(errno));
+    RecoveryRunner runner(DefaultExecutor(), robust_);
+    report.robust = runner.Run(grid, body, restore);
+    report.distributed = false;
+    return report;
+  }
+
+  // ---------------- fleet spawn (before any thread exists) ----------
+  const auto t0 = Clock::now();
+  auto now_s = [&t0] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const std::string start_frame = [&] {
+    WireMsg start;
+    start.type = MsgType::kStart;
+    start.points = grid.points;
+    start.trials = grid.trials;
+    start.body = dist_.body_name;
+    start.params = dist_.params;
+    return EncodeFrame(EncodeMsg(start));
+  }();
+
+  std::vector<WorkerProc> fleet(dist_.workers);
+  int spawn_counter = 0;
+  std::size_t respawns_left = dist_.max_respawns;
+  auto spawn_into = [&](WorkerProc& w) {
+    if (!SpawnWorker(bin, spawn_counter, &w)) return false;
+    ++spawn_counter;
+    ++report.workers_spawned;
+    w.deadline_s = now_s() + dist_.spawn_grace_s + dist_.lease_timeout_s;
+    if (!WriteAll(w.to_fd, start_frame)) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, nullptr, 0);
+      ::close(w.to_fd);
+      ::close(w.from_fd);
+      w.alive = false;
+      return false;
+    }
+    return true;
+  };
+  for (WorkerProc& w : fleet) {
+    if (!spawn_into(w)) break;
+  }
+  std::size_t alive = 0;
+  for (const WorkerProc& w : fleet) alive += w.alive ? 1 : 0;
+  if (alive == 0) {
+    std::fprintf(stderr,
+                 "[dist] could not spawn any worker; running in-process\n");
+    RecoveryRunner runner(DefaultExecutor(), robust_);
+    report.robust = runner.Run(grid, body, restore);
+    report.distributed = false;
+    return report;
+  }
+  report.distributed = true;
+
+  // ---------------- campaign state ----------------------------------
+  LeaseOptions lease_options;
+  lease_options.lease_timeout_s = dist_.lease_timeout_s;
+  lease_options.max_retries = robust_.max_retries;
+  lease_options.quarantine = robust_.quarantine;
+  lease_options.speculate_after_s = dist_.speculate_after_s;
+  LeaseTable lease(n, lease_options);
+  std::vector<RobustTaskState> states(n, RobustTaskState::kDrained);
+  std::vector<std::string> payloads(n);
+  std::size_t completions = 0;
+  bool cancelled = false;
+  std::size_t first_failure = n;
+
+  // ---------------- resume (mirrors RecoveryRunner) -----------------
+  const bool checkpointing = !robust_.checkpoint_path.empty();
+  if (robust_.resume && checkpointing) {
+    std::string bytes;
+    if (ReadFileBytes(robust_.checkpoint_path, &bytes)) {
+      const CheckpointDecodeResult decoded = DecodeCheckpoint(bytes);
+      if (!decoded.ok) {
+        robust.checkpoint_error = "checkpoint rejected: " + decoded.error;
+      } else if (decoded.header.campaign != robust_.campaign ||
+                 decoded.header.points != grid.points ||
+                 decoded.header.trials != grid.trials) {
+        robust.checkpoint_error =
+            "checkpoint belongs to a different campaign/grid; ignored";
+      } else {
+        robust.resumed = true;
+        robust.checkpoint_salvaged = decoded.salvaged;
+        robust.checkpoint_dropped_bytes = decoded.dropped_bytes;
+        for (const TaskRecord& r : decoded.records) {
+          const auto i = static_cast<std::size_t>(r.index);
+          if (i >= n) continue;
+          if (r.state == TaskState::kDone) {
+            payloads[i] = r.payload;
+            states[i] = RobustTaskState::kRestored;
+          } else {
+            states[i] = RobustTaskState::kQuarantined;
+            lease.MarkQuarantined(i);
+          }
+        }
+        // Replay restored payloads in grid-index order — the same
+        // order the single-process reduction sees them.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (states[i] != RobustTaskState::kRestored) continue;
+          if (restore(i / grid.trials, i % grid.trials, payloads[i])) {
+            lease.MarkDone(i);
+          } else {
+            states[i] = RobustTaskState::kDrained;
+            payloads[i].clear();
+          }
+        }
+      }
+      if (!robust.checkpoint_error.empty()) {
+        std::fprintf(stderr, "[dist] %s\n", robust.checkpoint_error.c_str());
+      }
+      if (robust.checkpoint_salvaged) {
+        std::fprintf(stderr,
+                     "[dist] checkpoint salvaged: %zu trailing bytes "
+                     "dropped\n",
+                     robust.checkpoint_dropped_bytes);
+      }
+    }
+  }
+
+  // ---------------- snapshots ---------------------------------------
+  std::string checkpoint_write_error;
+  const CheckpointHeader header{kCheckpointVersion, robust_.campaign,
+                                grid.points, grid.trials};
+  auto write_snapshot = [&] {
+    std::vector<TaskRecord> records;
+    for (std::size_t i = 0; i < n; ++i) {
+      TaskRecord record;
+      record.index = i;
+      if (states[i] == RobustTaskState::kOk ||
+          states[i] == RobustTaskState::kRestored) {
+        record.state = TaskState::kDone;
+        record.payload = payloads[i];
+      } else if (states[i] == RobustTaskState::kQuarantined) {
+        record.state = TaskState::kQuarantined;
+      } else {
+        continue;
+      }
+      records.push_back(std::move(record));
+    }
+    std::string error;
+    if (WriteFileAtomic(robust_.checkpoint_path,
+                        EncodeCheckpoint(header, records), &error)) {
+      ++robust.snapshots_written;
+      profiler.AddCount("dist.snapshots", 1);
+    } else if (checkpoint_write_error.empty()) {
+      checkpoint_write_error = error;
+      std::fprintf(stderr, "[dist] snapshot failed: %s\n", error.c_str());
+    }
+  };
+  auto on_completion = [&] {
+    ++completions;
+    if (checkpointing && robust_.checkpoint_every > 0 &&
+        completions % robust_.checkpoint_every == 0) {
+      write_snapshot();
+    }
+    if (crash_after_tasks != 0 && completions == crash_after_tasks) {
+      std::fprintf(stderr,
+                   "[dist] FREERIDER_CRASH_AFTER_N_TASKS=%zu hit — raising "
+                   "SIGKILL\n",
+                   crash_after_tasks);
+      std::fflush(stderr);
+      std::raise(SIGKILL);
+    }
+  };
+
+  // ---------------- fleet plumbing ----------------------------------
+  auto reap = [&](WorkerProc& w, bool send_kill) {
+    if (!w.alive) return;
+    if (send_kill) {
+      ::kill(w.pid, SIGKILL);
+      ++report.workers_killed;
+    }
+    ::waitpid(w.pid, nullptr, 0);
+    ::close(w.to_fd);
+    ::close(w.from_fd);
+    w.alive = false;
+    w.ready = false;
+    w.outstanding = 0;
+  };
+  auto release_and_respawn = [&](WorkerProc& w, const char* why,
+                                 bool deadline_driven) {
+    const std::size_t released = lease.ReleaseWorker(w.index, now_s());
+    if (deadline_driven) report.lease_expiries += released;
+    std::fprintf(stderr, "[dist] worker %d (pid %d) %s — %zu lease(s) "
+                 "re-dispatched\n",
+                 w.index, static_cast<int>(w.pid), why, released);
+    reap(w, true);
+    if (respawns_left > 0 && !lease.AllSettled() && !cancelled) {
+      --respawns_left;
+      if (spawn_into(w)) {
+        ++report.respawns;
+      }
+    }
+  };
+  auto handle_failure_verdict = [&](std::size_t index,
+                                    LeaseTable::FailResult verdict) {
+    if (verdict == LeaseTable::FailResult::kQuarantined) {
+      states[index] = RobustTaskState::kQuarantined;
+      on_completion();
+    } else if (verdict == LeaseTable::FailResult::kFatal) {
+      if (!cancelled || index < first_failure) first_failure = index;
+      cancelled = true;
+    }
+  };
+
+  // Degraded drain: the fleet is gone (or never served the body) and
+  // the campaign must still finish with the same bytes — run the
+  // remainder serially in-process with RecoveryRunner retry
+  // semantics.
+  auto degraded_drain = [&] {
+    for (const std::size_t i : lease.Unsettled()) {
+      if (cancelled) break;
+      const std::size_t point = i / grid.trials;
+      const std::size_t trial = i % grid.trials;
+      RobustTaskResult result;
+      bool threw = false;
+      std::string what;
+      std::size_t attempts = 0;
+      do {
+        ++attempts;
+        threw = false;
+        try {
+          result = body(point, trial);
+        } catch (const std::exception& e) {
+          threw = true;
+          what = e.what();
+        } catch (...) {
+          threw = true;
+          what = "unknown exception";
+        }
+      } while (threw && attempts <= robust_.max_retries);
+      if (attempts > 1) robust.task_retries += attempts - 1;
+      if (threw || !result.ok) {
+        if (threw) {
+          std::fprintf(stderr,
+                       "[dist] degraded task %zu failed after %zu "
+                       "attempt(s): %s\n",
+                       i, attempts, what.c_str());
+        }
+        handle_failure_verdict(
+            i, lease.Fail(i, now_s(), /*retryable=*/false));
+        continue;
+      }
+      payloads[i] = std::move(result.payload);
+      states[i] = RobustTaskState::kOk;
+      lease.MarkDone(i);
+      ++report.degraded_tasks;
+      on_completion();
+    }
+  };
+
+  // ---------------- event loop --------------------------------------
+  bool fleet_unusable = false;
+  while (!lease.AllSettled() && !cancelled && !fleet_unusable) {
+    const double now = now_s();
+
+    // Silent workers: heartbeat deadline passed → dead (SIGSTOP,
+    // SIGKILL, wedge). Kill, release, respawn within budget.
+    for (WorkerProc& w : fleet) {
+      if (w.alive && now > w.deadline_s) {
+        release_and_respawn(w, "missed heartbeat deadline",
+                            /*deadline_driven=*/true);
+      }
+    }
+    // Belt and braces: lease-level expiry (kept aligned with worker
+    // deadlines by Renew-on-any-frame, but the table enforces its own
+    // clock so a bookkeeping bug cannot strand a task).
+    lease.ExpireLeases(now);
+
+    alive = 0;
+    for (const WorkerProc& w : fleet) alive += w.alive ? 1 : 0;
+    if (alive == 0) {
+      std::fprintf(stderr,
+                   "[dist] fleet lost (respawn budget %zu left); draining "
+                   "%zu task(s) in-process\n",
+                   respawns_left, lease.Unsettled().size());
+      degraded_drain();
+      break;
+    }
+
+    // Dispatch: one outstanding task per ready worker.
+    for (WorkerProc& w : fleet) {
+      if (!w.alive || !w.ready || w.outstanding > 0 || cancelled) continue;
+      std::size_t task = 0;
+      bool speculative = false;
+      if (!lease.Acquire(w.index, now, &task, &speculative)) continue;
+      if (speculative) ++report.speculative_dispatches;
+      WireMsg msg;
+      msg.type = MsgType::kTask;
+      msg.index = task;
+      if (!WriteAll(w.to_fd, EncodeFrame(EncodeMsg(msg)))) {
+        release_and_respawn(w, "task write failed",
+                            /*deadline_driven=*/false);
+        continue;
+      }
+      w.outstanding = 1;
+    }
+
+    // Wait for results/heartbeats/deaths.
+    std::vector<pollfd> pfds;
+    std::vector<WorkerProc*> pfd_workers;
+    for (WorkerProc& w : fleet) {
+      if (!w.alive) continue;
+      pfds.push_back({w.from_fd, POLLIN, 0});
+      pfd_workers.push_back(&w);
+    }
+    if (pfds.empty()) continue;
+    const int rc = ::poll(pfds.data(), pfds.size(), 20);
+    if (rc < 0 && errno != EINTR) {
+      std::fprintf(stderr, "[dist] poll failed (%s); draining in-process\n",
+                   std::strerror(errno));
+      for (WorkerProc& w : fleet) {
+        if (w.alive) {
+          lease.ReleaseWorker(w.index, now_s());
+          reap(w, true);
+        }
+      }
+      degraded_drain();
+      break;
+    }
+    if (rc <= 0) continue;
+
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      WorkerProc& w = *pfd_workers[k];
+      if (!w.alive) continue;
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      bool eof = false;
+      char buf[65536];
+      for (;;) {
+        const ssize_t got = ::read(w.from_fd, buf, sizeof buf);
+        if (got > 0) {
+          w.stream.Feed(buf, static_cast<std::size_t>(got));
+          continue;
+        }
+        if (got == 0) eof = true;
+        if (got < 0 && errno == EINTR) continue;
+        break;
+      }
+
+      // Drain whole frames. A corrupt stream (flipped bit, torn
+      // write) is unrecoverable: the worker dies, its leases retry.
+      bool corrupt = false;
+      std::string payload;
+      for (;;) {
+        const FrameStatus status = w.stream.Next(&payload);
+        if (status == FrameStatus::kNeedMore) break;
+        if (status == FrameStatus::kCorrupt) {
+          corrupt = true;
+          break;
+        }
+        WireMsg msg;
+        if (!DecodeMsg(payload, &msg)) {
+          corrupt = true;
+          break;
+        }
+        const double frame_now = now_s();
+        w.deadline_s = frame_now + dist_.lease_timeout_s;
+        lease.Renew(w.index, frame_now);
+        switch (msg.type) {
+          case MsgType::kStartAck:
+            if (msg.ok) {
+              w.ready = true;
+            } else {
+              // The worker binary cannot serve this body — a config
+              // error that every (re)spawn of the same binary shares.
+              std::fprintf(stderr, "[dist] worker %d rejected start: %s; "
+                           "running remainder in-process\n",
+                           w.index, msg.error.c_str());
+              fleet_unusable = true;
+            }
+            break;
+          case MsgType::kHeartbeat:
+            ++report.heartbeats;
+            break;
+          case MsgType::kResult: {
+            if (w.outstanding > 0) --w.outstanding;
+            const auto index = static_cast<std::size_t>(msg.index);
+            if (msg.status == ResultStatus::kOk) {
+              const LeaseTable::CompleteResult cr =
+                  lease.Complete(index, frame_now);
+              if (cr == LeaseTable::CompleteResult::kAccepted) {
+                payloads[index] = std::move(msg.payload);
+                states[index] = RobustTaskState::kOk;
+                robust.tasks[index].worker = w.index;
+                on_completion();
+              } else if (cr == LeaseTable::CompleteResult::kInvalid) {
+                corrupt = true;  // hostile index: treat like a bad frame
+              }
+            } else {
+              const bool retryable = msg.status == ResultStatus::kThrew;
+              std::fprintf(stderr,
+                           "[dist] task %zu failed on worker %d%s: %s\n",
+                           index, w.index,
+                           retryable ? "" : " (non-retryable)",
+                           msg.payload.c_str());
+              handle_failure_verdict(
+                  index, lease.Fail(index, frame_now, retryable));
+            }
+            break;
+          }
+          default:
+            break;  // coordinator-bound streams carry no other types
+        }
+        if (corrupt || fleet_unusable) break;
+      }
+
+      if (corrupt) {
+        ++report.corrupt_frames;
+        release_and_respawn(w, "sent a corrupt frame",
+                            /*deadline_driven=*/false);
+      } else if (eof) {
+        ++report.worker_deaths;
+        release_and_respawn(w, "exited unexpectedly",
+                            /*deadline_driven=*/false);
+      }
+    }
+
+    if (fleet_unusable) {
+      for (WorkerProc& w : fleet) {
+        if (w.alive) {
+          lease.ReleaseWorker(w.index, now_s());
+          reap(w, true);
+        }
+      }
+      degraded_drain();
+    }
+  }
+
+  // ---------------- shutdown ----------------------------------------
+  const std::string shutdown_frame = [&] {
+    WireMsg msg;
+    msg.type = MsgType::kShutdown;
+    return EncodeFrame(EncodeMsg(msg));
+  }();
+  for (WorkerProc& w : fleet) {
+    if (!w.alive) continue;
+    WriteAll(w.to_fd, shutdown_frame);
+  }
+  const double shutdown_deadline = now_s() + 1.0;
+  for (WorkerProc& w : fleet) {
+    if (!w.alive) continue;
+    bool reaped = false;
+    while (now_s() < shutdown_deadline) {
+      if (::waitpid(w.pid, nullptr, WNOHANG) == w.pid) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (reaped) {
+      ::close(w.to_fd);
+      ::close(w.from_fd);
+      w.alive = false;
+    } else {
+      // SIGSTOPped or wedged workers do not drain a shutdown message;
+      // SIGKILL reaps even a stopped process.
+      reap(w, true);
+    }
+  }
+
+  // ---------------- drain / cancel bookkeeping ----------------------
+  if (cancelled) {
+    robust.cancelled = true;
+    robust.first_failure_task = first_failure;
+  }
+
+  // ---------------- final snapshot ----------------------------------
+  if (checkpointing) write_snapshot();
+  if (!checkpoint_write_error.empty() && robust.checkpoint_error.empty()) {
+    robust.checkpoint_error = checkpoint_write_error;
+  }
+
+  // ---------------- fold (grid-index order) -------------------------
+  // Worker-computed and degraded results fold through the caller's
+  // restore serially in index order: the reduction the single-process
+  // path performs, regardless of arrival order.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (states[i] != RobustTaskState::kOk) continue;
+    const std::size_t point = i / grid.trials;
+    const std::size_t trial = i % grid.trials;
+    if (restore(point, trial, payloads[i])) continue;
+    // A payload the CRC accepted but the caller rejects can only be a
+    // worker-side serialization bug; recompute in-process rather than
+    // ship a silently wrong campaign.
+    std::fprintf(stderr,
+                 "[dist] task %zu payload rejected by restore; "
+                 "recomputing in-process\n",
+                 i);
+    try {
+      const RobustTaskResult r = body(point, trial);
+      if (r.ok) {
+        payloads[i] = r.payload;
+        ++report.degraded_tasks;
+        continue;
+      }
+    } catch (...) {
+    }
+    states[i] = RobustTaskState::kQuarantined;
+  }
+
+  // ---------------- report ------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    robust.tasks[i].state = states[i];
+    robust.tasks[i].attempts = lease.attempts(i);
+    switch (states[i]) {
+      case RobustTaskState::kOk: ++robust.tasks_ok; break;
+      case RobustTaskState::kRestored: ++robust.tasks_restored; break;
+      case RobustTaskState::kQuarantined:
+        ++robust.tasks_quarantined;
+        robust.quarantined.push_back(i);
+        break;
+      case RobustTaskState::kDrained: ++robust.tasks_drained; break;
+    }
+  }
+  robust.task_retries += lease.retries();
+  report.lease_expiries += lease.expiries();
+  report.duplicate_results = lease.duplicate_results();
+  robust.run.threads = dist_.workers;
+  robust.run.tasks_total = n;
+  robust.run.tasks_executed = robust.tasks_ok;
+  robust.run.wall_s = now_s();
+
+  profiler.AddCount("dist.workers_spawned", report.workers_spawned);
+  profiler.AddCount("dist.respawns", report.respawns);
+  profiler.AddCount("dist.lease_expiries", report.lease_expiries);
+  profiler.AddCount("dist.corrupt_frames", report.corrupt_frames);
+  profiler.AddCount("dist.duplicate_results", report.duplicate_results);
+  profiler.AddCount("dist.degraded_tasks", report.degraded_tasks);
+  return report;
+}
+
+}  // namespace freerider::runtime::dist

@@ -1,0 +1,211 @@
+#include "runtime/dist/lease.h"
+
+#include <algorithm>
+
+namespace freerider::runtime::dist {
+
+LeaseTable::LeaseTable(std::size_t total, LeaseOptions options)
+    : total_(total), options_(options), tasks_(total) {
+  if (options_.max_leases_per_task == 0) options_.max_leases_per_task = 1;
+}
+
+void LeaseTable::MarkDone(std::size_t task) {
+  if (task >= total_) return;
+  TaskEntry& t = tasks_[task];
+  if (t.phase == TaskPhase::kDone || t.phase == TaskPhase::kQuarantined) {
+    return;
+  }
+  DropLeases(task);
+  t.phase = TaskPhase::kDone;
+  ++done_;
+}
+
+void LeaseTable::MarkQuarantined(std::size_t task) {
+  if (task >= total_) return;
+  TaskEntry& t = tasks_[task];
+  if (t.phase == TaskPhase::kDone || t.phase == TaskPhase::kQuarantined) {
+    return;
+  }
+  DropLeases(task);
+  t.phase = TaskPhase::kQuarantined;
+  ++quarantined_;
+}
+
+bool LeaseTable::Acquire(int worker, double now_s, std::size_t* task,
+                         bool* speculative) {
+  // Primary dispatch: lowest pending index whose backoff elapsed.
+  // next_hint_ skips the settled prefix (tasks below it can still be
+  // pending after an expiry, so it only advances past settled ones).
+  while (next_hint_ < total_ &&
+         (tasks_[next_hint_].phase == TaskPhase::kDone ||
+          tasks_[next_hint_].phase == TaskPhase::kQuarantined)) {
+    ++next_hint_;
+  }
+  for (std::size_t i = next_hint_; i < total_; ++i) {
+    TaskEntry& t = tasks_[i];
+    if (t.phase != TaskPhase::kPending) continue;
+    if (t.backoff_until_s > now_s) continue;
+    t.phase = TaskPhase::kLeased;
+    ++t.dispatches;
+    ++t.live_leases;
+    leases_.push_back(
+        {i, worker, now_s, now_s + options_.lease_timeout_s});
+    *task = i;
+    *speculative = false;
+    return true;
+  }
+  // Speculative dispatch: duplicate the oldest straggler lease.
+  if (options_.speculate_after_s <= 0.0) return false;
+  const Lease* oldest = nullptr;
+  for (const Lease& lease : leases_) {
+    const TaskEntry& t = tasks_[lease.task];
+    if (t.phase != TaskPhase::kLeased) continue;
+    if (t.live_leases >= options_.max_leases_per_task) continue;
+    if (lease.worker == worker) continue;
+    if (now_s - lease.started_s < options_.speculate_after_s) continue;
+    if (oldest == nullptr || lease.started_s < oldest->started_s) {
+      oldest = &lease;
+    }
+  }
+  if (oldest == nullptr) return false;
+  // One worker holds at most one lease per task.
+  const std::size_t i = oldest->task;
+  for (const Lease& lease : leases_) {
+    if (lease.task == i && lease.worker == worker) return false;
+  }
+  TaskEntry& t = tasks_[i];
+  ++t.dispatches;
+  ++t.live_leases;
+  ++speculative_;
+  leases_.push_back({i, worker, now_s, now_s + options_.lease_timeout_s});
+  *task = i;
+  *speculative = true;
+  return true;
+}
+
+LeaseTable::CompleteResult LeaseTable::Complete(std::size_t task,
+                                                double /*now_s*/) {
+  if (task >= total_) return CompleteResult::kInvalid;
+  TaskEntry& t = tasks_[task];
+  if (t.phase == TaskPhase::kDone || t.phase == TaskPhase::kQuarantined) {
+    ++duplicates_;
+    return CompleteResult::kDuplicate;
+  }
+  DropLeases(task);
+  t.phase = TaskPhase::kDone;
+  ++done_;
+  return CompleteResult::kAccepted;
+}
+
+LeaseTable::FailResult LeaseTable::Fail(std::size_t task, double now_s,
+                                        bool retryable) {
+  if (task >= total_) return FailResult::kIgnored;
+  TaskEntry& t = tasks_[task];
+  if (t.phase == TaskPhase::kDone || t.phase == TaskPhase::kQuarantined) {
+    return FailResult::kIgnored;
+  }
+  if (retryable) {
+    ++t.failures;
+    if (t.failures <= options_.max_retries) {
+      ++retries_;
+      DropLeases(task);
+      Repend(task, now_s);
+      return FailResult::kRetry;
+    }
+  }
+  if (options_.quarantine) {
+    DropLeases(task);
+    t.phase = TaskPhase::kQuarantined;
+    ++quarantined_;
+    return FailResult::kQuarantined;
+  }
+  return FailResult::kFatal;
+}
+
+std::size_t LeaseTable::ReleaseWorker(int worker, double now_s) {
+  std::size_t released = 0;
+  for (std::size_t j = 0; j < leases_.size();) {
+    if (leases_[j].worker != worker) {
+      ++j;
+      continue;
+    }
+    const std::size_t task = leases_[j].task;
+    leases_[j] = leases_.back();
+    leases_.pop_back();
+    ++released;
+    TaskEntry& t = tasks_[task];
+    if (t.live_leases > 0) --t.live_leases;
+    if (t.phase == TaskPhase::kLeased && t.live_leases == 0) {
+      Repend(task, now_s);
+    }
+  }
+  return released;
+}
+
+std::vector<Lease> LeaseTable::ExpireLeases(double now_s) {
+  std::vector<Lease> expired;
+  for (std::size_t j = 0; j < leases_.size();) {
+    if (leases_[j].deadline_s > now_s) {
+      ++j;
+      continue;
+    }
+    expired.push_back(leases_[j]);
+    const std::size_t task = leases_[j].task;
+    leases_[j] = leases_.back();
+    leases_.pop_back();
+    ++expiries_;
+    TaskEntry& t = tasks_[task];
+    if (t.live_leases > 0) --t.live_leases;
+    if (t.phase == TaskPhase::kLeased && t.live_leases == 0) {
+      Repend(task, now_s);
+    }
+  }
+  return expired;
+}
+
+void LeaseTable::Renew(int worker, double now_s) {
+  for (Lease& lease : leases_) {
+    if (lease.worker == worker) {
+      lease.deadline_s = now_s + options_.lease_timeout_s;
+    }
+  }
+}
+
+std::vector<std::size_t> LeaseTable::Unsettled() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < total_; ++i) {
+    if (tasks_[i].phase == TaskPhase::kPending ||
+        tasks_[i].phase == TaskPhase::kLeased) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+void LeaseTable::Repend(std::size_t task, double now_s) {
+  TaskEntry& t = tasks_[task];
+  t.phase = TaskPhase::kPending;
+  // Exponential backoff in the number of dispatches already burned.
+  double backoff = options_.backoff_base_s;
+  for (std::size_t d = 1; d < t.dispatches && backoff < options_.backoff_max_s;
+       ++d) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, options_.backoff_max_s);
+  t.backoff_until_s = now_s + backoff;
+  if (task < next_hint_) next_hint_ = task;
+}
+
+void LeaseTable::DropLeases(std::size_t task) {
+  for (std::size_t j = 0; j < leases_.size();) {
+    if (leases_[j].task == task) {
+      leases_[j] = leases_.back();
+      leases_.pop_back();
+    } else {
+      ++j;
+    }
+  }
+  tasks_[task].live_leases = 0;
+}
+
+}  // namespace freerider::runtime::dist

@@ -1,0 +1,161 @@
+// Task-lease table for the distributed sweep coordinator.
+//
+// The coordinator owns one LeaseTable per campaign. Every grid task
+// moves through pending → leased → done/quarantined; a lease is a
+// (task, worker, deadline) triple whose deadline is renewed by the
+// worker's heartbeats. The table is the single source of truth for
+// the dispatch policy:
+//
+//   * Acquire hands out the lowest pending index whose retry backoff
+//     has elapsed (deterministic dispatch preference; completion
+//     order still depends on the fleet, which is why results fold
+//     through the grid-order reduce, never through arrival order);
+//   * expired leases (worker stopped heartbeating, SIGSTOP/SIGKILL)
+//     re-dispatch with exponential backoff — the *task* is never
+//     blamed for its worker's death;
+//   * an idle fleet speculatively duplicates the oldest straggler
+//     lease (bounded leases per task); Complete is first-wins, late
+//     duplicates are counted and dropped;
+//   * body-level failures follow RecoveryRunner semantics: a throwing
+//     body retries up to max_retries then quarantines (or cancels in
+//     the strict default); an ok == false body quarantines/cancels
+//     immediately.
+//
+// Time is injected (double seconds on the caller's monotonic clock),
+// so every interleaving of acquire/complete/expire/fail is replayable
+// in unit tests — the property tests drive randomized schedules and
+// assert no task is ever lost or double-counted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace freerider::runtime::dist {
+
+struct LeaseOptions {
+  /// A lease not renewed for this long is expired (the holder is
+  /// presumed dead or wedged).
+  double lease_timeout_s = 30.0;
+  /// Exponential re-dispatch backoff after an expiry or retryable
+  /// failure: base * 2^(dispatches-1), capped.
+  double backoff_base_s = 0.05;
+  double backoff_max_s = 2.0;
+  /// Retries for a task whose body threw (RecoveryRunner semantics).
+  std::size_t max_retries = 0;
+  /// Quarantine still-failing tasks instead of cancelling the sweep.
+  bool quarantine = false;
+  /// Duplicate the oldest running lease once it is this old and a
+  /// worker has nothing else to do. 0 disables speculation.
+  double speculate_after_s = 10.0;
+  /// Concurrent leases per task (primary + speculative duplicates).
+  std::size_t max_leases_per_task = 2;
+};
+
+enum class TaskPhase : std::uint8_t {
+  kPending = 0,
+  kLeased = 1,
+  kDone = 2,
+  kQuarantined = 3,
+};
+
+struct Lease {
+  std::size_t task = 0;
+  int worker = -1;
+  double started_s = 0.0;
+  double deadline_s = 0.0;
+};
+
+class LeaseTable {
+ public:
+  LeaseTable(std::size_t total, LeaseOptions options);
+
+  /// Settle a task from outside the lease flow (checkpoint restore, or
+  /// degraded in-process execution). No-op if already settled.
+  void MarkDone(std::size_t task);
+  void MarkQuarantined(std::size_t task);
+
+  /// Pick the next task for `worker`: the lowest pending index whose
+  /// backoff elapsed, else (fleet idle) a speculative duplicate of the
+  /// oldest lease past speculate_after_s that `worker` does not
+  /// already hold. Returns false when nothing is dispatchable now.
+  bool Acquire(int worker, double now_s, std::size_t* task,
+               bool* speculative);
+
+  enum class CompleteResult : std::uint8_t {
+    kAccepted = 0,   ///< First result for this task: counts once.
+    kDuplicate = 1,  ///< Task already settled; result dropped.
+    kInvalid = 2,    ///< Out-of-range index (hostile input).
+  };
+  /// First-wins completion. A valid result is accepted even if the
+  /// lease that produced it already expired (results are deterministic
+  /// — a late result equals the one a re-dispatch would compute).
+  CompleteResult Complete(std::size_t task, double now_s);
+
+  enum class FailResult : std::uint8_t {
+    kRetry = 0,        ///< Re-dispatch after backoff.
+    kQuarantined = 1,  ///< Settled as poison; campaign continues.
+    kFatal = 2,        ///< Strict mode: caller cancels the sweep.
+    kIgnored = 3,      ///< Task already settled (stale failure).
+  };
+  /// Body-level failure. `retryable` = the body threw (vs returned
+  /// ok == false, which never retries).
+  FailResult Fail(std::size_t task, double now_s, bool retryable);
+
+  /// Worker died or was killed: drop every lease it holds; leased
+  /// tasks with no remaining lease go back to pending with backoff.
+  /// Returns the number of leases released.
+  std::size_t ReleaseWorker(int worker, double now_s);
+
+  /// Expire leases whose deadline passed (returned for logging);
+  /// their tasks re-pend with backoff unless another lease remains.
+  std::vector<Lease> ExpireLeases(double now_s);
+
+  /// Extend every lease held by `worker` (heartbeat or any frame
+  /// received from it proves liveness).
+  void Renew(int worker, double now_s);
+
+  bool AllSettled() const { return done_ + quarantined_ == total_; }
+  /// Unsettled (pending or leased) task indices, ascending — the
+  /// degraded-mode drain list.
+  std::vector<std::size_t> Unsettled() const;
+
+  TaskPhase phase(std::size_t task) const { return tasks_[task].phase; }
+  std::size_t attempts(std::size_t task) const {
+    return tasks_[task].dispatches;
+  }
+  std::size_t total() const { return total_; }
+  std::size_t done() const { return done_; }
+  std::size_t quarantined() const { return quarantined_; }
+  std::size_t leases() const { return leases_.size(); }
+  std::size_t expiries() const { return expiries_; }
+  std::size_t speculative_dispatches() const { return speculative_; }
+  std::size_t duplicate_results() const { return duplicates_; }
+  std::size_t retries() const { return retries_; }
+
+ private:
+  struct TaskEntry {
+    TaskPhase phase = TaskPhase::kPending;
+    std::size_t dispatches = 0;  ///< Leases ever granted.
+    std::size_t failures = 0;    ///< Retryable body failures so far.
+    std::size_t live_leases = 0;
+    double backoff_until_s = 0.0;
+  };
+
+  void Repend(std::size_t task, double now_s);
+  void DropLeases(std::size_t task);
+
+  std::size_t total_;
+  LeaseOptions options_;
+  std::vector<TaskEntry> tasks_;
+  std::vector<Lease> leases_;
+  std::size_t done_ = 0;
+  std::size_t quarantined_ = 0;
+  std::size_t expiries_ = 0;
+  std::size_t speculative_ = 0;
+  std::size_t duplicates_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t next_hint_ = 0;  ///< Low-water mark for the pending scan.
+};
+
+}  // namespace freerider::runtime::dist

@@ -1,0 +1,47 @@
+#include "runtime/dist/registry.h"
+
+#include <map>
+#include <mutex>
+
+namespace freerider::runtime::dist {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, DistBodyFactory, std::less<>> factories;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+void RegisterDistBody(std::string_view name, DistBodyFactory factory) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.factories[std::string(name)] = std::move(factory);
+}
+
+DistBodyFactory FindDistBody(std::string_view name) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.factories.find(name);
+  if (it == registry.factories.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> RegisteredDistBodies() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace freerider::runtime::dist

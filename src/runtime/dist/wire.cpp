@@ -1,0 +1,153 @@
+#include "runtime/dist/wire.h"
+
+#include <cstring>
+
+#include "common/crc.h"
+#include "runtime/checkpoint.h"
+
+namespace freerider::runtime::dist {
+
+namespace {
+
+std::uint32_t WireCrc(std::string_view bytes) {
+  return ::freerider::Crc32(
+      {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t GetU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeMsg(const WireMsg& msg) {
+  PayloadWriter w;
+  w.U64(static_cast<std::uint64_t>(msg.type));
+  switch (msg.type) {
+    case MsgType::kStart:
+      w.U64(msg.points);
+      w.U64(msg.trials);
+      w.Str(msg.body);
+      w.Str(msg.params);
+      break;
+    case MsgType::kStartAck:
+      w.U64(msg.ok ? 1 : 0);
+      w.Str(msg.error);
+      break;
+    case MsgType::kTask:
+      w.U64(msg.index);
+      break;
+    case MsgType::kResult:
+      w.U64(msg.index);
+      w.U64(static_cast<std::uint64_t>(msg.status));
+      w.Str(msg.payload);
+      break;
+    case MsgType::kHeartbeat:
+      w.U64(msg.seq);
+      break;
+    case MsgType::kShutdown:
+      break;
+  }
+  return w.Take();
+}
+
+bool DecodeMsg(std::string_view payload, WireMsg* msg) {
+  PayloadReader r(payload);
+  std::uint64_t type = 0;
+  if (!r.U64(&type)) return false;
+  WireMsg out;
+  switch (type) {
+    case static_cast<std::uint64_t>(MsgType::kStart): {
+      out.type = MsgType::kStart;
+      if (!r.U64(&out.points) || !r.U64(&out.trials) || !r.Str(&out.body) ||
+          !r.Str(&out.params)) {
+        return false;
+      }
+      break;
+    }
+    case static_cast<std::uint64_t>(MsgType::kStartAck): {
+      out.type = MsgType::kStartAck;
+      std::uint64_t ok = 0;
+      if (!r.U64(&ok) || ok > 1 || !r.Str(&out.error)) return false;
+      out.ok = ok == 1;
+      break;
+    }
+    case static_cast<std::uint64_t>(MsgType::kTask): {
+      out.type = MsgType::kTask;
+      if (!r.U64(&out.index)) return false;
+      break;
+    }
+    case static_cast<std::uint64_t>(MsgType::kResult): {
+      out.type = MsgType::kResult;
+      std::uint64_t status = 0;
+      if (!r.U64(&out.index) || !r.U64(&status) || status > 2 ||
+          !r.Str(&out.payload)) {
+        return false;
+      }
+      out.status = static_cast<ResultStatus>(status);
+      break;
+    }
+    case static_cast<std::uint64_t>(MsgType::kHeartbeat): {
+      out.type = MsgType::kHeartbeat;
+      if (!r.U64(&out.seq)) return false;
+      break;
+    }
+    case static_cast<std::uint64_t>(MsgType::kShutdown): {
+      out.type = MsgType::kShutdown;
+      break;
+    }
+    default:
+      return false;
+  }
+  if (!r.AtEnd()) return false;
+  *msg = std::move(out);
+  return true;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  PutU32(out, WireCrc(payload));
+  return out;
+}
+
+FrameStatus FrameStream::Next(std::string* payload) {
+  if (corrupt_) return FrameStatus::kCorrupt;
+  // Compact lazily so repeated short reads do not re-copy the buffer.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return FrameStatus::kNeedMore;
+  const std::uint32_t len = GetU32(buf_.data() + pos_);
+  if (len > kMaxWireFramePayload) {
+    corrupt_ = true;
+    return FrameStatus::kCorrupt;
+  }
+  if (avail < 4u + len + 4u) return FrameStatus::kNeedMore;
+  const std::string_view body(buf_.data() + pos_ + 4, len);
+  const std::uint32_t stored = GetU32(buf_.data() + pos_ + 4 + len);
+  if (stored != WireCrc(body)) {
+    corrupt_ = true;
+    return FrameStatus::kCorrupt;
+  }
+  payload->assign(body.data(), body.size());
+  pos_ += 4u + len + 4u;
+  return FrameStatus::kFrame;
+}
+
+}  // namespace freerider::runtime::dist

@@ -1,0 +1,38 @@
+// Worker-subprocess side of the distributed sweep protocol.
+//
+// A worker is any binary that (a) registered the campaign's body in
+// its registry and (b) answers `--dist-serve=RFD,WFD,IDX` by entering
+// the serve loop: read kStart, build the body via the registry, ack,
+// then run kTask → kResult until kShutdown or EOF. A heartbeat thread
+// beacons on the result pipe so the coordinator can tell "computing a
+// long task" from "SIGSTOPped/dead" without guessing at task
+// durations.
+//
+// The default fleet execs /proc/self/exe — the bench binary serves its
+// own campaign, so coordinator and worker are the same build by
+// construction. FREERIDER_WORKER_BIN points the fleet at a different
+// server binary (tools/sweep_worker, or a deliberately mismatched one
+// in tests).
+//
+// Fault injection (tools/chaos_fleet): FREERIDER_CHAOS holds a
+// comma-separated schedule of `kill@W:N`, `stop@W:N`, `flip@W:N`
+// directives — worker index W, at its N-th (1-based) completed task,
+// raises SIGKILL, raises SIGSTOP, or sends its result inside a frame
+// with one bit flipped. Self-injection keeps the schedule
+// deterministic (no pid hunting, no signal races with spawn).
+#pragma once
+
+namespace freerider::runtime::dist {
+
+/// If argv carries `--dist-serve=RFD,WFD,IDX`, run the worker serve
+/// loop over those pipe fds and return its exit code (>= 0). Returns
+/// -1 when the flag is absent (argv untouched): the caller proceeds as
+/// a normal bench/tool main. Call this before any flag parser and
+/// before threads exist.
+int HandleWorkerMode(int argc, char** argv);
+
+/// The serve loop itself (exposed for tests that drive a worker over
+/// socketpairs/pipes in-process). Returns the process exit code.
+int RunWorkerServe(int read_fd, int write_fd, int worker_index);
+
+}  // namespace freerider::runtime::dist

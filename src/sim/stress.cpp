@@ -345,4 +345,74 @@ bool DeserializeStressResult(const std::string& payload,
   return true;
 }
 
+StressConfig MakeStressBenchConfig(std::uint64_t seed, bool supervisor_on,
+                                   std::size_t rounds) {
+  StressConfig config;
+  config.seed = seed;
+  config.num_tags = 6;
+  config.rounds = rounds;
+  config.drain_rounds = rounds / 4 + 80;
+  config.offer_every = 4;
+  config.supervisor_on = supervisor_on;
+
+  // Generous per-frame retry budget, tight queue: the contrast the
+  // bench measures is *where the budget goes*. Bare ARQ burns all 16
+  // tries into a fade, gives up, and the queue backs up into
+  // rejections; the supervisor's closed loop (boost + admission +
+  // probes) spends the same budget after the channel recovers.
+  config.transport.max_transmissions = 16;
+  config.transport.expiry_rounds = 1000000;  // give-up is attempt-based
+  config.transport.queue_capacity = 24;
+  config.transport.rto_rounds = 3;
+  config.transport.max_escalation_steps = 1;
+  config.transport.hole_skip_rounds = 96;
+
+  // Burst fades: long deep fades (~23% of rounds bad, 96% per-frame
+  // loss while bad, mean bad burst rounds/12) — long enough that the
+  // supervisor's probation/quarantine machinery engages for real. The
+  // chain scales with the campaign so a shortened --rounds run (CI)
+  // keeps the fade structure proportionally; at the default 600 this
+  // is p_good_to_bad = 0.006, p_bad_to_good = 0.02.
+  config.dynamics.seed = seed ^ 0x5354524553531ull;
+  config.dynamics.gilbert.enabled = true;
+  config.dynamics.gilbert.p_good_to_bad = 3.6 / static_cast<double>(rounds);
+  config.dynamics.gilbert.p_bad_to_good = 12.0 / static_cast<double>(rounds);
+  config.dynamics.gilbert.good_loss = 0.02;
+  config.dynamics.gilbert.bad_loss = 0.96;
+
+  // Mobility: two excursions to 1.4-1.5x nominal distance, phase-offset
+  // per tag so the fleet doesn't fade in lockstep.
+  config.dynamics.mobility.enabled = true;
+  config.dynamics.mobility.per_tag_phase_rounds = rounds / 12;
+  config.dynamics.mobility.loss_per_excess = 0.5;
+  config.dynamics.mobility.max_loss = 0.90;
+  config.dynamics.mobility.waypoints = {{0, 1.0},
+                                        {rounds / 4, 1.4},
+                                        {rounds / 2, 1.0},
+                                        {(3 * rounds) / 4, 1.5},
+                                        {rounds, 1.0}};
+
+  // Two transient blackouts: the affected tags must be quarantined and
+  // later re-admitted without disturbing the healthy tags' ARQ state.
+  impair::BlackoutWindow b1;
+  b1.begin_round = rounds / 3;
+  b1.end_round = rounds / 3 + rounds / 8;
+  b1.tags = {1};
+  impair::BlackoutWindow b2;
+  b2.begin_round = rounds / 2;
+  b2.end_round = rounds / 2 + rounds / 10;
+  b2.tags = {2};
+  config.dynamics.blackouts = {b1, b2};
+
+  // One tag dies for good at 2/3 of the campaign.
+  config.dead_tag = config.num_tags - 1;
+  config.dead_round = (2 * rounds) / 3;
+  return config;
+}
+
+const std::vector<std::uint64_t>& StressBenchSeeds() {
+  static const std::vector<std::uint64_t> kSeeds = {31ull, 1723ull, 60221ull};
+  return kSeeds;
+}
+
 }  // namespace freerider::sim

@@ -113,6 +113,18 @@ struct StressResult {
 /// Run one stress campaign. Deterministic in `config`.
 StressResult RunStress(const StressConfig& config);
 
+/// The bench_stress_supervisor schedule, scaled to `rounds`: burst
+/// fades, a two-excursion mobility trace, two transient blackouts, and
+/// one dead tag. Lives in the sim library (not the bench) so the
+/// distributed "stress_supervisor" body builds the *identical*
+/// campaign on both sides of the worker pipe.
+StressConfig MakeStressBenchConfig(std::uint64_t seed, bool supervisor_on,
+                                   std::size_t rounds);
+
+/// The bench's three campaign seeds — the points axis of its
+/// seed×{on,off} grid.
+const std::vector<std::uint64_t>& StressBenchSeeds();
+
 /// Bit-exact StressResult (de)serialization for checkpoint payloads —
 /// a restored result reproduces the bench row (and digest) exactly.
 std::string SerializeStressResult(const StressResult& result);

@@ -150,6 +150,41 @@ std::vector<DistancePoint> DistanceSweepRobust(
   return points;
 }
 
+double RangeSearchPoint(core::RadioType radio, double d1,
+                        std::uint64_t point_seed, double max_search_m,
+                        std::size_t packets, double prr_floor) {
+  Rng point_rng(point_seed);
+  auto sustained = [&](double d2) {
+    LinkConfig config;
+    config.radio = radio;
+    config.deployment = channel::LosDeployment(d1);
+    config.tag_to_rx_m = d2;
+    config.num_packets = packets;
+    config.profile = DefaultProfile(radio);
+    // The range limit is header detection, not tag BER: use the
+    // largest redundancy.
+    config.redundancy = core::RedundancyLadder(radio).back();
+    Rng trial_rng = point_rng.Split();
+    const LinkStats stats = SimulateTagLink(config, trial_rng);
+    return stats.packet_reception_rate >= prr_floor;
+  };
+  // Exponential bracket then bisection on the sustained range.
+  double lo = 0.5;
+  if (!sustained(lo)) return 0.0;
+  double hi = 1.0;
+  while (hi < max_search_m && sustained(hi)) hi *= 1.6;
+  hi = std::min(hi, max_search_m);
+  for (int iter = 0; iter < 7 && hi - lo > 0.25; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (sustained(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 std::vector<RangePoint> RangeSweep(core::RadioType radio,
                                    const std::vector<double>& tx_tag_distances,
                                    double max_search_m, std::size_t packets,
@@ -170,39 +205,8 @@ std::vector<RangePoint> RangeSweep(core::RadioType radio,
   runtime::SweepReport local_report = engine.Run(
       {tx_tag_distances.size(), 1}, [&](std::size_t p, std::size_t) {
         const double d1 = tx_tag_distances[p];
-        Rng point_rng(point_seeds[p]);
-        auto sustained = [&](double d2) {
-          LinkConfig config;
-          config.radio = radio;
-          config.deployment = channel::LosDeployment(d1);
-          config.tag_to_rx_m = d2;
-          config.num_packets = packets;
-          config.profile = DefaultProfile(radio);
-          // The range limit is header detection, not tag BER: use the
-          // largest redundancy.
-          config.redundancy = core::RedundancyLadder(radio).back();
-          Rng trial_rng = point_rng.Split();
-          const LinkStats stats = SimulateTagLink(config, trial_rng);
-          return stats.packet_reception_rate >= prr_floor;
-        };
-        // Exponential bracket then bisection on the sustained range.
-        double lo = 0.5;
-        if (!sustained(lo)) {
-          points[p] = {d1, 0.0};
-          return true;
-        }
-        double hi = 1.0;
-        while (hi < max_search_m && sustained(hi)) hi *= 1.6;
-        hi = std::min(hi, max_search_m);
-        for (int iter = 0; iter < 7 && hi - lo > 0.25; ++iter) {
-          const double mid = 0.5 * (lo + hi);
-          if (sustained(mid)) {
-            lo = mid;
-          } else {
-            hi = mid;
-          }
-        }
-        points[p] = {d1, lo};
+        points[p] = {d1, RangeSearchPoint(radio, d1, point_seeds[p],
+                                          max_search_m, packets, prr_floor)};
         return true;
       });
   if (report != nullptr) *report = std::move(local_report);
@@ -225,36 +229,8 @@ std::vector<RangePoint> RangeSweepRobust(
       {tx_tag_distances.size(), 1},
       [&](std::size_t p, std::size_t) {
         const double d1 = tx_tag_distances[p];
-        Rng point_rng(point_seeds[p]);
-        auto sustained = [&](double d2) {
-          LinkConfig config;
-          config.radio = radio;
-          config.deployment = channel::LosDeployment(d1);
-          config.tag_to_rx_m = d2;
-          config.num_packets = packets;
-          config.profile = DefaultProfile(radio);
-          config.redundancy = core::RedundancyLadder(radio).back();
-          Rng trial_rng = point_rng.Split();
-          const LinkStats stats = SimulateTagLink(config, trial_rng);
-          return stats.packet_reception_rate >= prr_floor;
-        };
-        double lo = 0.5;
-        if (!sustained(lo)) {
-          points[p] = {d1, 0.0};
-        } else {
-          double hi = 1.0;
-          while (hi < max_search_m && sustained(hi)) hi *= 1.6;
-          hi = std::min(hi, max_search_m);
-          for (int iter = 0; iter < 7 && hi - lo > 0.25; ++iter) {
-            const double mid = 0.5 * (lo + hi);
-            if (sustained(mid)) {
-              lo = mid;
-            } else {
-              hi = mid;
-            }
-          }
-          points[p] = {d1, lo};
-        }
+        points[p] = {d1, RangeSearchPoint(radio, d1, point_seeds[p],
+                                          max_search_m, packets, prr_floor)};
         runtime::PayloadWriter w;
         w.F64(points[p].max_tag_to_rx_m);
         runtime::RobustTaskResult out;

@@ -77,6 +77,17 @@ std::vector<RangePoint> RangeSweep(core::RadioType radio,
                                    std::uint64_t seed, double prr_floor = 0.5,
                                    runtime::SweepReport* report = nullptr);
 
+/// One Fig. 14 point: the largest tag→RX distance (m) sustaining
+/// PRR >= `prr_floor` at TX→tag distance `d1`, via the exponential
+/// bracket + bisection. A pure function of its arguments (every probe
+/// stream Split()s off a point-local Rng seeded with `point_seed`) —
+/// the shared kernel of RangeSweep, RangeSweepRobust, and the
+/// distributed "fig14_range" body, so all three compute bit-identical
+/// points by construction.
+double RangeSearchPoint(core::RadioType radio, double d1,
+                        std::uint64_t point_seed, double max_search_m,
+                        std::size_t packets, double prr_floor);
+
 /// Preemption-safe Fig. 14 sweep (see DistanceSweepRobust).
 std::vector<RangePoint> RangeSweepRobust(
     core::RadioType radio, const std::vector<double>& tx_tag_distances,

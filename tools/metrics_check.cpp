@@ -1,0 +1,270 @@
+// Declarative threshold gate over METRICS_<slug>.json artifacts.
+//
+// CI jobs byte-diff METRICS files for determinism; this tool adds the
+// *semantic* gate: a plain-text threshold table, one assertion per
+// line, checked against the merged metric values. Keeping the
+// thresholds in data (tools/thresholds/*.thresholds) instead of shell
+// arithmetic means the gated quantities and their bounds are reviewed
+// in one place and the CI step is a single invocation.
+//
+//   metrics_check --metrics METRICS_x.json --thresholds FILE [--verbose]
+//
+// Threshold grammar (one check per line; '#' starts a comment):
+//
+//   <selector> <op> <number>
+//
+// where <op> is one of  >=  <=  >  <  ==  !=  and <selector> is a
+// metric name, optionally suffixed for histograms:
+//
+//   stress.delivered.on >= 2000          # counter total / gauge value
+//   stress.delivery_permille.on:min >= 950   # histogram min
+//   latency:max <= 4096                  # histogram max
+//   latency:count == 3                   # histogram sample count
+//   latency:mean <= 100.5                # histogram sum/count
+//
+// A selector that names no metric in the file fails the run (a gate
+// that silently stops gating is the worst kind of green).
+// Exit: 0 all checks pass, 1 any check fails, 2 usage/parse error.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+
+using namespace freerider;
+
+namespace {
+
+struct MetricValues {
+  /// Addressable fields: "" (counter/gauge value), "count", "sum",
+  /// "min", "max", "mean".
+  std::map<std::string, double> fields;
+};
+
+/// Parse the deterministic MetricsToJson document. Not a general JSON
+/// parser — it reads exactly the grammar obs::MetricsToJson emits
+/// (sorted names, fixed key order per kind), and rejects anything else.
+bool ParseMetricsJson(const std::string& text,
+                      std::map<std::string, MetricValues>* out,
+                      std::string* error) {
+  const auto field_after = [&](std::size_t from, const char* key,
+                               double* value, std::size_t* end) {
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = text.find(needle, from);
+    if (at == std::string::npos) return false;
+    char* parse_end = nullptr;
+    *value = std::strtod(text.c_str() + at + needle.size(), &parse_end);
+    if (parse_end == text.c_str() + at + needle.size()) return false;
+    *end = static_cast<std::size_t>(parse_end - text.c_str());
+    return true;
+  };
+
+  std::size_t pos = text.find("\"values\":[");
+  if (pos == std::string::npos) {
+    *error = "no \"values\" array (is this a METRICS_*.json?)";
+    return false;
+  }
+  for (;;) {
+    const std::size_t name_at = text.find("{\"name\":\"", pos);
+    if (name_at == std::string::npos) break;
+    const std::size_t name_begin = name_at + std::strlen("{\"name\":\"");
+    const std::size_t name_end = text.find('"', name_begin);
+    if (name_end == std::string::npos) {
+      *error = "unterminated metric name";
+      return false;
+    }
+    const std::string name = text.substr(name_begin, name_end - name_begin);
+    const std::size_t entry_end = text.find("}", name_end);
+    const std::size_t kind_at = text.find("\"kind\":\"", name_end);
+    if (kind_at == std::string::npos || kind_at > entry_end) {
+      *error = "metric '" + name + "' has no kind";
+      return false;
+    }
+    const std::size_t kind_begin = kind_at + std::strlen("\"kind\":\"");
+    const std::size_t kind_end = text.find('"', kind_begin);
+    const std::string kind = text.substr(kind_begin, kind_end - kind_begin);
+
+    MetricValues values;
+    std::size_t after = kind_end;
+    double v = 0.0;
+    if (kind == "counter" || kind == "gauge") {
+      if (!field_after(kind_end, "value", &v, &after)) {
+        *error = "metric '" + name + "' has no value";
+        return false;
+      }
+      values.fields[""] = v;
+    } else if (kind == "histogram") {
+      for (const char* key : {"count", "sum", "min", "max"}) {
+        if (!field_after(after, key, &v, &after)) {
+          *error = "metric '" + name + "' missing histogram field " + key;
+          return false;
+        }
+        values.fields[key] = v;
+      }
+      const double count = values.fields["count"];
+      values.fields["mean"] = count > 0 ? values.fields["sum"] / count : 0.0;
+    } else {
+      *error = "metric '" + name + "' has unknown kind '" + kind + "'";
+      return false;
+    }
+    (*out)[name] = std::move(values);
+    pos = after;
+  }
+  if (out->empty()) {
+    *error = "no metrics parsed";
+    return false;
+  }
+  return true;
+}
+
+struct Check {
+  std::string selector;  ///< name or name:field
+  std::string op;
+  double bound = 0.0;
+  std::size_t line = 0;
+};
+
+bool ParseThresholds(const std::string& path, std::vector<Check>* out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    Check check;
+    std::string bound;
+    if (!(fields >> check.selector)) continue;  // blank / comment-only
+    if (!(fields >> check.op >> bound)) {
+      *error = path + ":" + std::to_string(lineno) +
+               ": expected '<selector> <op> <number>'";
+      return false;
+    }
+    std::string extra;
+    if (fields >> extra) {
+      *error = path + ":" + std::to_string(lineno) + ": trailing '" + extra +
+               "'";
+      return false;
+    }
+    if (check.op != ">=" && check.op != "<=" && check.op != ">" &&
+        check.op != "<" && check.op != "==" && check.op != "!=") {
+      *error = path + ":" + std::to_string(lineno) + ": unknown op '" +
+               check.op + "'";
+      return false;
+    }
+    char* end = nullptr;
+    check.bound = std::strtod(bound.c_str(), &end);
+    if (end == bound.c_str() || *end != '\0') {
+      *error = path + ":" + std::to_string(lineno) + ": bad number '" +
+               bound + "'";
+      return false;
+    }
+    check.line = lineno;
+    out->push_back(std::move(check));
+  }
+  if (out->empty()) {
+    *error = path + ": no checks (empty gate)";
+    return false;
+  }
+  return true;
+}
+
+bool Compare(double value, const std::string& op, double bound) {
+  if (op == ">=") return value >= bound;
+  if (op == "<=") return value <= bound;
+  if (op == ">") return value > bound;
+  if (op == "<") return value < bound;
+  if (op == "==") return value == bound;
+  return value != bound;  // !=
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string thresholds_path;
+  cli::ConsumeValue(argc, argv, "--metrics", &metrics_path);
+  cli::ConsumeValue(argc, argv, "--thresholds", &thresholds_path);
+  const bool verbose = cli::ConsumeFlag(argc, argv, "--verbose");
+  if (const int rc = cli::RejectUnknownArgs(
+          argc, argv,
+          "metrics_check --metrics METRICS_x.json --thresholds FILE"
+          " [--verbose]")) {
+    return rc;
+  }
+  if (metrics_path.empty() || thresholds_path.empty()) {
+    std::fprintf(stderr, "error: --metrics and --thresholds are required\n");
+    return cli::kUsageError;
+  }
+
+  std::ifstream in(metrics_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", metrics_path.c_str());
+    return cli::kUsageError;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::map<std::string, MetricValues> metrics;
+  std::string error;
+  if (!ParseMetricsJson(buffer.str(), &metrics, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", metrics_path.c_str(),
+                 error.c_str());
+    return cli::kUsageError;
+  }
+  std::vector<Check> checks;
+  if (!ParseThresholds(thresholds_path, &checks, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return cli::kUsageError;
+  }
+
+  TablePrinter table({"check", "value", "verdict"});
+  std::size_t failures = 0;
+  for (const Check& check : checks) {
+    std::string name = check.selector;
+    std::string field;
+    const std::size_t colon = name.rfind(':');
+    if (colon != std::string::npos) {
+      field = name.substr(colon + 1);
+      name.resize(colon);
+    }
+    const std::string label = check.selector + " " + check.op + " " +
+                              std::to_string(check.bound);
+    const auto metric = metrics.find(name);
+    if (metric == metrics.end()) {
+      ++failures;
+      table.AddRow({label, "(no such metric)", "FAIL"});
+      continue;
+    }
+    const auto value = metric->second.fields.find(field);
+    if (value == metric->second.fields.end()) {
+      ++failures;
+      table.AddRow({label, "(no field '" + field + "')", "FAIL"});
+      continue;
+    }
+    const bool ok = Compare(value->second, check.op, check.bound);
+    if (!ok) ++failures;
+    if (!ok || verbose) {
+      char value_buf[64];
+      std::snprintf(value_buf, sizeof value_buf, "%g", value->second);
+      table.AddRow({label, value_buf, ok ? "pass" : "FAIL"});
+    }
+  }
+  if (failures > 0 || verbose) std::printf("%s", table.ToString().c_str());
+  std::printf("metrics_check: %zu checks on %s, %zu failed -> %s\n",
+              checks.size(), metrics_path.c_str(), failures,
+              failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}

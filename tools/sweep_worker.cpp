@@ -1,0 +1,45 @@
+// Standalone worker-fleet server for the distributed sweep runtime
+// (DESIGN.md §12).
+//
+// By default a coordinator execs /proc/self/exe, so the bench serves
+// its own campaign; FREERIDER_WORKER_BIN=<path-to-sweep_worker> points
+// the fleet at this binary instead. That exercises the cross-binary
+// contract the registry exists for: the worker rebuilds the task body
+// from the (name, params, grid) triple in the kStart frame, and a
+// body this binary does not register fails the handshake — the
+// coordinator then degrades to in-process execution rather than
+// computing garbage.
+//
+//   sweep_worker --dist-serve=RFD,WFD,IDX   # serve over pipe fds
+//   sweep_worker --list-bodies              # print registered bodies
+#include <cstdio>
+
+#include "common/cli.h"
+#include "runtime/dist/registry.h"
+#include "runtime/dist/worker.h"
+#include "sim/dist_bodies.h"
+
+using namespace freerider;
+
+int main(int argc, char** argv) {
+  sim::RegisterDistBodies();
+  if (const int rc = runtime::dist::HandleWorkerMode(argc, argv); rc >= 0) {
+    return rc;
+  }
+  const bool list = cli::ConsumeFlag(argc, argv, "--list-bodies");
+  if (const int rc = cli::RejectUnknownArgs(
+          argc, argv, "sweep_worker --dist-serve=RFD,WFD,IDX | --list-bodies")) {
+    return rc;
+  }
+  if (list) {
+    for (const std::string& name : runtime::dist::RegisteredDistBodies()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "sweep_worker is a fleet server: a coordinator execs it with "
+               "--dist-serve=RFD,WFD,IDX\n(set FREERIDER_WORKER_BIN to this "
+               "binary's path and pass --workers N to a bench).\n");
+  return cli::kUsageError;
+}

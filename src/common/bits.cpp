@@ -16,11 +16,16 @@ BitVector BytesToBits(std::span<const std::uint8_t> bytes) {
 }
 
 Bytes BitsToBytes(std::span<const Bit> bits) {
-  Bytes bytes((bits.size() + 7) / 8, 0);
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-  }
+  Bytes bytes;
+  BitsToBytesInto(bits, bytes);
   return bytes;
+}
+
+void BitsToBytesInto(std::span<const Bit> bits, Bytes& out) {
+  out.assign((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
 }
 
 BitVector BitsFromString(std::string_view s) {

@@ -20,6 +20,10 @@ BitVector BytesToBits(std::span<const std::uint8_t> bytes);
 /// multiple of 8; the final partial byte is zero-padded in its high bits.
 Bytes BitsToBytes(std::span<const Bit> bits);
 
+/// Allocation-free BitsToBytes: `out` is resized and refilled, so a warm
+/// vector makes repeated packing allocation-free.
+void BitsToBytesInto(std::span<const Bit> bits, Bytes& out);
+
 /// Parse a string of '0'/'1' characters into bits. Any other character
 /// (spaces etc.) is skipped, so "1010 1100" is accepted.
 BitVector BitsFromString(std::string_view s);

@@ -14,6 +14,14 @@ namespace {
 // lock-free now that sweeps run tasks on the work-stealing executor.
 const std::vector<Cplx>& TwiddlesFor(std::size_t n) {
   thread_local std::map<std::size_t, std::vector<Cplx>> cache;
+  // Last-size memo: the RX fast path hammers 64-point transforms (one
+  // per OFDM symbol), and the map lookup shows up in profiles. The
+  // pointer stays valid because the map is thread_local and nodes are
+  // never erased. Twiddle values are unchanged, so FFT output stays
+  // bit-identical.
+  thread_local std::size_t last_n = 0;
+  thread_local const std::vector<Cplx>* last = nullptr;
+  if (n == last_n && last != nullptr) return *last;
   auto it = cache.find(n);
   if (it == cache.end()) {
     std::vector<Cplx> tw(n / 2);
@@ -23,6 +31,8 @@ const std::vector<Cplx>& TwiddlesFor(std::size_t n) {
     }
     it = cache.emplace(n, std::move(tw)).first;
   }
+  last_n = n;
+  last = &it->second;
   return it->second;
 }
 

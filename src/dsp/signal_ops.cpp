@@ -9,7 +9,14 @@ namespace freerider::dsp {
 
 IqBuffer MixFrequency(std::span<const Cplx> input, double freq_hz,
                       double sample_rate_hz, double phase0) {
-  IqBuffer out(input.size());
+  IqBuffer out;
+  MixFrequencyInto(input, freq_hz, sample_rate_hz, phase0, out);
+  return out;
+}
+
+void MixFrequencyInto(std::span<const Cplx> input, double freq_hz,
+                      double sample_rate_hz, double phase0, IqBuffer& out) {
+  out.resize(input.size());
   const double dphi = kTwoPi * freq_hz / sample_rate_hz;
   // Rotate incrementally with periodic renormalization to avoid drift.
   Cplx osc{std::cos(phase0), std::sin(phase0)};
@@ -19,7 +26,6 @@ IqBuffer MixFrequency(std::span<const Cplx> input, double freq_hz,
     osc *= step;
     if ((n & 0x3FFu) == 0x3FFu) osc /= std::abs(osc);
   }
-  return out;
 }
 
 IqBuffer SquareWaveMix(std::span<const Cplx> input, double freq_hz,

@@ -16,6 +16,12 @@ namespace freerider::dsp {
 IqBuffer MixFrequency(std::span<const Cplx> input, double freq_hz,
                       double sample_rate_hz, double phase0 = 0.0);
 
+/// Allocation-free MixFrequency: writes into `out` (resized to match).
+/// Same oscillator recurrence, so the samples are bit-identical to
+/// MixFrequency. `out` may alias `input` (elementwise operation).
+void MixFrequencyInto(std::span<const Cplx> input, double freq_hz,
+                      double sample_rate_hz, double phase0, IqBuffer& out);
+
 /// Multiply by a ±1 square wave of frequency `freq_hz` with initial
 /// phase `phase0` (radians of the square-wave cycle).
 ///

@@ -1,0 +1,10 @@
+#include "dsp/workspace.h"
+
+namespace freerider::dsp {
+
+Workspace& ThreadLocalWorkspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace freerider::dsp

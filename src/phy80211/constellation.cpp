@@ -80,11 +80,17 @@ std::size_t BitsPerSymbol(Modulation mod) {
 }
 
 IqBuffer MapBits(std::span<const Bit> bits, Modulation mod) {
+  IqBuffer out;
+  MapBitsInto(bits, mod, out);
+  return out;
+}
+
+void MapBitsInto(std::span<const Bit> bits, Modulation mod, IqBuffer& out) {
   const std::size_t bps = BitsPerSymbol(mod);
   if (bits.size() % bps != 0) {
     throw std::invalid_argument("MapBits: bit count not a multiple of bps");
   }
-  IqBuffer out;
+  out.clear();
   out.reserve(bits.size() / bps);
   for (std::size_t i = 0; i < bits.size(); i += bps) {
     switch (mod) {
@@ -104,11 +110,17 @@ IqBuffer MapBits(std::span<const Bit> bits, Modulation mod) {
         break;
     }
   }
-  return out;
 }
 
 BitVector DemapSymbols(std::span<const Cplx> symbols, Modulation mod) {
   BitVector out;
+  DemapSymbolsInto(symbols, mod, out);
+  return out;
+}
+
+void DemapSymbolsInto(std::span<const Cplx> symbols, Modulation mod,
+                      BitVector& out) {
+  out.clear();
   out.reserve(symbols.size() * BitsPerSymbol(mod));
   for (const Cplx& sym : symbols) {
     switch (mod) {
@@ -138,11 +150,17 @@ BitVector DemapSymbols(std::span<const Cplx> symbols, Modulation mod) {
       }
     }
   }
-  return out;
 }
 
 std::vector<double> DemapSoft(std::span<const Cplx> symbols, Modulation mod) {
   std::vector<double> llrs;
+  DemapSoftInto(symbols, mod, llrs);
+  return llrs;
+}
+
+void DemapSoftInto(std::span<const Cplx> symbols, Modulation mod,
+                   std::vector<double>& llrs) {
+  llrs.clear();
   llrs.reserve(symbols.size() * BitsPerSymbol(mod));
   // Max-log LLRs on the normalized PAM axis; the gray mappings above
   // give the closed forms: sign bit = v, "inner" bit = 2 - |v| (16-QAM)
@@ -176,7 +194,6 @@ std::vector<double> DemapSoft(std::span<const Cplx> symbols, Modulation mod) {
         break;
     }
   }
-  return llrs;
 }
 
 bool IsValidConstellationPoint(Cplx point, Modulation mod, double tolerance) {

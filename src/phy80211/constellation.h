@@ -29,6 +29,14 @@ BitVector DemapSymbols(std::span<const Cplx> symbols, Modulation mod);
 /// favour bit 1; magnitude is confidence. Feed to ViterbiDecodeSoft.
 std::vector<double> DemapSoft(std::span<const Cplx> symbols, Modulation mod);
 
+/// Allocation-free variants for the RX fast path; `out` is cleared and
+/// refilled, so a warm vector makes these allocation-free.
+void MapBitsInto(std::span<const Bit> bits, Modulation mod, IqBuffer& out);
+void DemapSymbolsInto(std::span<const Cplx> symbols, Modulation mod,
+                      BitVector& out);
+void DemapSoftInto(std::span<const Cplx> symbols, Modulation mod,
+                   std::vector<double>& out);
+
 /// True iff `point` is within `tolerance` (Euclidean) of some valid
 /// constellation point — the "valid codeword" membership test used by
 /// the Fig. 2 invalid-codeword demonstration.

@@ -49,4 +49,40 @@ std::vector<double> DepunctureSoft(std::span<const double> punctured,
 /// Number of coded (punctured) bits produced for n info bits at `rate`.
 std::size_t CodedLength(std::size_t info_bits, CodingRate rate);
 
+// --- Fast-path variants -----------------------------------------------
+//
+// ViterbiDecode / ViterbiDecodeSoft above dispatch between the legacy
+// scalar trellis (FREERIDER_PHY_SCALAR=1) and the branchless butterfly
+// kernels below. The kernels are bit-identical to the scalar reference:
+// exact integer path metrics for the hard decoder, and an add-order-
+// preserving multiply-select formulation for the soft decoder (exact
+// for all finite LLRs; see DESIGN.md §13). phy_fastpath_test pins the
+// equivalence exhaustively.
+
+/// Legacy hard-decision trellis, kept verbatim as the reference.
+BitVector ViterbiDecodeScalar(std::span<const Bit> coded_with_erasures);
+
+/// Legacy soft-decision trellis, kept verbatim as the reference.
+BitVector ViterbiDecodeSoftScalar(std::span<const double> llrs);
+
+/// Branchless state-major hard decoder. `decisions` is caller-owned
+/// scratch (steps x 64 survivor take-bit bytes, two 32-byte planes per
+/// step) so repeated calls allocate nothing once warm; `out` is resized
+/// to coded.size() / 2.
+void ViterbiDecodeInto(std::span<const Bit> coded_with_erasures,
+                       std::vector<std::uint8_t>& decisions, BitVector& out);
+
+/// Branchless state-major soft decoder (same scratch contract).
+void ViterbiDecodeSoftInto(std::span<const double> llrs,
+                           std::vector<std::uint8_t>& decisions,
+                           BitVector& out);
+
+/// Allocation-free Depuncture: writes into `out` (cleared first).
+void DepunctureInto(std::span<const Bit> punctured, CodingRate rate,
+                    std::size_t num_mother_bits, BitVector& out);
+
+/// Allocation-free DepunctureSoft: writes into `out` (cleared first).
+void DepunctureSoftInto(std::span<const double> punctured, CodingRate rate,
+                        std::size_t num_mother_bits, std::vector<double>& out);
+
 }  // namespace freerider::phy80211

@@ -46,24 +46,37 @@ BitVector InterleaveSymbol(std::span<const Bit> bits, const RateParams& rate) {
 }
 
 BitVector DeinterleaveSymbol(std::span<const Bit> bits, const RateParams& rate) {
+  BitVector out;
+  DeinterleaveSymbolInto(bits, rate, out);
+  return out;
+}
+
+void DeinterleaveSymbolInto(std::span<const Bit> bits, const RateParams& rate,
+                            BitVector& out) {
   if (bits.size() != rate.coded_bits_per_symbol) {
     throw std::invalid_argument("DeinterleaveSymbol: wrong symbol size");
   }
   const auto& perm = CachedPermutation(rate);
-  BitVector out(bits.size());
+  out.resize(bits.size());
   for (std::size_t k = 0; k < bits.size(); ++k) out[k] = bits[perm[k]];
-  return out;
 }
 
 std::vector<double> DeinterleaveSymbolSoft(std::span<const double> values,
                                            const RateParams& rate) {
+  std::vector<double> out;
+  DeinterleaveSymbolSoftInto(values, rate, out);
+  return out;
+}
+
+void DeinterleaveSymbolSoftInto(std::span<const double> values,
+                                const RateParams& rate,
+                                std::vector<double>& out) {
   if (values.size() != rate.coded_bits_per_symbol) {
     throw std::invalid_argument("DeinterleaveSymbolSoft: wrong symbol size");
   }
   const auto& perm = CachedPermutation(rate);
-  std::vector<double> out(values.size());
+  out.resize(values.size());
   for (std::size_t k = 0; k < values.size(); ++k) out[k] = values[perm[k]];
-  return out;
 }
 
 namespace {

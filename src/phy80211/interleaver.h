@@ -27,4 +27,12 @@ BitVector DeinterleaveStream(std::span<const Bit> bits, const RateParams& rate);
 std::vector<double> DeinterleaveSymbolSoft(std::span<const double> values,
                                            const RateParams& rate);
 
+/// Allocation-free variants for the RX fast path (`out` must not alias
+/// the input; it is resized to N_CBPS).
+void DeinterleaveSymbolInto(std::span<const Bit> bits, const RateParams& rate,
+                            BitVector& out);
+void DeinterleaveSymbolSoftInto(std::span<const double> values,
+                                const RateParams& rate,
+                                std::vector<double>& out);
+
 }  // namespace freerider::phy80211

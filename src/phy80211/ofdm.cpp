@@ -117,17 +117,29 @@ IqBuffer ModulateSymbol(std::span<const Cplx> data_points,
 }
 
 IqBuffer DemodulateSymbol(std::span<const Cplx> symbol80) {
+  IqBuffer bins;
+  DemodulateSymbolInto(symbol80, bins);
+  return bins;
+}
+
+void DemodulateSymbolInto(std::span<const Cplx> symbol80, IqBuffer& bins) {
   if (symbol80.size() < kSymbolLen) {
     throw std::invalid_argument("DemodulateSymbol: need 80 samples");
   }
-  IqBuffer bins(symbol80.begin() + kCpLen, symbol80.begin() + kSymbolLen);
+  bins.assign(symbol80.begin() + kCpLen, symbol80.begin() + kSymbolLen);
   dsp::Fft(bins);
-  return bins;
 }
 
 IqBuffer ExtractDataSubcarriers(std::span<const Cplx> bins,
                                 std::span<const Cplx> channel) {
-  IqBuffer out(kNumDataSubcarriers);
+  IqBuffer out;
+  ExtractDataSubcarriersInto(bins, channel, out);
+  return out;
+}
+
+void ExtractDataSubcarriersInto(std::span<const Cplx> bins,
+                                std::span<const Cplx> channel, IqBuffer& out) {
+  out.resize(kNumDataSubcarriers);
   const auto& sc = DataSubcarriers();
   for (std::size_t i = 0; i < sc.size(); ++i) {
     const std::size_t bin = BinIndex(sc[i]);
@@ -138,7 +150,6 @@ IqBuffer ExtractDataSubcarriers(std::span<const Cplx> bins,
     }
     out[i] = value;
   }
-  return out;
 }
 
 double PilotPhaseError(std::span<const Cplx> bins, std::span<const Cplx> channel,

@@ -32,11 +32,18 @@ IqBuffer ModulateSymbol(std::span<const Cplx> data_points,
 /// the CP); returns the 64 frequency bins in FFT order.
 IqBuffer DemodulateSymbol(std::span<const Cplx> symbol80);
 
+/// Allocation-free DemodulateSymbol: `bins` is reused scratch.
+void DemodulateSymbolInto(std::span<const Cplx> symbol80, IqBuffer& bins);
+
 /// Extract the 48 data-subcarrier values from 64 FFT bins, equalized by
 /// `channel` (64 bins, FFT order; pass nullptr-like empty span for no
 /// equalization).
 IqBuffer ExtractDataSubcarriers(std::span<const Cplx> bins,
                                 std::span<const Cplx> channel);
+
+/// Allocation-free ExtractDataSubcarriers (`out` must not alias `bins`).
+void ExtractDataSubcarriersInto(std::span<const Cplx> bins,
+                                std::span<const Cplx> channel, IqBuffer& out);
 
 /// Mean pilot-phase rotation of one demodulated symbol relative to the
 /// expected pilot values — the common phase error a pilot-tracking

@@ -7,11 +7,13 @@
 #include "common/crc.h"
 #include "dsp/fft.h"
 #include "dsp/signal_ops.h"
+#include "dsp/workspace.h"
 #include "phy80211/constellation.h"
 #include "phy80211/convolutional.h"
 #include "phy80211/interleaver.h"
 #include "phy80211/ofdm.h"
 #include "phy80211/scrambler.h"
+#include "phy80211/sync.h"
 
 namespace freerider::phy80211 {
 namespace {
@@ -19,77 +21,37 @@ namespace {
 constexpr std::size_t kServiceBits = 16;
 constexpr std::size_t kTailBits = 6;
 
-/// Normalized LTF correlation: |<rx, T>| / (||rx_window|| * ||T||).
-struct Detection {
-  bool found = false;
-  std::size_t second_ltf_start = 0;  ///< Start of the 2nd long symbol.
-};
-
-Detection DetectPreamble(const IqBuffer& rx, double threshold) {
-  static const IqBuffer ltf = LongTrainingSymbol64();
-  static const double ltf_energy = [&] {
-    double e = 0.0;
-    for (const Cplx& x : ltf) e += std::norm(x);
-    return e;
-  }();
-
-  if (rx.size() < ltf.size() + 64) return {};
-
-  // Sliding window energy for normalization.
-  const std::size_t positions = rx.size() - ltf.size() + 1;
-  std::vector<double> win_energy(positions);
-  double acc = 0.0;
-  for (std::size_t n = 0; n < ltf.size(); ++n) acc += std::norm(rx[n]);
-  win_energy[0] = acc;
-  for (std::size_t n = 1; n < positions; ++n) {
-    acc += std::norm(rx[n + ltf.size() - 1]) - std::norm(rx[n - 1]);
-    win_energy[n] = acc;
-  }
-
-  std::vector<double> ncorr(positions, 0.0);
-  for (std::size_t n = 0; n < positions; ++n) {
-    if (win_energy[n] <= 0.0) continue;
-    Cplx c{0.0, 0.0};
-    for (std::size_t k = 0; k < ltf.size(); ++k) {
-      c += rx[n + k] * std::conj(ltf[k]);
-    }
-    ncorr[n] = std::abs(c) / std::sqrt(win_energy[n] * ltf_energy);
-  }
-
-  // The LTF gives two adjacent full-symbol peaks 64 samples apart.
-  // Find the best position with a confirming peak at +64.
-  double best = 0.0;
-  std::size_t best_n = 0;
-  for (std::size_t n = 0; n + 64 < positions; ++n) {
-    const double pair = std::min(ncorr[n], ncorr[n + 64]);
-    if (pair > best) {
-      best = pair;
-      best_n = n;
-    }
-  }
-  if (best < threshold) return {};
-  return {true, best_n + 64};
-}
-
 /// Decision-directed residual-phase tracker: first-order loop updated
 /// from the mean rotation of equalized points against their nearest
 /// constellation points. Symmetric under the constellation's rotational
 /// symmetry group, hence transparent to the tag's codeword translation.
+///
+/// With a workspace the hard-decision round trip reuses ws scratch
+/// (same arithmetic either way — the fast chain's tracker state is
+/// bit-identical to the scalar chain's).
 class PhaseTracker {
  public:
-  explicit PhaseTracker(bool enabled, Modulation mod)
-      : enabled_(enabled), mod_(mod) {}
+  PhaseTracker(bool enabled, Modulation mod, dsp::Workspace* ws = nullptr)
+      : enabled_(enabled), mod_(mod), ws_(ws) {}
 
   void Apply(IqBuffer& points) {
     if (!enabled_) return;
     const Cplx derot{std::cos(-phase_), std::sin(-phase_)};
     for (auto& p : points) p *= derot;
     // Residual rotation against hard decisions.
-    const BitVector hard = DemapSymbols(points, mod_);
-    const IqBuffer ref = MapBits(hard, mod_);
     Cplx acc{0.0, 0.0};
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      acc += points[i] * std::conj(ref[i]);
+    if (ws_ != nullptr) {
+      DemapSymbolsInto(points, mod_, ws_->sym_hard);
+      MapBitsInto(ws_->sym_hard, mod_, ws_->sym_ref);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        acc += points[i] * std::conj(ws_->sym_ref[i]);
+      }
+    } else {
+      const BitVector hard = DemapSymbols(points, mod_);
+      const IqBuffer ref = MapBits(hard, mod_);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        acc += points[i] * std::conj(ref[i]);
+      }
     }
     if (std::norm(acc) < 1e-30) return;
     // Clamp the per-symbol step: residual CFO drifts a few tens of
@@ -102,10 +64,11 @@ class PhaseTracker {
  private:
   bool enabled_;
   Modulation mod_;
+  dsp::Workspace* ws_;
   double phase_ = 0.0;
 };
 
-/// Equalized data-subcarrier points of one symbol.
+/// Equalized data-subcarrier points of one symbol (allocating form).
 IqBuffer DemodSymbolPoints(std::span<const Cplx> symbol80,
                            std::span<const Cplx> channel,
                            std::size_t symbol_index, const RxConfig& config,
@@ -124,6 +87,26 @@ IqBuffer DemodSymbolPoints(std::span<const Cplx> symbol80,
   return data;
 }
 
+/// Fast form: equalized points land in ws.sym_data (ws scratch only).
+void DemodSymbolPointsWs(std::span<const Cplx> symbol80,
+                         std::span<const Cplx> channel,
+                         std::size_t symbol_index, const RxConfig& config,
+                         IqBuffer* constellation_out, PhaseTracker* tracker,
+                         dsp::Workspace& ws) {
+  DemodulateSymbolInto(symbol80, ws.sym_bins);
+  ExtractDataSubcarriersInto(ws.sym_bins, channel, ws.sym_data);
+  if (config.pilot_phase_correction) {
+    const double cpe = PilotPhaseError(ws.sym_bins, channel, symbol_index);
+    const Cplx derot{std::cos(-cpe), std::sin(-cpe)};
+    for (auto& x : ws.sym_data) x *= derot;
+  }
+  if (tracker != nullptr) tracker->Apply(ws.sym_data);
+  if (constellation_out != nullptr) {
+    constellation_out->insert(constellation_out->end(), ws.sym_data.begin(),
+                              ws.sym_data.end());
+  }
+}
+
 /// Decode one symbol's worth of interleaved coded bits (hard decision).
 BitVector DemodSymbolBits(std::span<const Cplx> symbol80,
                           std::span<const Cplx> channel, const RateParams& params,
@@ -133,6 +116,17 @@ BitVector DemodSymbolBits(std::span<const Cplx> symbol80,
                                           config, constellation_out, nullptr);
   const BitVector hard = DemapSymbols(data, params.modulation);
   return DeinterleaveSymbol(hard, params);
+}
+
+/// Fast form of DemodSymbolBits: deinterleaved bits land in `out`.
+void DemodSymbolBitsWs(std::span<const Cplx> symbol80,
+                       std::span<const Cplx> channel, const RateParams& params,
+                       std::size_t symbol_index, const RxConfig& config,
+                       dsp::Workspace& ws, BitVector& out) {
+  DemodSymbolPointsWs(symbol80, channel, symbol_index, config, nullptr,
+                      nullptr, ws);
+  DemapSymbolsInto(ws.sym_data, params.modulation, ws.sym_hard);
+  DeinterleaveSymbolInto(ws.sym_hard, params, out);
 }
 
 /// CFO estimate from the periodicity of a training region: the phase
@@ -175,12 +169,30 @@ SignalInfo ParseSignal(std::span<const Bit> bits24) {
   return info;
 }
 
+/// Reset an RxResult to its default-constructed values while keeping
+/// the capacity of its vectors (so reuse across frames is alloc-free).
+void ResetResult(RxResult& r) {
+  r.detected = false;
+  r.signal_ok = false;
+  r.fcs_ok = false;
+  r.rate = Rate::k6Mbps;
+  r.psdu_len = 0;
+  r.psdu.clear();
+  r.data_bits.clear();
+  r.num_data_symbols = 0;
+  r.scrambler_seed = 0;
+  r.rssi_dbm = -300.0;
+  r.start_index = 0;
+  r.cfo_hz = 0.0;
+  r.constellation.clear();
+}
+
 }  // namespace
 
-RxResult ReceiveFrame(const IqBuffer& raw_rx, const RxConfig& config) {
+RxResult ReceiveFrameScalar(const IqBuffer& raw_rx, const RxConfig& config) {
   RxResult result;
 
-  Detection det = DetectPreamble(raw_rx, config.detection_threshold);
+  Detection det = DetectPreambleScalar(raw_rx, config.detection_threshold);
   if (!det.found) return result;
   result.detected = true;
   result.start_index = det.second_ltf_start - 64;
@@ -201,13 +213,12 @@ RxResult ReceiveFrame(const IqBuffer& raw_rx, const RxConfig& config) {
         std::span<const Cplx>(rx).subspan(result.start_index, 128), 64);
     rx = dsp::MixFrequency(raw_rx, -cfo, kSampleRateHz);
     result.cfo_hz = cfo;
-    det = DetectPreamble(rx, config.detection_threshold);
+    det = DetectPreambleScalar(rx, config.detection_threshold);
     if (!det.found) return result;
     result.start_index = det.second_ltf_start - 64;
   }
 
   // Channel estimation over both long training symbols.
-  static const IqBuffer ltf_time = LongTrainingSymbol64();
   IqBuffer h(kFftSize, Cplx{0.0, 0.0});
   {
     IqBuffer y1(rx.begin() + static_cast<std::ptrdiff_t>(result.start_index),
@@ -232,7 +243,7 @@ RxResult ReceiveFrame(const IqBuffer& raw_rx, const RxConfig& config) {
   const BitVector signal_coded = DemodSymbolBits(
       std::span<const Cplx>(rx).subspan(signal_start, kSymbolLen), h,
       ParamsFor(Rate::k6Mbps), 0, RxConfig{}, nullptr);
-  const BitVector signal_bits = ViterbiDecode(signal_coded);
+  const BitVector signal_bits = ViterbiDecodeScalar(signal_coded);
   const SignalInfo info = ParseSignal(signal_bits);
   if (!info.ok) return result;
   result.signal_ok = true;
@@ -277,7 +288,7 @@ RxResult ReceiveFrame(const IqBuffer& raw_rx, const RxConfig& config) {
     }
     const std::vector<double> mother =
         DepunctureSoft(coded, params.coding, info_bits * 2);
-    scrambled = ViterbiDecodeSoft(mother);
+    scrambled = ViterbiDecodeSoftScalar(mother);
   } else {
     BitVector coded;
     coded.reserve(num_symbols * params.coded_bits_per_symbol);
@@ -291,7 +302,7 @@ RxResult ReceiveFrame(const IqBuffer& raw_rx, const RxConfig& config) {
       coded.insert(coded.end(), sym_bits.begin(), sym_bits.end());
     }
     const BitVector mother = Depuncture(coded, params.coding, info_bits * 2);
-    scrambled = ViterbiDecode(mother);
+    scrambled = ViterbiDecodeScalar(mother);
   }
 
   result.scrambler_seed =
@@ -323,6 +334,180 @@ RxResult ReceiveFrame(const IqBuffer& raw_rx, const RxConfig& config) {
         std::span<const std::uint8_t>(result.psdu).subspan(0, info.length - 4));
     result.fcs_ok = (fcs == computed);
   }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free fast chain. Stage-for-stage this mirrors the scalar
+// chain above with identical arithmetic in identical order — the only
+// intentional difference is the vectorized preamble scan (whose integer
+// Detection output the equivalence suite and the CI campaign byte-diffs
+// pin to the scalar scan) — so both chains produce identical RxResults.
+// Every temporary lives in `ws`; `result`'s vectors are cleared and
+// refilled, so a warm workspace + reused result decode a frame with
+// zero heap allocations (BM_WifiRx400B reports the counter).
+// ---------------------------------------------------------------------------
+
+void ReceiveFrame(const IqBuffer& raw_rx, const RxConfig& config,
+                  dsp::Workspace& ws, RxResult& result) {
+  ResetResult(result);
+
+  Detection det = DetectPreambleFast(raw_rx, config.detection_threshold, ws);
+  if (!det.found) return;
+  result.detected = true;
+  result.start_index = det.second_ltf_start - 64;
+
+  // CFO estimation and correction on the preamble, then re-detect for
+  // exact timing on the corrected buffer.
+  IqBuffer& rx = ws.rx_work;
+  rx.assign(raw_rx.begin(), raw_rx.end());
+  if (config.cfo_correction) {
+    double cfo = 0.0;
+    // Coarse: STF region (160 samples ending 160 before the LTF).
+    if (result.start_index >= 192) {
+      cfo += EstimateCfoHz(
+          std::span<const Cplx>(rx).subspan(result.start_index - 184, 144), 16);
+      dsp::MixFrequencyInto(rx, -cfo, kSampleRateHz, 0.0, rx);
+    }
+    // Fine: the two LTF symbols, period 64.
+    cfo += EstimateCfoHz(
+        std::span<const Cplx>(rx).subspan(result.start_index, 128), 64);
+    dsp::MixFrequencyInto(raw_rx, -cfo, kSampleRateHz, 0.0, rx);
+    result.cfo_hz = cfo;
+    det = DetectPreambleFast(rx, config.detection_threshold, ws);
+    if (!det.found) return;
+    result.start_index = det.second_ltf_start - 64;
+  }
+
+  // Channel estimation over both long training symbols.
+  ws.chan.assign(kFftSize, Cplx{0.0, 0.0});
+  {
+    ws.ltf_y1.assign(
+        rx.begin() + static_cast<std::ptrdiff_t>(result.start_index),
+        rx.begin() + static_cast<std::ptrdiff_t>(result.start_index) + 64);
+    ws.ltf_y2.assign(
+        rx.begin() + static_cast<std::ptrdiff_t>(det.second_ltf_start),
+        rx.begin() + static_cast<std::ptrdiff_t>(det.second_ltf_start) + 64);
+    dsp::Fft(ws.ltf_y1);
+    dsp::Fft(ws.ltf_y2);
+    for (int s = -26; s <= 26; ++s) {
+      const Cplx l = LtfSymbolAt(s);
+      if (std::norm(l) < 0.5) continue;
+      const std::size_t bin = BinIndex(s);
+      // H absorbs the TX time-domain scale and the channel gain, so
+      // equalized data points land on the unit constellation grid.
+      ws.chan[bin] = 0.5 * (ws.ltf_y1[bin] + ws.ltf_y2[bin]) / l;
+    }
+  }
+
+  // SIGNAL symbol.
+  const std::size_t signal_start = det.second_ltf_start + 64;
+  if (signal_start + kSymbolLen > rx.size()) return;
+  DemodSymbolBitsWs(std::span<const Cplx>(rx).subspan(signal_start, kSymbolLen),
+                    ws.chan, ParamsFor(Rate::k6Mbps), 0, RxConfig{}, ws,
+                    ws.sym_deint);
+  ViterbiDecodeInto(ws.sym_deint, ws.vit_decisions, ws.decoded);
+  const SignalInfo info = ParseSignal(ws.decoded);
+  if (!info.ok) return;
+  result.signal_ok = true;
+  result.rate = info.rate;
+  result.psdu_len = info.length;
+
+  const auto& params = ParamsFor(info.rate);
+  const std::size_t payload_bits = kServiceBits + info.length * 8 + kTailBits;
+  const std::size_t num_symbols =
+      (payload_bits + params.data_bits_per_symbol - 1) /
+      params.data_bits_per_symbol;
+  result.num_data_symbols = num_symbols;
+
+  const std::size_t data_start = signal_start + kSymbolLen;
+  if (data_start + num_symbols * kSymbolLen > rx.size()) {
+    result.signal_ok = false;  // truncated capture
+    return;
+  }
+
+  // RSSI over the frame extent.
+  result.rssi_dbm = dsp::PowerDbm(std::span<const Cplx>(rx).subspan(
+      result.start_index,
+      data_start + num_symbols * kSymbolLen - result.start_index));
+
+  // Demodulate all data symbols, then depuncture and Viterbi-decode
+  // (hard or soft per the configuration).
+  const std::size_t info_bits = num_symbols * params.data_bits_per_symbol;
+  IqBuffer* constellation =
+      config.collect_constellation ? &result.constellation : nullptr;
+  PhaseTracker tracker(config.decision_directed_tracking, params.modulation,
+                       &ws);
+  if (config.soft_decision) {
+    ws.soft_coded.clear();
+    ws.soft_coded.reserve(num_symbols * params.coded_bits_per_symbol);
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      DemodSymbolPointsWs(
+          std::span<const Cplx>(rx).subspan(data_start + s * kSymbolLen,
+                                            kSymbolLen),
+          ws.chan, s + 1, config, constellation, &tracker, ws);
+      DemapSoftInto(ws.sym_data, params.modulation, ws.sym_llrs);
+      DeinterleaveSymbolSoftInto(ws.sym_llrs, params, ws.sym_soft_deint);
+      ws.soft_coded.insert(ws.soft_coded.end(), ws.sym_soft_deint.begin(),
+                           ws.sym_soft_deint.end());
+    }
+    DepunctureSoftInto(ws.soft_coded, params.coding, info_bits * 2,
+                       ws.soft_mother);
+    ViterbiDecodeSoftInto(ws.soft_mother, ws.vit_decisions, ws.decoded);
+  } else {
+    ws.coded.clear();
+    ws.coded.reserve(num_symbols * params.coded_bits_per_symbol);
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      DemodSymbolPointsWs(
+          std::span<const Cplx>(rx).subspan(data_start + s * kSymbolLen,
+                                            kSymbolLen),
+          ws.chan, s + 1, config, constellation, &tracker, ws);
+      DemapSymbolsInto(ws.sym_data, params.modulation, ws.sym_hard);
+      DeinterleaveSymbolInto(ws.sym_hard, params, ws.sym_deint);
+      ws.coded.insert(ws.coded.end(), ws.sym_deint.begin(), ws.sym_deint.end());
+    }
+    DepunctureInto(ws.coded, params.coding, info_bits * 2, ws.mother);
+    ViterbiDecodeInto(ws.mother, ws.vit_decisions, ws.decoded);
+  }
+  const BitVector& scrambled = ws.decoded;
+
+  result.scrambler_seed =
+      RecoverScramblerSeed(std::span<const Bit>(scrambled).subspan(0, 7));
+  if (result.scrambler_seed == 0) {
+    // SERVICE corrupted beyond seed recovery; return raw bits unscrambled.
+    result.data_bits = scrambled;
+    return;
+  }
+  Scrambler descrambler(result.scrambler_seed);
+  descrambler.ProcessInto(scrambled, result.data_bits);
+
+  // Zero the (known-zero) tail bits so streams compare cleanly.
+  const std::size_t tail_pos = kServiceBits + info.length * 8;
+  for (std::size_t i = 0;
+       i < kTailBits && tail_pos + i < result.data_bits.size(); ++i) {
+    result.data_bits[tail_pos + i] = 0;
+  }
+
+  // Extract PSDU and check FCS.
+  BitsToBytesInto(std::span<const Bit>(result.data_bits)
+                      .subspan(kServiceBits, info.length * 8),
+                  result.psdu);
+  if (info.length >= 5) {
+    std::uint32_t fcs = 0;
+    for (int i = 0; i < 4; ++i) {
+      fcs |= static_cast<std::uint32_t>(result.psdu[info.length - 4 + i])
+             << (8 * i);
+    }
+    const std::uint32_t computed = Crc32(
+        std::span<const std::uint8_t>(result.psdu).subspan(0, info.length - 4));
+    result.fcs_ok = (fcs == computed);
+  }
+}
+
+RxResult ReceiveFrame(const IqBuffer& rx, const RxConfig& config) {
+  if (UseScalarPhy()) return ReceiveFrameScalar(rx, config);
+  RxResult result;
+  ReceiveFrame(rx, config, dsp::ThreadLocalWorkspace(), result);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "common/types.h"
+#include "dsp/workspace.h"
 #include "phy80211/params.h"
 
 namespace freerider::phy80211 {
@@ -72,6 +73,21 @@ struct RxResult {
 /// Attempt to find and decode one frame in `rx`. Returns a result whose
 /// flags describe how far decoding proceeded; `detected == false` means
 /// no preamble cleared the threshold.
+///
+/// Dispatches to the allocation-free fast chain below (with the calling
+/// thread's workspace) unless FREERIDER_PHY_SCALAR=1 pinned the process
+/// to the legacy scalar chain. Both produce identical RxResults on the
+/// campaign inputs (phy_fastpath_test + the CI byte-diffs pin this).
 RxResult ReceiveFrame(const IqBuffer& rx, const RxConfig& config = {});
+
+/// The legacy receive chain, kept verbatim as the reference
+/// implementation (allocating per stage, scalar detector and decoders).
+RxResult ReceiveFrameScalar(const IqBuffer& rx, const RxConfig& config = {});
+
+/// Fast chain: every intermediate buffer lives in `ws` and `result`'s
+/// vectors are cleared-and-refilled, so decoding a frame through a warm
+/// workspace performs zero heap allocations.
+void ReceiveFrame(const IqBuffer& rx, const RxConfig& config,
+                  dsp::Workspace& ws, RxResult& result);
 
 }  // namespace freerider::phy80211

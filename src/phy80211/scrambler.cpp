@@ -19,11 +19,16 @@ Bit Scrambler::NextBit() {
 }
 
 BitVector Scrambler::Process(std::span<const Bit> bits) {
-  BitVector out(bits.size());
+  BitVector out;
+  ProcessInto(bits, out);
+  return out;
+}
+
+void Scrambler::ProcessInto(std::span<const Bit> bits, BitVector& out) {
+  out.resize(bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) {
     out[i] = bits[i] ^ NextBit();
   }
-  return out;
 }
 
 std::uint8_t RecoverScramblerSeed(std::span<const Bit> first7ScrambledBits) {

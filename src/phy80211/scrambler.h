@@ -26,6 +26,9 @@ class Scrambler {
   /// seeds match) a bit sequence.
   BitVector Process(std::span<const Bit> bits);
 
+  /// Allocation-free Process; `out` may alias `bits`' backing store.
+  void ProcessInto(std::span<const Bit> bits, BitVector& out);
+
   void Reset(std::uint8_t seed);
 
  private:

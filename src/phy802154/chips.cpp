@@ -1,7 +1,9 @@
 #include "phy802154/chips.h"
 
+#include <bit>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
 #include "phy802154/params.h"
 
 namespace freerider::phy802154 {
@@ -34,6 +36,19 @@ const std::array<ChipSequence, 16>& Table() {
   return table;
 }
 
+// Each 32-chip sequence packed into one word (chip i -> bit i) so the
+// despreader is a XOR + popcount per candidate instead of a 32-iteration
+// compare loop — exact integer arithmetic, same distances as the scalar
+// loop by construction.
+const std::array<std::uint32_t, 16>& PackedTable() {
+  static const std::array<std::uint32_t, 16> packed = [] {
+    std::array<std::uint32_t, 16> p{};
+    for (std::size_t s = 0; s < 16; ++s) p[s] = dsp::PackBits32(Table()[s]);
+    return p;
+  }();
+  return packed;
+}
+
 }  // namespace
 
 const ChipSequence& ChipsForSymbol(std::uint8_t symbol) {
@@ -55,11 +70,14 @@ DespreadResult DespreadChips(std::span<const Bit> chips32) {
   if (chips32.size() != kChipsPerSymbol) {
     throw std::invalid_argument("DespreadChips: need exactly 32 chips");
   }
+  const std::uint32_t packed = dsp::PackBits32(chips32);
+  const auto& table = PackedTable();
+  // Strict < keeps the lowest-numbered symbol on ties, matching the
+  // original ascending-s scan.
   DespreadResult best{0, 33};
   for (std::uint8_t s = 0; s < 16; ++s) {
-    const ChipSequence& seq = Table()[s];
-    std::uint8_t d = 0;
-    for (std::size_t i = 0; i < kChipsPerSymbol; ++i) d += (chips32[i] != seq[i]);
+    const auto d =
+        static_cast<std::uint8_t>(std::popcount(packed ^ table[s]));
     if (d < best.distance) best = {s, d};
   }
   return best;
